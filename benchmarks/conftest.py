@@ -1,0 +1,109 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index): it runs the workload series, prints the
+same rows/series the paper reports, saves them under
+``benchmarks/results/``, and asserts the qualitative *shape* (who wins,
+by roughly what factor) since absolute numbers come from the simulated
+cost model, not the authors' hardware.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine.isolation import IsolationLevel
+from repro.workloads.base import Workload, run_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _config(series: str, disk_bound: bool = False) -> EngineConfig:
+    if series == "SSI (no r/o opt.)":
+        ssi = SSIConfig(read_only_opt=False, safe_snapshots=False)
+    elif series == "SSI (flags)":
+        ssi = SSIConfig(conflict_tracking="flags")
+    else:
+        ssi = SSIConfig()
+    if disk_bound:
+        cfg = EngineConfig.disk_bound(io_miss=10.0, buffer_pages=96, ssi=ssi)
+    else:
+        cfg = EngineConfig(ssi=ssi)
+    return cfg
+
+
+SERIES_ISOLATION = {
+    "SI": IsolationLevel.REPEATABLE_READ,
+    "SSI": IsolationLevel.SERIALIZABLE,
+    "SSI (no r/o opt.)": IsolationLevel.SERIALIZABLE,
+    "SSI (flags)": IsolationLevel.SERIALIZABLE,
+    "S2PL": IsolationLevel.S2PL,
+}
+
+
+def run_series(workload_factory, series: Sequence[str], *,
+               n_clients: int = 4, max_ticks: float = 8000.0, seed: int = 7,
+               disk_bound: bool = False) -> Dict[str, object]:
+    """Run one workload under each concurrency-control series.
+
+    ``workload_factory`` builds a fresh Workload per run (workloads
+    carry counters). Returns {series name: SimResult}.
+    """
+    results = {}
+    for name in series:
+        results[name] = run_workload(
+            workload_factory(),
+            isolation=SERIES_ISOLATION[name],
+            n_clients=n_clients,
+            max_ticks=max_ticks,
+            seed=seed,
+            config=_config(name, disk_bound=disk_bound),
+        )
+    return results
+
+
+def normalized(results: Dict[str, object],
+               baseline: str = "SI") -> Dict[str, float]:
+    base = results[baseline].throughput
+    return {name: (res.throughput / base if base else 0.0)
+            for name, res in results.items()}
+
+
+class Report:
+    """Collects printable rows and persists them."""
+
+    def __init__(self, title: str, filename: str) -> None:
+        self.title = title
+        self.filename = filename
+        self.lines: List[str] = [title, "=" * len(title)]
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def table(self, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+                  for i, h in enumerate(header)]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        self.lines.append(fmt.format(*header))
+        self.lines.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            self.lines.append(fmt.format(*[str(x) for x in r]))
+
+    def emit(self) -> str:
+        text = "\n".join(self.lines) + "\n"
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, self.filename)
+        with open(path, "w") as fh:
+            fh.write(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture
+def report():
+    """Factory fixture for Report objects."""
+    return Report

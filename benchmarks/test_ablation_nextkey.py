@@ -1,0 +1,110 @@
+"""Ablation (section 5.2.1 future work): page-granularity vs next-key
+index-range locking.
+
+PostgreSQL 9.1 locked B+-tree gaps at page granularity; the paper says
+"we intend to refine this to next-key locking in a future release".
+Both are implemented (SSIConfig.index_locking). This microbenchmark
+isolates what the refinement buys: clients repeatedly range-scan their
+own closed key neighbourhood and insert fresh keys *outside* every
+scanned range but on the *same leaf pages*. Page-granularity gap locks
+flag every such insert against every neighbour's scan (false
+rw-antidependencies that assemble into dangerous structures); next-key
+locks, guarding only the scanned keys, flag none.
+
+A second run on the receipts mix shows the flip side: when conflicts
+are genuine (Figure 2 structures), the granularity does not matter.
+"""
+
+import random
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Between, IsolationLevel
+from repro.engine.database import Database
+from repro.sim import Client, Scheduler, ops
+from repro.workloads import ReceiptsWorkload
+from repro.workloads.base import run_workload
+
+SER = IsolationLevel.SERIALIZABLE
+SLOT_WIDTH = 1000
+READ_KEYS = 8  # even keys 0,2,...,14 within the slot
+
+
+def run_neighbourhood(index_locking: str, seed: int = 31,
+                      n_clients: int = 6, n_slots: int = 24):
+    db = Database(EngineConfig(ssi=SSIConfig(index_locking=index_locking)))
+    db.create_table("t", ["k", "v"], key="k")
+    setup = db.session()
+    setup.begin()
+    for slot in range(n_slots):
+        base = slot * SLOT_WIDTH
+        for i in range(READ_KEYS):
+            setup.insert("t", {"k": base + 2 * i, "v": 0})
+        # Fence key nobody reads: keeps inserts' next-key successors
+        # inside the slot.
+        setup.insert("t", {"k": base + SLOT_WIDTH - 1, "v": 0})
+    setup.commit()
+    counters = {slot: 0 for slot in range(n_slots)}
+    scheduler = Scheduler(db, seed=seed)
+    hi = 2 * (READ_KEYS - 1)
+    for cid in range(n_clients):
+        rng = random.Random(seed * 131 + cid)
+
+        def source(rng=rng):
+            slot = rng.randrange(n_slots)
+            counters[slot] += 1
+            new_key = slot * SLOT_WIDTH + hi + 2 + counters[slot]
+
+            def program(slot=slot, new_key=new_key):
+                base = slot * SLOT_WIDTH
+                yield ops.begin(SER)
+                yield ops.select("t", Between("k", base, base + hi))
+                yield ops.insert("t", {"k": new_key, "v": 1})
+                yield ops.commit()
+
+            return ("neighbourhood", program)
+
+        scheduler.add_client(Client(cid, db.session(), source))
+    return scheduler.run(max_ticks=8000)
+
+
+def test_ablation_nextkey_locking(benchmark, report):
+    state = {}
+
+    def run_all():
+        for mode in ("page", "nextkey"):
+            state[("micro", mode)] = run_neighbourhood(mode)
+            cfg = EngineConfig(ssi=SSIConfig(index_locking=mode))
+            state[("receipts", mode)] = run_workload(
+                ReceiptsWorkload(), isolation=SER, n_clients=5,
+                max_ticks=8000, seed=31, config=cfg)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rep = report("Ablation: index-range locking granularity "
+                 "(page vs next-key)", "ablation_nextkey.txt")
+    rows = []
+    for workload in ("micro", "receipts"):
+        for mode in ("page", "nextkey"):
+            res = state[(workload, mode)]
+            rows.append([workload, mode, res.commits,
+                         res.serialization_failures,
+                         f"{res.serialization_failure_rate:.2%}",
+                         f"{res.throughput:.1f}"])
+    rep.table(["workload", "index locking", "commits", "failures",
+               "failure rate", "txns/ktick"], rows)
+    rep.emit()
+
+    micro_page = state[("micro", "page")]
+    micro_next = state[("micro", "nextkey")]
+    # Next-key locking removes the leaf-sharing false positives
+    # entirely on this pattern. (It pays with more lock-manager work --
+    # one lock per key instead of per page -- which is precisely the
+    # memory/CPU trade-off behind PostgreSQL 9.1 shipping page
+    # granularity first.)
+    assert (micro_next.serialization_failure_rate
+            < micro_page.serialization_failure_rate)
+    assert micro_next.serialization_failures == 0
+    # Genuine conflicts (the receipts mix) are unaffected by the mode.
+    page_rate = state[("receipts", "page")].serialization_failure_rate
+    next_rate = state[("receipts", "nextkey")].serialization_failure_rate
+    assert abs(page_rate - next_rate) < 0.03

@@ -1,0 +1,52 @@
+"""Figure 4 / section 8.1: SIBENCH transaction throughput for SSI and
+S2PL as a fraction of SI throughput, across table sizes.
+
+Paper shape: S2PL pays a clear penalty (update transactions cannot run
+concurrently with the scanning query transactions); SSI stays close to
+SI, with its read-dependency tracking overhead shrinking as tables
+grow because long queries are released onto safe snapshots by the
+read-only optimization (the "SSI (no r/o opt.)" series keeps paying).
+"""
+
+from conftest import normalized, run_series
+
+from repro.workloads import SIBench
+
+TABLE_SIZES = [10, 50, 100, 250, 500]
+SERIES = ["SI", "SSI", "SSI (no r/o opt.)", "S2PL"]
+
+
+def test_fig4_sibench(benchmark, report):
+    table = {}
+
+    def run_all():
+        for size in TABLE_SIZES:
+            results = run_series(lambda s=size: SIBench(table_size=s),
+                                 SERIES, n_clients=4, max_ticks=6000,
+                                 seed=7)
+            table[size] = (normalized(results), results)
+        return table
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rep = report("Figure 4: SIBENCH throughput normalized to SI, by "
+                 "table size", "fig4_sibench.txt")
+    rows = []
+    for size in TABLE_SIZES:
+        norm, results = table[size]
+        rows.append([size] + [f"{norm[s]:.3f}" for s in SERIES]
+                    + [f"{results['SI'].throughput:.1f}"])
+    rep.table(["rows"] + SERIES + ["SI txns/ktick"], rows)
+    rep.emit()
+
+    for size in TABLE_SIZES:
+        norm, _ = table[size]
+        # SSI close to SI (paper: within 10-20% worst case).
+        assert norm["SSI"] >= 0.85, (size, norm)
+        # S2PL clearly below both SI and SSI.
+        assert norm["S2PL"] < norm["SSI"], (size, norm)
+        assert norm["S2PL"] < 0.9, (size, norm)
+    # The read-only optimization matters more for larger tables:
+    # at the largest size the no-opt series must trail plain SSI.
+    big_norm, _ = table[TABLE_SIZES[-1]]
+    assert big_norm["SSI (no r/o opt.)"] < big_norm["SSI"], big_norm

@@ -1,0 +1,99 @@
+"""Figure 5 / section 8.2: DBT-2++ throughput for SSI and S2PL as a
+fraction of SI throughput, across read-only transaction fractions.
+
+5(a) in-memory: SSI costs a few percent of CPU (dependency tracking);
+S2PL falls well behind, especially as the read-only fraction grows
+(more rw-conflicts for locking to block on); at 100% read-only all
+modes converge (no lock conflicts, all snapshots safe).
+
+5(b) disk-bound: a small buffer pool plus a per-miss I/O charge makes
+I/O dominate; CPU overhead stops mattering and SSI becomes
+indistinguishable from SI, with serialization failures staying rare.
+"""
+
+from conftest import normalized, run_series
+
+from repro.workloads import DBT2PP
+
+RO_FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+SERIES_A = ["SI", "SSI", "SSI (no r/o opt.)", "S2PL"]
+SERIES_B = ["SI", "SSI", "S2PL"]  # the paper's 5(b) omits the no-opt series
+
+
+def make_workload(ro_fraction):
+    return DBT2PP(read_only_fraction=ro_fraction, items=200,
+                  items_per_order=(2, 4))
+
+
+def _run_figure(series, disk_bound, max_ticks):
+    table = {}
+    for frac in RO_FRACTIONS:
+        results = run_series(lambda f=frac: make_workload(f), series,
+                             n_clients=4, max_ticks=max_ticks, seed=11,
+                             disk_bound=disk_bound)
+        table[frac] = (normalized(results), results)
+    return table
+
+
+def test_fig5a_dbt2pp_in_memory(benchmark, report):
+    table = {}
+
+    def run_all():
+        table.update(_run_figure(SERIES_A, disk_bound=False,
+                                 max_ticks=6000))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rep = report("Figure 5a: DBT-2++ throughput normalized to SI "
+                 "(in-memory configuration), by read-only fraction",
+                 "fig5a_dbt2pp_inmem.txt")
+    rows = []
+    for frac in RO_FRACTIONS:
+        norm, results = table[frac]
+        rows.append([f"{frac:.0%}"] + [f"{norm[s]:.3f}" for s in SERIES_A]
+                    + [f"{results['SSI'].serialization_failure_rate:.3%}"])
+    rep.table(["read-only"] + SERIES_A + ["SSI failure rate"], rows)
+    rep.emit()
+
+    for frac in RO_FRACTIONS:
+        norm, results = table[frac]
+        assert norm["SSI"] >= 0.8, (frac, norm)
+        assert norm["S2PL"] <= norm["SSI"], (frac, norm)
+        # Serialization failures stay a small fraction of transactions.
+        assert results["SSI"].serialization_failure_rate < 0.10
+    # Mixed workloads: S2PL suffers clearly; 100% read-only converges.
+    assert table[0.5][0]["S2PL"] < 0.85
+    assert table[1.0][0]["S2PL"] > table[0.5][0]["S2PL"]
+    assert table[1.0][0]["SSI"] > 0.9
+
+
+def test_fig5b_dbt2pp_disk_bound(benchmark, report):
+    table = {}
+
+    def run_all():
+        table.update(_run_figure(SERIES_B, disk_bound=True,
+                                 max_ticks=12000))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rep = report("Figure 5b: DBT-2++ throughput normalized to SI "
+                 "(disk-bound configuration), by read-only fraction",
+                 "fig5b_dbt2pp_disk.txt")
+    rows = []
+    for frac in RO_FRACTIONS:
+        norm, results = table[frac]
+        rows.append([f"{frac:.0%}"] + [f"{norm[s]:.3f}" for s in SERIES_B]
+                    + [f"{results['SSI'].serialization_failure_rate:.3%}"])
+    rep.table(["read-only"] + SERIES_B + ["SSI failure rate"], rows)
+    rep.emit()
+
+    for frac in RO_FRACTIONS:
+        norm, results = table[frac]
+        # Paper: "the performance of SSI is indistinguishable from that
+        # of SI" once I/O dominates; allow a small margin.
+        assert norm["SSI"] >= 0.85, (frac, norm)
+        assert results["SSI"].serialization_failure_rate < 0.10
+    # The SI-vs-SSI gap must be smaller here than in the CPU-bound
+    # configuration at the standard 8%-read-only-adjacent point.
+    in_mem = _run_figure(["SI", "SSI"], disk_bound=False, max_ticks=4000)
+    assert (1 - table[0.0][0]["SSI"]) <= (1 - in_mem[0.0][0]["SSI"]) + 0.05

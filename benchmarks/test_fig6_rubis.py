@@ -1,0 +1,55 @@
+"""Figure 6 / section 8.3: RUBiS bidding-mix performance.
+
+The paper's table: SI 435 req/s (0.004% serialization failures),
+SSI 422 req/s (0.03%), S2PL 208 req/s (0.76%, mostly deadlocks). The
+shape to reproduce: SSI within a few percent of SI with a small but
+higher failure rate; S2PL roughly half of SI with the highest failure
+rate, driven by lock contention and deadlocks on the bid-vs-browse
+conflict pattern.
+"""
+
+from conftest import normalized, run_series
+
+from repro.workloads import RubisBidding
+
+SERIES = ["SI", "SSI", "S2PL"]
+
+
+def test_fig6_rubis(benchmark, report):
+    state = {}
+
+    def run_all():
+        state["results"] = run_series(
+            lambda: RubisBidding(), SERIES,
+            n_clients=4, max_ticks=10_000, seed=13)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    results = state["results"]
+    norm = normalized(results)
+
+    rep = report("Figure 6: RUBiS bidding mix", "fig6_rubis.txt")
+    rows = []
+    for name in SERIES:
+        res = results[name]
+        rows.append([
+            name,
+            f"{res.throughput:.1f}",
+            f"{norm[name]:.3f}",
+            f"{res.serialization_failure_rate:.4%}",
+            res.deadlocks,
+        ])
+    rep.table(["series", "txns/ktick", "normalized",
+               "serialization failures", "deadlocks"], rows)
+    rep.emit()
+
+    # SSI within a few percent of SI.
+    assert norm["SSI"] >= 0.90, norm
+    # S2PL pays heavily (paper: ~0.48x SI).
+    assert norm["S2PL"] < norm["SSI"] - 0.05, norm
+    # Failure-rate ordering: SI <= SSI, and S2PL is the only mode with
+    # deadlocks.
+    assert (results["SI"].serialization_failure_rate
+            <= results["SSI"].serialization_failure_rate + 1e-9)
+    assert results["S2PL"].deadlocks > 0
+    assert results["SSI"].serialization_failure_rate < 0.02

@@ -1,0 +1,149 @@
+"""Figure 2 walkthrough: the batch-processing anomaly, the read-only
+optimizations, and deferrable transactions.
+
+Three acts, following sections 2.1.2, 4.1, and 4.3 of the paper:
+
+1. Under snapshot isolation the REPORT shows a total that silently
+   changes afterwards -- the corruption that motivated the Wisconsin
+   Court System's push for true serializability.
+2. Under SERIALIZABLE, SSI aborts the NEW-RECEIPT transaction (the
+   pivot, per the safe-retry rules) and the retried transaction lands
+   in the new batch; and if the REPORT takes its snapshot early
+   enough, the read-only optimization (Theorem 3) avoids any abort.
+3. A DEFERRABLE read-only report waits for a safe snapshot and then
+   runs with no SSI overhead and no abort risk.
+
+Run:  python examples/batch_processing.py
+"""
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure, WouldBlock
+
+SI = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+
+
+def fresh_db():
+    db = Database(EngineConfig())
+    db.create_table("control", ["id", "batch"], key="id")
+    db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+    db.create_index("receipts", "batch")
+    s = db.session()
+    s.insert("control", {"id": 0, "batch": 1})
+    return db
+
+
+def current_batch(session):
+    return session.select("control", Eq("id", 0))[0]["batch"]
+
+
+def batch_total(session, batch):
+    return sum(r["amount"] for r in
+               session.select("receipts", Eq("batch", batch)))
+
+
+def act1_snapshot_isolation():
+    print("=== Act 1: the anomaly under snapshot isolation ===")
+    db = fresh_db()
+    new_receipt, report, close_batch = (db.session(), db.session(),
+                                        db.session())
+    new_receipt.begin(SI)
+    x = current_batch(new_receipt)
+    print(f"  NEW-RECEIPT reads current batch = {x}")
+    close_batch.begin(SI)
+    close_batch.update("control", Eq("id", 0),
+                       lambda r: {"batch": r["batch"] + 1})
+    close_batch.commit()
+    print("  CLOSE-BATCH increments the batch and commits")
+    report.begin(SI)
+    rx = current_batch(report)
+    total = batch_total(report, rx - 1)
+    report.commit()
+    print(f"  REPORT sees batch {rx}, shows batch {rx - 1} total = {total}")
+    new_receipt.insert("receipts", {"rid": 1, "batch": x, "amount": 100})
+    new_receipt.commit()
+    print(f"  NEW-RECEIPT inserts a 100 into batch {x} and commits")
+    final = batch_total(db.session(), rx - 1)
+    print(f"  batch {rx - 1} total is now {final} -- the report said "
+          f"{total}: SILENT CORRUPTION\n")
+
+
+def act2_ssi():
+    print("=== Act 2: SERIALIZABLE stops it; safe retry; Theorem 3 ===")
+    db = fresh_db()
+    new_receipt, report, close_batch = (db.session(), db.session(),
+                                        db.session())
+    new_receipt.begin(SER)
+    x = current_batch(new_receipt)
+    close_batch.begin(SER)
+    close_batch.update("control", Eq("id", 0),
+                       lambda r: {"batch": r["batch"] + 1})
+    close_batch.commit()
+    report.begin(SER, read_only=True)
+    rx = current_batch(report)
+    total = batch_total(report, rx - 1)
+    report.commit()
+    print(f"  REPORT commits: batch {rx - 1} total = {total}")
+    try:
+        new_receipt.insert("receipts", {"rid": 1, "batch": x, "amount": 100})
+        new_receipt.commit()
+        print("  NEW-RECEIPT committed (unexpected!)")
+    except SerializationFailure as exc:
+        print(f"  NEW-RECEIPT aborted: {exc}")
+        new_receipt.rollback()
+    # Safe retry: the retried transaction cannot fail the same way.
+    new_receipt.begin(SER)
+    x2 = current_batch(new_receipt)
+    new_receipt.insert("receipts", {"rid": 1, "batch": x2, "amount": 100})
+    new_receipt.commit()
+    print(f"  retried NEW-RECEIPT lands in batch {x2}; "
+          f"batch {rx - 1} total is still "
+          f"{batch_total(db.session(), rx - 1)}")
+
+    # Theorem 3: a report whose snapshot predates CLOSE-BATCH's commit
+    # is a false positive and nothing aborts.
+    nr2, early_report, cb2 = db.session(), db.session(), db.session()
+    nr2.begin(SER)
+    x3 = current_batch(nr2)
+    early_report.begin(SER, read_only=True)  # snapshot BEFORE the close
+    cb2.begin(SER)
+    cb2.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+    cb2.commit()
+    batch_total(early_report, current_batch(early_report) - 1)
+    early_report.commit()
+    nr2.insert("receipts", {"rid": 2, "batch": x3, "amount": 7})
+    nr2.commit()
+    print("  early-snapshot REPORT: read-only optimization applied, "
+          "no transaction aborted\n")
+
+
+def act3_deferrable():
+    print("=== Act 3: deferrable transactions ===")
+    db = fresh_db()
+    writer = db.session()
+    writer.begin(SER)
+    writer.insert("receipts", {"rid": 10, "batch": 1, "amount": 5})
+    deferrable = db.session()
+    try:
+        deferrable.begin(SER, read_only=True, deferrable=True)
+        print("  deferrable began immediately (no concurrent writers)")
+    except WouldBlock:
+        print("  deferrable BEGIN is waiting for a safe snapshot...")
+        writer.commit()
+        print("  concurrent writer committed cleanly")
+        deferrable.resume()
+        print("  ...safe snapshot obtained")
+    total = batch_total(deferrable, 1)
+    deferrable.commit()
+    print(f"  deferrable report ran with zero SSI overhead: "
+          f"batch 1 total = {total}")
+    sx_stats = db.ssi.stats
+    print(f"  ssi stats: safe_snapshots={sx_stats.safe_snapshots} "
+          f"unsafe={sx_stats.unsafe_snapshots}")
+
+
+if __name__ == "__main__":
+    act1_snapshot_isolation()
+    act2_ssi()
+    act3_deferrable()

@@ -1,0 +1,92 @@
+"""Ad hoc SQL: the paper's last argument for serializability.
+
+Section 2.2 observes that even a perfectly analyzed application is
+undone by ad hoc queries -- an administrator at psql inspecting or
+repairing data. This example scripts such a session: the "application"
+transactions are innocuous, but the admin's ad hoc read-modify-write
+races with them; under SERIALIZABLE the database protects the admin
+without anyone having analyzed the query in advance.
+
+Also doubles as a mini SQL REPL: pass statements on the command line,
+or run with no arguments for the scripted demo.
+
+Run:  python examples/sql_adhoc.py
+      python examples/sql_adhoc.py "SELECT 1 FROM t"     # ad hoc mode
+"""
+
+import sys
+
+from repro.config import EngineConfig
+from repro.engine import Database
+from repro.errors import ReproError, SerializationFailure
+from repro.sql import SQLSession
+
+
+def scripted_demo() -> None:
+    db = Database(EngineConfig())
+    app = SQLSession(db.session())
+    admin = SQLSession(db.session())
+
+    app.execute("CREATE TABLE warrants (wid INT PRIMARY KEY, person TEXT, "
+                "status TEXT)")
+    app.execute("INSERT INTO warrants (wid, person, status) VALUES "
+                "(1, 'doe', 'active'), (2, 'roe', 'active'), "
+                "(3, 'poe', 'served')")
+
+    print("=== the admin runs an ad hoc repair at 'psql' ===")
+    admin.execute("BEGIN ISOLATION LEVEL SERIALIZABLE")
+    rows = admin.execute(
+        "SELECT COUNT(*) FROM warrants WHERE status = 'active'")
+    print(f"  admin: {rows[0]['count']} active warrants; will archive "
+          "them all if there are fewer than 3")
+
+    # Meanwhile the application activates another warrant, having made
+    # the same kind of check itself.
+    app.execute("BEGIN ISOLATION LEVEL SERIALIZABLE")
+    n = app.execute("SELECT COUNT(*) FROM warrants "
+                    "WHERE status = 'active'")[0]["count"]
+    if n < 3:
+        app.execute("UPDATE warrants SET status = 'active' WHERE wid = 3")
+    app.execute("COMMIT")
+    print("  app: re-activated warrant 3 (it saw fewer than 3 active)")
+
+    try:
+        if rows[0]["count"] < 3:
+            admin.execute("UPDATE warrants SET status = 'archived' "
+                          "WHERE status = 'active'")
+        admin.execute("COMMIT")
+        print("  admin: archive committed")
+    except SerializationFailure:
+        print("  admin: ABORTED by SSI -- the ad hoc query raced with the "
+              "application; no static analysis saw this coming, the "
+              "runtime check did")
+        admin.execute("ROLLBACK")
+
+    final = SQLSession(db.session()).execute(
+        "SELECT COUNT(*) FROM warrants WHERE status = 'active'")
+    print(f"  final active count: {final[0]['count']}")
+
+
+def repl(statements) -> None:
+    db = Database(EngineConfig())
+    sql = SQLSession(db.session())
+    for statement in statements:
+        try:
+            result = sql.execute(statement)
+        except ReproError as exc:
+            print(f"ERROR: {exc}")
+            continue
+        if isinstance(result, list):
+            for row in result:
+                print(row)
+        elif result is not None:
+            print(f"OK ({result} rows)")
+        else:
+            print("OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        repl(sys.argv[1:])
+    else:
+        scripted_demo()

@@ -1,0 +1,29 @@
+"""repro: Serializable Snapshot Isolation in PostgreSQL, reproduced.
+
+A from-scratch Python implementation of the system described in
+"Serializable Snapshot Isolation in PostgreSQL" (Ports & Grittner,
+PVLDB 5(12), 2012): a PostgreSQL-style MVCC engine with SSI as its
+SERIALIZABLE isolation level, plus everything the paper's evaluation
+needs -- a strict-2PL baseline, benchmark workloads, a deterministic
+concurrency simulator, and an offline serializability checker.
+
+Start with :class:`repro.engine.Database`; see README.md and DESIGN.md.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import CostModel, EngineConfig, SSIConfig
+from repro.errors import (DeadlockDetected, ReproError, RetryableError,
+                          SerializationFailure, WouldBlock)
+
+__all__ = [
+    "__version__",
+    "EngineConfig",
+    "SSIConfig",
+    "CostModel",
+    "ReproError",
+    "RetryableError",
+    "SerializationFailure",
+    "DeadlockDetected",
+    "WouldBlock",
+]

@@ -1,0 +1,33 @@
+"""The engine: public API tying the substrates together.
+
+`Database` owns the shared state (catalog, clog, lock managers, SSI
+manager, buffer pool); `Session` is the per-connection handle with
+PostgreSQL-flavoured semantics: BEGIN with an isolation level,
+statements that may suspend on lock waits, savepoints, two-phase
+commit, and automatic rollback on serialization failures.
+"""
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import (AlwaysTrue, And, Between, Eq, Func, Ge,
+                                    Gt, Le, Lt, Ne, Or, Overlaps, Predicate)
+from repro.engine.database import Database
+from repro.engine.session import Session
+
+__all__ = [
+    "Database",
+    "Session",
+    "IsolationLevel",
+    "Predicate",
+    "AlwaysTrue",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "Between",
+    "And",
+    "Or",
+    "Overlaps",
+    "Func",
+]

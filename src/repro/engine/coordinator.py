@@ -1,0 +1,139 @@
+"""External two-phase-commit coordinator.
+
+The paper notes (section 7.1, footnote): "PostgreSQL does not itself
+support distributed transactions; its two-phase commit support is
+intended as a primitive that can be used to build an external
+transaction coordinator." This module is that coordinator: it runs one
+logical transaction across several databases, drives the
+prepare-all-then-commit-all protocol, keeps its own decision log, and
+recovers in-doubt branches after a crash.
+
+Serializability remains a *per-database* guarantee, exactly as with
+PostgreSQL: SSI on each participant plus atomic commit across them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.engine.isolation import IsolationLevel
+from repro.errors import InvalidTransactionStateError, ReproError
+
+
+class Decision(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class DistributedTransaction:
+    """One transaction spanning every database the coordinator knows."""
+
+    def __init__(self, coordinator: "Coordinator", gid: str,
+                 isolation: IsolationLevel) -> None:
+        self.coordinator = coordinator
+        self.gid = gid
+        self.sessions = {name: db.session()
+                         for name, db in coordinator.databases.items()}
+        for session in self.sessions.values():
+            session.begin(isolation)
+        self._finished = False
+
+    def on(self, name: str):
+        """The branch session for one participant database."""
+        return self.sessions[name]
+
+    # -- two-phase commit ------------------------------------------------
+    def commit(self) -> None:
+        """Prepare every branch, log the decision, then commit all.
+
+        If any branch fails to prepare (e.g. an SSI pre-commit check
+        fires there), every branch is rolled back and the error is
+        re-raised: atomicity across databases.
+        """
+        self._check_active()
+        prepared: List[str] = []
+        try:
+            for name, session in self.sessions.items():
+                if session.in_transaction():
+                    session.prepare_transaction(self._branch_gid(name))
+                    prepared.append(name)
+        except ReproError:
+            for name in prepared:
+                self.coordinator.databases[name].rollback_prepared(
+                    self._branch_gid(name))
+            for session in self.sessions.values():
+                if session.in_transaction():
+                    session.rollback()
+            self._finished = True
+            self.coordinator.log.append((self.gid, Decision.ABORTED))
+            raise
+        # The decision record is the commit point: branches prepared
+        # after this line are committed even across a coordinator crash.
+        self.coordinator.log.append((self.gid, Decision.COMMITTED))
+        for name in prepared:
+            self.coordinator.databases[name].commit_prepared(
+                self._branch_gid(name))
+        self._finished = True
+
+    def rollback(self) -> None:
+        self._check_active()
+        for session in self.sessions.values():
+            if session.in_transaction():
+                session.rollback()
+        self.coordinator.log.append((self.gid, Decision.ABORTED))
+        self._finished = True
+
+    def _branch_gid(self, name: str) -> str:
+        return f"{self.gid}:{name}"
+
+    def _check_active(self) -> None:
+        if self._finished:
+            raise InvalidTransactionStateError(
+                f"distributed transaction {self.gid} already finished")
+
+
+class Coordinator:
+    """Drives distributed transactions over named databases."""
+
+    def __init__(self, databases: Dict[str, "object"]) -> None:
+        self.databases = dict(databases)
+        #: Durable decision log: (gid, decision), append-only.
+        self.log: List = []
+        self._next_gid = 1
+
+    def transaction(self, gid: Optional[str] = None,
+                    isolation: IsolationLevel =
+                    IsolationLevel.SERIALIZABLE) -> DistributedTransaction:
+        if gid is None:
+            gid = f"dtx{self._next_gid}"
+            self._next_gid += 1
+        return DistributedTransaction(self, gid, isolation)
+
+    def decision_for(self, gid: str) -> Optional[Decision]:
+        for logged_gid, decision in reversed(self.log):
+            if logged_gid == gid:
+                return decision
+        return None
+
+    def recover(self) -> Dict[str, str]:
+        """Resolve in-doubt branches after a crash.
+
+        Presumed abort: a prepared branch whose gid has a logged COMMIT
+        decision is committed; any other prepared branch of ours is
+        rolled back (the coordinator never logged the commit point, so
+        no branch can have committed).
+        """
+        actions: Dict[str, str] = {}
+        for name, db in self.databases.items():
+            for branch_gid in db.prepared_gids():
+                gid, _, participant = branch_gid.partition(":")
+                if participant != name:
+                    continue  # not one of ours
+                if self.decision_for(gid) is Decision.COMMITTED:
+                    db.commit_prepared(branch_gid)
+                    actions[branch_gid] = "committed"
+                else:
+                    db.rollback_prepared(branch_gid)
+                    actions[branch_gid] = "rolled back"
+        return actions

@@ -1,0 +1,402 @@
+"""The Database: shared state and transaction lifecycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.config import EngineConfig
+from repro.engine.executor import Executor
+from repro.engine.isolation import IsolationLevel
+from repro.engine.transaction import Transaction, TxnStatus
+from repro.errors import (DuplicateIndexError, DuplicateTableError,
+                          InvalidTransactionStateError, UndefinedIndexError,
+                          UndefinedTableError)
+from repro.index import BTreeIndex, HashIndex
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode
+from repro.mvcc.clog import CommitLog
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.xid import XidAllocator
+from repro.replication.wal import CommitRecord
+from repro.ssi.manager import SSIManager
+from repro.storage.buffer import BufferManager
+from repro.storage.relation import Relation
+from repro.waits import SafeSnapshotWait
+
+
+@dataclass
+class EngineStats:
+    """Operational counters (benchmark inputs)."""
+
+    begins: int = 0
+    commits: int = 0
+    aborts: int = 0
+    statements: int = 0
+    tuples_read: int = 0
+    tuples_written: int = 0
+    serialization_failures: int = 0
+    deadlocks: int = 0
+    update_conflicts: int = 0
+    snapshots_taken: int = 0
+    deferrable_retries: int = 0
+
+
+class Database:
+    """One database instance: catalog plus all shared managers.
+
+    Thread-unsafe by design: concurrency is expressed through multiple
+    sessions driven by the deterministic scheduler (repro.sim), which
+    interleaves their statements; statements suspend on wait conditions
+    rather than blocking the process.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.clog = CommitLog()
+        self.xids = XidAllocator()
+        self.lockmgr = LockManager()
+        self.ssi = SSIManager(self.config.ssi, self.clog)
+        self.buffer = BufferManager(self.config.buffer_pages)
+        self.stats = EngineStats()
+        self.executor = Executor(self)
+        self._relations: Dict[str, Relation] = {}
+        self._next_oid = 1
+        #: Active transactions (including prepared ones) by top xid.
+        self._active: Dict[int, Transaction] = {}
+        #: Prepared transactions by global identifier (section 7.1).
+        self._prepared: Dict[str, Transaction] = {}
+        self._next_session_id = 1
+        #: Logical WAL stream consumed by replication (section 7.2).
+        self.wal: List[CommitRecord] = []
+        #: Optional history recorder (repro.verify).
+        self.recorder = None
+        if self.config.record_history:
+            from repro.verify.history import HistoryRecorder
+            self.recorder = HistoryRecorder()
+
+    # ------------------------------------------------------------------
+    # catalog / DDL
+    # ------------------------------------------------------------------
+    def _alloc_oid(self) -> int:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     key: Optional[str] = None) -> Relation:
+        """Create a table; ``key`` adds a unique B+-tree primary index.
+
+        Setup-time operation: assumes no concurrent transactions (as
+        does create_index), matching how the benchmarks load data.
+        """
+        if name in self._relations:
+            raise DuplicateTableError(f"relation {name!r} already exists")
+        rel = Relation(self._alloc_oid(), name, columns,
+                       self.config.heap_page_size)
+        self._relations[name] = rel
+        if key is not None:
+            self.create_index(name, key, name=f"{name}_pkey", unique=True)
+        return rel
+
+    def drop_table(self, name: str) -> None:
+        rel = self.relation(name)
+        del self._relations[name]
+        # Outstanding SIREAD locks on a dropped table can never
+        # conflict again (the oid is never reused).
+
+    def create_index(self, table: str, column: str, *,
+                     name: Optional[str] = None, unique: bool = False,
+                     using: str = "btree"):
+        rel = self.relation(table)
+        index_name = name or f"{table}_{column}_{using}_idx"
+        if index_name in rel.indexes:
+            raise DuplicateIndexError(f"index {index_name!r} already exists")
+        oid = self._alloc_oid()
+        if using == "btree":
+            index = BTreeIndex(oid, index_name, column,
+                               unique=unique, page_size=self.config.btree_page_size)
+        elif using == "hash":
+            index = HashIndex(oid, index_name, column, unique=unique)
+        elif using == "gist":
+            from repro.index.gist import GiSTIndex
+            index = GiSTIndex(oid, index_name, column, unique=unique,
+                              node_size=self.config.btree_page_size // 4)
+        else:
+            raise ValueError(f"unknown index access method {using!r}")
+        # Build from every non-dead heap version.
+        for tup in rel.heap.scan():
+            if not self.clog.did_abort(tup.xmin):
+                index.insert_entry(tup.data.get(column), tup.tid)
+        rel.add_index(index)
+        return index
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UndefinedTableError(f"relation {name!r} does not exist") from None
+
+    def relations(self) -> Dict[str, Relation]:
+        return dict(self._relations)
+
+    def index_by_name(self, name: str):
+        for rel in self._relations.values():
+            if name in rel.indexes:
+                return rel, rel.indexes[name]
+        raise UndefinedIndexError(f"index {name!r} does not exist")
+
+    # ------------------------------------------------------------------
+    # sessions and snapshots
+    # ------------------------------------------------------------------
+    def session(self, default_isolation: IsolationLevel =
+                IsolationLevel.READ_COMMITTED):
+        from repro.engine.session import Session
+        sid = self._next_session_id
+        self._next_session_id += 1
+        return Session(self, sid, default_isolation)
+
+    def take_snapshot(self) -> Snapshot:
+        """The set of transactions whose effects are visible
+        (section 5.1): everything not in progress right now."""
+        self.stats.snapshots_taken += 1
+        xip = set()
+        for txn in self._active.values():
+            xip.update(txn.all_xids)
+        xmin = min((txn.xid for txn in self._active.values()),
+                   default=self.xids.next_xid)
+        return Snapshot(xmin=xmin, xmax=self.xids.next_xid,
+                        xip=frozenset(xip))
+
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    # ------------------------------------------------------------------
+    # transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin_gen(self, isolation: IsolationLevel, *, read_only: bool,
+                  deferrable: bool) -> Iterator:
+        """Start a transaction; yields SafeSnapshotWait while a
+        DEFERRABLE transaction waits for a safe snapshot (section 4.3),
+        retrying with fresh snapshots until one is proven safe."""
+        if deferrable and not read_only:
+            raise InvalidTransactionStateError(
+                "DEFERRABLE requires READ ONLY")
+        while True:
+            xid = self.xids.assign()
+            self.clog.register(xid)
+            self.lockmgr.acquire(xid, ("xid", xid), LockMode.EXCLUSIVE)
+            snapshot = self.take_snapshot()
+            txn = Transaction(xid, isolation, snapshot, read_only=read_only,
+                              deferrable=deferrable)
+            self._active[xid] = txn
+            self.stats.begins += 1
+            if self.recorder is not None:
+                self.recorder.on_begin(xid, snapshot, isolation)
+            if isolation.uses_ssi:
+                sx = self.ssi.begin(xid, snapshot, read_only=read_only,
+                                    deferrable=deferrable)
+                txn.sxact = sx
+                if deferrable and not sx.ro_safe:
+                    while not (sx.ro_safe or sx.ro_unsafe):
+                        yield SafeSnapshotWait(sx)
+                    if not sx.ro_safe:
+                        # Unsafe: give up this snapshot and retry with
+                        # a new one (section 4.3).
+                        self.stats.deferrable_retries += 1
+                        self._discard_txn(txn)
+                        continue
+            return txn
+
+    def _discard_txn(self, txn: Transaction) -> None:
+        if txn.sxact is not None:
+            self.ssi.abort(txn.sxact)
+        self.clog.set_aborted(txn.live_xids())
+        self.lockmgr.release_all(txn.xid)
+        self._active.pop(txn.xid, None)
+
+    def commit_txn(self, txn: Transaction) -> None:
+        """Commit; raises SerializationFailure (and aborts the
+        transaction) if the pre-commit dangerous-structure check fails
+        (section 5.4, commit-time rule)."""
+        if txn.status not in (TxnStatus.ACTIVE, TxnStatus.PREPARED):
+            raise InvalidTransactionStateError(
+                f"cannot commit transaction in state {txn.status.value}")
+        if txn.sxact is not None and txn.status is not TxnStatus.PREPARED:
+            try:
+                self.ssi.precommit_check(txn.sxact)
+            except Exception:
+                self.abort_txn(txn)
+                raise
+        self.clog.set_committed(txn.live_xids())
+        txn.status = TxnStatus.COMMITTED
+        if txn.sxact is not None:
+            self.ssi.commit(txn.sxact)
+        self._active.pop(txn.xid, None)
+        self.lockmgr.release_all(txn.xid)
+        self.stats.commits += 1
+        if txn.wal_changes or not txn.read_only:
+            self.wal.append(CommitRecord(
+                xid=txn.xid, changes=list(txn.wal_changes),
+                safe_snapshot_marker=self._snapshot_now_safe()))
+        if self.recorder is not None:
+            self.recorder.on_commit(txn.xid)
+
+    def abort_txn(self, txn: Transaction) -> None:
+        if txn.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            return
+        self.clog.set_aborted(txn.live_xids())
+        txn.status = TxnStatus.ABORTED
+        if txn.sxact is not None:
+            self.ssi.abort(txn.sxact)
+        self._active.pop(txn.xid, None)
+        if txn.gid is not None:
+            self._prepared.pop(txn.gid, None)
+        self.lockmgr.release_all(txn.xid)
+        self.stats.aborts += 1
+        if self.recorder is not None:
+            self.recorder.on_abort(txn.xid)
+
+    def _snapshot_now_safe(self) -> bool:
+        """Would a snapshot taken right now be safe? True when no
+        read/write serializable transaction is active -- the marker the
+        master adds to the log stream for replicas (section 7.2)."""
+        return not any(not sx.declared_read_only
+                       for sx in self.ssi.active_sxacts())
+
+    # ------------------------------------------------------------------
+    # two-phase commit (section 7.1)
+    # ------------------------------------------------------------------
+    def prepare_txn(self, txn: Transaction, gid: str) -> None:
+        if txn.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionStateError(
+                f"cannot prepare transaction in state {txn.status.value}")
+        if gid in self._prepared:
+            raise InvalidTransactionStateError(
+                f"prepared transaction {gid!r} already exists")
+        if txn.sxact is not None:
+            try:
+                # The pre-commit check must happen before PREPARE: a
+                # prepared transaction can never be aborted afterwards.
+                self.ssi.prepare(txn.sxact)
+            except Exception:
+                self.abort_txn(txn)
+                raise
+            # "Persist" SIREAD locks so they survive a crash.
+            txn.persisted_siread = self.ssi.lockmgr.targets_held(txn.sxact)
+        txn.status = TxnStatus.PREPARED
+        txn.gid = gid
+        self._prepared[gid] = txn
+
+    def commit_prepared(self, gid: str) -> None:
+        txn = self._get_prepared(gid)
+        del self._prepared[gid]
+        self.commit_txn(txn)
+
+    def rollback_prepared(self, gid: str) -> None:
+        txn = self._get_prepared(gid)
+        txn.status = TxnStatus.ACTIVE  # make abortable
+        if txn.sxact is not None:
+            txn.sxact.prepared = False
+        self.abort_txn(txn)
+
+    def _get_prepared(self, gid: str) -> Transaction:
+        try:
+            return self._prepared[gid]
+        except KeyError:
+            raise InvalidTransactionStateError(
+                f"prepared transaction {gid!r} does not exist") from None
+
+    def prepared_gids(self) -> List[str]:
+        return sorted(self._prepared)
+
+    def simulate_crash_recovery(self) -> None:
+        """Crash: lose all in-RAM state; recover from "disk" (the heap,
+        clog, and persisted prepared-transaction records).
+
+        Active transactions are aborted. Prepared transactions survive
+        with their SIREAD locks, but the dependency graph is gone, so
+        they are conservatively assumed to have rw-antidependencies
+        both in and out (section 7.1).
+        """
+        for txn in list(self._active.values()):
+            if txn.status is not TxnStatus.PREPARED:
+                self.abort_txn(txn)
+        self.lockmgr = LockManager()
+        self.ssi = SSIManager(self.config.ssi, self.clog)
+        for txn in self._active.values():  # prepared survivors
+            self.lockmgr.acquire(txn.xid, ("xid", txn.xid),
+                                 LockMode.EXCLUSIVE)
+            sx = self.ssi.register_recovered_prepared(txn.xid, txn.snapshot)
+            for target in getattr(txn, "persisted_siread", ()):  # from disk
+                self.ssi.lockmgr._add(sx, target)
+            txn.sxact = sx
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def vacuum(self, table: Optional[str] = None) -> int:
+        """Remove dead tuple versions and their index entries."""
+        horizon = min((txn.snapshot.xmin for txn in self._active.values()
+                       if txn.snapshot is not None),
+                      default=self.xids.next_xid)
+        removed_total = 0
+        rels = ([self.relation(table)] if table
+                else list(self._relations.values()))
+        for rel in rels:
+            removed = rel.heap.vacuum(horizon, self.clog)
+            removed_total += len(removed)
+            for tup in removed:
+                for index in rel.indexes.values():
+                    index.remove_entry(tup.data.get(index.column), tup.tid)
+        return removed_total
+
+    # ------------------------------------------------------------------
+    # cost-model inputs (repro.sim)
+    # ------------------------------------------------------------------
+    def work_counters(self) -> Dict[str, float]:
+        return {
+            "tuples_read": self.stats.tuples_read,
+            "tuples_written": self.stats.tuples_written,
+            "hw_lock_work": self.lockmgr.work_units,
+            "ssi_lock_work": self.ssi.work_units,
+            "io_misses": self.buffer.misses,
+            "txns": self.stats.begins + self.stats.commits + self.stats.aborts,
+            "deadlocks": self.lockmgr.deadlocks_detected,
+        }
+
+    # ------------------------------------------------------------------
+    # monitoring views (pg_stat_activity / pg_locks style)
+    # ------------------------------------------------------------------
+    def stat_activity(self):
+        from repro.engine import introspection
+        return introspection.stat_activity(self)
+
+    def lock_status(self):
+        from repro.engine import introspection
+        return introspection.lock_status(self)
+
+    def siread_locks(self):
+        from repro.engine import introspection
+        return introspection.siread_locks(self)
+
+    def prepared_xacts(self):
+        from repro.engine import introspection
+        return introspection.prepared_xacts(self)
+
+    def ssi_summary(self):
+        from repro.engine import introspection
+        return introspection.ssi_summary(self)
+
+    # ------------------------------------------------------------------
+    # recorder hooks
+    # ------------------------------------------------------------------
+    def record_read(self, txn: Transaction, rel, pred, tuples) -> None:
+        if self.recorder is not None:
+            self.recorder.on_read(txn.xid, rel.oid, pred,
+                                  [t.tid for t in tuples],
+                                  self.take_snapshot())
+
+    def record_write(self, txn: Transaction, rel, kind: str, old, new) -> None:
+        if self.recorder is not None:
+            self.recorder.on_write(txn.xid, rel.oid, kind, old, new)

@@ -1,0 +1,85 @@
+"""Monitoring views, in the style of PostgreSQL's system catalogs.
+
+Operational visibility was part of what made the 9.1 feature shippable;
+these functions render the engine's live state the way a DBA would see
+it in ``pg_stat_activity``, ``pg_locks``, ``pg_prepared_xacts``, and
+the SSI-specific ``pg_stat_ssi``-style counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.engine.transaction import TxnStatus
+
+
+def stat_activity(db) -> List[Dict[str, Any]]:
+    """One row per transaction in progress (pg_stat_activity)."""
+    rows = []
+    for txn in sorted(db.active_transactions(), key=lambda t: t.xid):
+        sx = txn.sxact
+        rows.append({
+            "xid": txn.xid,
+            "isolation": txn.isolation.value,
+            "status": txn.status.value,
+            "read_only": txn.read_only,
+            "deferrable": txn.deferrable,
+            "snapshot_xmin": txn.snapshot.xmin if txn.snapshot else None,
+            "snapshot_xmax": txn.snapshot.xmax if txn.snapshot else None,
+            "subxact_depth": len(txn.subxacts),
+            "doomed": bool(sx and sx.doomed),
+            "safe_snapshot": bool(sx and sx.ro_safe),
+        })
+    return rows
+
+
+def lock_status(db) -> List[Dict[str, Any]]:
+    """Heavyweight locks: granted holds and queued waiters (pg_locks)."""
+    rows = []
+    for tag, entry in db.lockmgr._table.items():
+        for (owner, mode), count in entry.granted.items():
+            if count > 0:
+                rows.append({"tag": tag, "mode": mode.value,
+                             "owner_xid": owner, "granted": True})
+        for request in entry.queue:
+            rows.append({"tag": tag, "mode": request.mode.value,
+                         "owner_xid": request.owner, "granted": False})
+    rows.sort(key=lambda r: (str(r["tag"]), r["owner_xid"]))
+    return rows
+
+
+def siread_locks(db) -> List[Dict[str, Any]]:
+    """SIREAD predicate locks by target (pg_locks mode=SIReadLock)."""
+    rows = []
+    for target, holders in db.ssi.lockmgr._locks.items():
+        for holder in holders:
+            rows.append({"target": target, "holder_xid": holder.xid,
+                         "holder_committed": holder.committed})
+    for target, seq in db.ssi.lockmgr.summary_targets().items():
+        rows.append({"target": target, "holder_xid": None,
+                     "holder_committed": True, "summary_commit_seq": seq})
+    rows.sort(key=lambda r: str(r["target"]))
+    return rows
+
+
+def prepared_xacts(db) -> List[Dict[str, Any]]:
+    """Prepared two-phase transactions (pg_prepared_xacts)."""
+    return [{"gid": gid, "xid": txn.xid}
+            for gid, txn in sorted(db._prepared.items())]
+
+
+def ssi_summary(db) -> Dict[str, Any]:
+    """SSI bookkeeping at a glance (what a pg_stat_ssi view would show)."""
+    ssi = db.ssi
+    return {
+        "active_sxacts": len(ssi.active_sxacts()),
+        "committed_retained": len(ssi.committed_retained()),
+        "summarized_xids": len(ssi.old_serxid_table()),
+        "siread_locks": ssi.lockmgr.lock_count,
+        "siread_locks_peak": ssi.lockmgr.peak_lock_count,
+        "conflicts_flagged": ssi.stats.conflicts_flagged,
+        "dangerous_structures": ssi.stats.dangerous_structures,
+        "doomed": ssi.stats.doomed,
+        "safe_snapshots": ssi.stats.safe_snapshots,
+        "unsafe_snapshots": ssi.stats.unsafe_snapshots,
+    }

@@ -1,0 +1,250 @@
+"""Structured WHERE-clause predicates.
+
+Structured (rather than lambda-only) predicates let the planner choose
+index scans, which in turn drives the predicate-locking behaviour the
+paper evaluates: an index scan SIREAD-locks only the B+-tree pages it
+visits, while a sequential scan locks the whole relation. ``Func``
+predicates force a sequential scan.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class IndexRange:
+    """A sargable single-column restriction extracted from a predicate."""
+
+    column: str
+    lo: Optional[Any]
+    hi: Optional[Any]
+    lo_incl: bool = True
+    hi_incl: bool = True
+    #: Interval-overlap restriction (GiST): the column holds (lo, hi)
+    #: intervals and the query asks for overlap with [lo, hi].
+    overlap: bool = False
+
+    @property
+    def is_equality(self) -> bool:
+        return (self.lo is not None and self.lo == self.hi
+                and self.lo_incl and self.hi_incl and not self.overlap)
+
+
+class Predicate(abc.ABC):
+    """Boolean expression over a row."""
+
+    @abc.abstractmethod
+    def matches(self, row: Row) -> bool:
+        """Evaluate against a row (dict of column values)."""
+
+    def index_range(self) -> Optional[IndexRange]:
+        """A restriction usable for an index scan, if any."""
+        return None
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+
+class AlwaysTrue(Predicate):
+    """Matches every row (full-table operations)."""
+
+    def matches(self, row: Row) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) == self.value
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, self.value, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Ne(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) != self.value
+
+    def __repr__(self) -> str:
+        return f"{self.column} <> {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Lt(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        v = row.get(self.column)
+        return v is not None and v < self.value
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, None, self.value, hi_incl=False)
+
+    def __repr__(self) -> str:
+        return f"{self.column} < {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Le(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        v = row.get(self.column)
+        return v is not None and v <= self.value
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, None, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.column} <= {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Gt(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        v = row.get(self.column)
+        return v is not None and v > self.value
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, self.value, None, lo_incl=False)
+
+    def __repr__(self) -> str:
+        return f"{self.column} > {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Ge(Predicate):
+    column: str
+    value: Any
+
+    def matches(self, row: Row) -> bool:
+        v = row.get(self.column)
+        return v is not None and v >= self.value
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, self.value, None)
+
+    def __repr__(self) -> str:
+        return f"{self.column} >= {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    column: str
+    lo: Any
+    hi: Any
+
+    def matches(self, row: Row) -> bool:
+        v = row.get(self.column)
+        return v is not None and self.lo <= v <= self.hi
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return f"{self.column} BETWEEN {self.lo!r} AND {self.hi!r}"
+
+
+@dataclass(frozen=True)
+class Overlaps(Predicate):
+    """Interval overlap: the column holds (lo, hi) tuples (or scalars,
+    treated as degenerate intervals) and the row matches when its
+    interval intersects [lo, hi]. Sargable through GiST indexes."""
+
+    column: str
+    lo: Any
+    hi: Any
+
+    def matches(self, row: Row) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            a, b = value
+            if b < a:
+                a, b = b, a
+        else:
+            a = b = value
+        return a <= self.hi and self.lo <= b
+
+    def index_range(self) -> Optional[IndexRange]:
+        return IndexRange(self.column, self.lo, self.hi, overlap=True)
+
+    def __repr__(self) -> str:
+        return f"{self.column} && [{self.lo!r}, {self.hi!r}]"
+
+
+class And(Predicate):
+    """Conjunction; the first sargable conjunct drives index choice,
+    the rest are applied as filters."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Sequence[Predicate] = predicates
+
+    def matches(self, row: Row) -> bool:
+        return all(p.matches(row) for p in self.predicates)
+
+    def index_range(self) -> Optional[IndexRange]:
+        for pred in self.predicates:
+            rng = pred.index_range()
+            if rng is not None:
+                return rng
+        return None
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.predicates) + ")"
+
+
+class Or(Predicate):
+    """Disjunction; never sargable (forces a sequential scan)."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        self.predicates: Sequence[Predicate] = predicates
+
+    def matches(self, row: Row) -> bool:
+        return any(p.matches(row) for p in self.predicates)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.predicates) + ")"
+
+
+class Func(Predicate):
+    """Arbitrary Python filter; forces a sequential scan (the
+    "ad hoc query" case of paper section 2.2)."""
+
+    def __init__(self, fn: Callable[[Row], bool],
+                 description: str = "<func>") -> None:
+        self._fn = fn
+        self._description = description
+
+    def matches(self, row: Row) -> bool:
+        return bool(self._fn(row))
+
+    def __repr__(self) -> str:
+        return self._description

@@ -1,0 +1,106 @@
+"""Per-transaction runtime state."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.visibility import TxnView
+from repro.ssi.sxact import SerializableXact
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    #: A statement failed; only ROLLBACK (TO SAVEPOINT) is accepted, as
+    #: in PostgreSQL ("current transaction is aborted").
+    FAILED = "failed"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Subtransaction:
+    """A savepoint frame: its own xid, linked to the parent via the
+    commit log's subtrans map (paper section 7.3).
+
+    ``merged`` holds xids of released (committed) child subtransactions:
+    their fate follows this frame -- committed with it, or aborted if
+    this frame is rolled back.
+    """
+
+    __slots__ = ("name", "xid", "merged")
+
+    def __init__(self, name: str, xid: int) -> None:
+        self.name = name
+        self.xid = xid
+        self.merged: List[int] = []
+
+
+class Transaction:
+    """State of one top-level transaction."""
+
+    def __init__(self, xid: int, isolation: IsolationLevel,
+                 snapshot: Optional[Snapshot], *, read_only: bool = False,
+                 deferrable: bool = False) -> None:
+        self.xid = xid
+        self.isolation = isolation
+        self.snapshot = snapshot
+        self.read_only = read_only
+        self.deferrable = deferrable
+        self.status = TxnStatus.ACTIVE
+        #: Command counter; incremented before every statement so each
+        #: command sees earlier commands' writes but not its own.
+        self.curcid = 0
+        #: SSI state (SERIALIZABLE transactions only).
+        self.sxact: Optional[SerializableXact] = None
+        #: Open savepoints, outermost first.
+        self.subxacts: List[Subtransaction] = []
+        #: Xids of released subtransactions merged into the top level.
+        self.merged_subs: List[int] = []
+        #: All xids ever assigned to this transaction (top + every
+        #: subxact, including rolled-back ones, which the commit log
+        #: reports aborted).
+        self.all_xids: Set[int] = {xid}
+        #: Logical change stream for WAL shipping:
+        #: (kind, relation name, old row or None, new row or None).
+        self.wal_changes: List[Tuple[str, str, Optional[Dict[str, Any]],
+                                     Optional[Dict[str, Any]]]] = []
+        #: Two-phase commit global identifier once prepared.
+        self.gid: Optional[str] = None
+
+    # -- xid helpers --------------------------------------------------------
+    @property
+    def current_xid(self) -> int:
+        """The xid new tuple writes are stamped with: the innermost
+        open subtransaction, or the top-level xid."""
+        return self.subxacts[-1].xid if self.subxacts else self.xid
+
+    @property
+    def in_subxact(self) -> bool:
+        return bool(self.subxacts)
+
+    def view(self) -> TxnView:
+        """Visibility identity for tuple_visibility: every xid we ever
+        used (the commit log filters rolled-back subxacts)."""
+        return TxnView(xids=self.all_xids, curcid=self.curcid)
+
+    def live_xids(self) -> List[int]:
+        """Top-level xid, merged (released) subxact xids, and
+        currently-open subxact xids: the set to mark committed."""
+        xids = [self.xid] + list(self.merged_subs)
+        for sub in self.subxacts:
+            xids.append(sub.xid)
+            xids.extend(sub.merged)
+        return xids
+
+    # -- statement lifecycle --------------------------------------------------
+    def start_statement(self, snapshot: Optional[Snapshot] = None) -> None:
+        self.curcid += 1
+        if snapshot is not None:
+            self.snapshot = snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Txn {self.xid} {self.isolation.value} "
+                f"{self.status.value}>")

@@ -1,0 +1,127 @@
+"""Exception hierarchy for the SSI reproduction engine.
+
+The error classes mirror the SQLSTATE classes PostgreSQL uses for the
+corresponding conditions, so tests and applications can react to the
+same distinctions the paper discusses (serialization failures that merit
+a retry, deadlocks, read-only violations, capacity errors).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for all engine errors."""
+
+    sqlstate = "XX000"
+
+
+class UserError(ReproError):
+    """Errors caused by incorrect API usage (not by concurrency)."""
+
+    sqlstate = "22000"
+
+
+class UndefinedTableError(UserError):
+    sqlstate = "42P01"
+
+
+class DuplicateTableError(UserError):
+    sqlstate = "42P07"
+
+
+class UndefinedIndexError(UserError):
+    sqlstate = "42704"
+
+
+class DuplicateIndexError(UserError):
+    sqlstate = "42P07"
+
+
+class UndefinedColumnError(UserError):
+    sqlstate = "42703"
+
+
+class UniqueViolationError(UserError):
+    sqlstate = "23505"
+
+
+class InvalidTransactionStateError(UserError):
+    sqlstate = "25000"
+
+
+class ReadOnlyTransactionError(UserError):
+    """Write attempted in a transaction declared READ ONLY."""
+
+    sqlstate = "25006"
+
+
+class FeatureNotSupportedError(UserError):
+    """For example: SERIALIZABLE transactions on a streaming replica
+    without a safe snapshot (paper section 7.2)."""
+
+    sqlstate = "0A000"
+
+
+class RetryableError(ReproError):
+    """Errors for which the paper assumes a middleware retry layer
+    (section 3.3: "users must already be prepared to handle transactions
+    aborted by serialization failures")."""
+
+
+class SerializationFailure(RetryableError):
+    """Could not serialize access (SQLSTATE 40001).
+
+    Raised when SSI detects a dangerous structure (section 3.3), when a
+    snapshot-isolation transaction loses a first-updater-wins conflict
+    ("could not serialize access due to concurrent update"), or when a
+    transaction was marked DOOMED by another session's commit (the safe
+    retry rules of section 5.4).
+    """
+
+    sqlstate = "40001"
+
+    def __init__(self, message: str, *, pivot_xid: Optional[int] = None,
+                 reason: str = "dangerous structure") -> None:
+        super().__init__(message)
+        self.pivot_xid = pivot_xid
+        self.reason = reason
+
+
+class DeadlockDetected(RetryableError):
+    """Deadlock among blocking lock waits (SQLSTATE 40P01).
+
+    Only blocking modes (snapshot-isolation write locks and the S2PL
+    baseline) can deadlock; SIREAD locks never block (section 5.2.1).
+    """
+
+    sqlstate = "40P01"
+
+
+class CapacityExceededError(ReproError):
+    """Out of (simulated) shared memory (SQLSTATE 53200).
+
+    Section 6 requires the implementation to degrade gracefully via
+    granularity promotion and summarization before ever raising this;
+    hitting it indicates the configured lock table is too small even for
+    maximally-promoted locks.
+    """
+
+    sqlstate = "53200"
+
+
+class WouldBlock(Exception):
+    """Internal control-flow signal: the current statement must wait.
+
+    Not an error. Carries the executor generator so the statement can be
+    resumed exactly where it suspended once the wait condition clears.
+    The deterministic scheduler (repro.sim) handles this transparently;
+    direct callers (unit tests) may catch it and call ``resume()`` on
+    the session after resolving the conflict.
+    """
+
+    def __init__(self, condition: "object", session: "object" = None) -> None:
+        super().__init__(f"would block on {condition!r}")
+        self.condition = condition
+        self.session = session

@@ -1,0 +1,23 @@
+"""Index access methods.
+
+Two built-in AMs, mirroring the paper's section 7.4:
+
+* B+-tree (repro.index.btree): page-structured so that predicate reads
+  can take SIREAD locks on the leaf pages they visit -- including the
+  page where a key *would* be, which is how phantoms are detected
+  (index-range locking at page granularity, section 5.2.1). Page splits
+  report the (old, new) page pair so the SSI lock manager can copy
+  predicate locks to the new page.
+* Hash (repro.index.hashidx): declares
+  ``supports_predicate_locks = False``; scans through it fall back to a
+  relation-level SIREAD lock on the index, exactly the coarse fallback
+  the paper describes for AMs without predicate-lock support.
+"""
+
+from repro.index.base import IndexAM, InsertResult, ScanResult
+from repro.index.btree import BTreeIndex
+from repro.index.gist import GiSTIndex
+from repro.index.hashidx import HashIndex
+
+__all__ = ["IndexAM", "InsertResult", "ScanResult", "BTreeIndex",
+           "GiSTIndex", "HashIndex"]

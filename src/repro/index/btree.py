@@ -1,0 +1,290 @@
+"""Page-structured B+-tree index.
+
+Entries are (key, tid) pairs kept sorted in leaf pages; leaves are
+chained left-to-right. Every node carries a stable page number so that
+SIREAD locks can target ('index page', oid, page_no) -- the paper's
+index-range locking at page granularity (section 5.2.1). Splits never
+move a page number; the new right sibling gets a fresh one and the
+split is reported so predicate locks can be copied to it.
+
+Keys must be mutually comparable (ints, strings, or homogeneous
+tuples). Duplicate keys are supported; (key, tid) pairs are unique.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.index.base import IndexAM, InsertResult, ScanResult
+from repro.storage.tuple import TID
+
+
+class _Node:
+    __slots__ = ("page_no",)
+
+    def __init__(self, page_no: int) -> None:
+        self.page_no = page_no
+
+
+class _Leaf(_Node):
+    __slots__ = ("entries", "next_leaf")
+
+    def __init__(self, page_no: int) -> None:
+        super().__init__(page_no)
+        self.entries: List[Tuple[Any, TID]] = []
+        self.next_leaf: Optional["_Leaf"] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("separators", "children")
+
+    def __init__(self, page_no: int) -> None:
+        super().__init__(page_no)
+        #: child[i] holds keys < separators[i] <= child[i+1] keys.
+        self.separators: List[Any] = []
+        self.children: List[_Node] = []
+
+
+def _bisect_left(entries: List[Tuple[Any, TID]], key: Any) -> int:
+    lo, hi = 0, len(entries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if entries[mid][0] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(entries: List[Tuple[Any, TID]], key: Any) -> int:
+    lo, hi = 0, len(entries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < entries[mid][0]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class BTreeIndex(IndexAM):
+    """B+-tree access method; the only built-in AM with predicate-lock
+    support, as in PostgreSQL 9.1 (paper section 7.4)."""
+
+    supports_predicate_locks = True
+    supports_key_locking = True
+
+    def __init__(self, oid: int, name: str, column: str,
+                 unique: bool = False, page_size: int = 32) -> None:
+        super().__init__(oid, name, column, unique)
+        self.page_size = max(4, page_size)
+        self._next_page = 0
+        self._root: _Node = self._new_leaf()
+        self._count = 0
+
+    # -- node construction ------------------------------------------------
+    def _new_page_no(self) -> int:
+        self._next_page += 1
+        return self._next_page - 1
+
+    def _new_leaf(self) -> _Leaf:
+        return _Leaf(self._new_page_no())
+
+    # -- descent ------------------------------------------------------------
+    def _descend(self, key: Any) -> Tuple[_Leaf, List[_Internal]]:
+        """Find the leftmost leaf that can hold ``key``.
+
+        Descends left on separator equality: duplicate keys may straddle
+        a split boundary, so readers must start at the leftmost
+        candidate leaf and walk right along the leaf chain.
+        """
+        path: List[_Internal] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            path.append(node)
+            idx = 0
+            while idx < len(node.separators) and node.separators[idx] < key:
+                idx += 1
+            node = node.children[idx]
+        assert isinstance(node, _Leaf)
+        return node, path
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node  # type: ignore[return-value]
+
+    # -- mutation --------------------------------------------------------------
+    def insert_entry(self, key: Any, tid: TID) -> InsertResult:
+        result = InsertResult(key=key)
+        leaf, path = self._descend(key)
+        entry = (key, tid)
+        pos = _bisect_left(leaf.entries, key)
+        (result.key_existed, result.successor_key,
+         result.has_successor) = self._gap_info(leaf, pos, key)
+        # Skip exact duplicates of (key, tid).
+        scan = pos
+        while scan < len(leaf.entries) and leaf.entries[scan][0] == key:
+            if leaf.entries[scan][1] == tid:
+                result.leaf_pages.append(leaf.page_no)
+                return result
+            scan += 1
+        leaf.entries.insert(pos, entry)
+        self._count += 1
+        result.leaf_pages.append(leaf.page_no)
+        if len(leaf.entries) > self.page_size:
+            self._split_leaf(leaf, path, result)
+        return result
+
+    @staticmethod
+    def _gap_info(leaf: _Leaf, pos: int, key: Any):
+        """(key already present?, smallest existing key > key or None,
+        such a key exists?) -- the next-key information guarding the
+        gap an insert of ``key`` lands in."""
+        existed = False
+        node: Optional[_Leaf] = leaf
+        idx = pos
+        while node is not None:
+            while idx < len(node.entries):
+                entry_key = node.entries[idx][0]
+                if entry_key == key:
+                    existed = True
+                    idx += 1
+                    continue
+                return existed, entry_key, True
+            node = node.next_leaf
+            idx = 0
+        return existed, None, False
+
+    def _split_leaf(self, leaf: _Leaf, path: List[_Internal],
+                    result: InsertResult) -> None:
+        mid = len(leaf.entries) // 2
+        right = self._new_leaf()
+        right.entries = leaf.entries[mid:]
+        leaf.entries = leaf.entries[:mid]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        result.splits.append((leaf.page_no, right.page_no))
+        self._insert_into_parent(leaf, right.entries[0][0], right, path)
+
+    def _insert_into_parent(self, left: _Node, sep: Any, right: _Node,
+                            path: List[_Internal]) -> None:
+        if not path:
+            new_root = _Internal(self._new_page_no())
+            new_root.separators = [sep]
+            new_root.children = [left, right]
+            self._root = new_root
+            return
+        parent = path[-1]
+        idx = parent.children.index(left)
+        parent.separators.insert(idx, sep)
+        parent.children.insert(idx + 1, right)
+        if len(parent.children) > self.page_size:
+            self._split_internal(parent, path[:-1])
+
+    def _split_internal(self, node: _Internal, path: List[_Internal]) -> None:
+        mid = len(node.children) // 2
+        right = _Internal(self._new_page_no())
+        push_up = node.separators[mid - 1]
+        right.separators = node.separators[mid:]
+        right.children = node.children[mid:]
+        node.separators = node.separators[:mid - 1]
+        node.children = node.children[:mid]
+        self._insert_into_parent(node, push_up, right, path)
+
+    def remove_entry(self, key: Any, tid: TID) -> None:
+        leaf, _ = self._descend(key)
+        # The entry may have drifted right across equal-key leaves.
+        while leaf is not None:
+            pos = _bisect_left(leaf.entries, key)
+            while pos < len(leaf.entries) and leaf.entries[pos][0] == key:
+                if leaf.entries[pos][1] == tid:
+                    leaf.entries.pop(pos)
+                    self._count -= 1
+                    return
+                pos += 1
+            if leaf.entries and key < leaf.entries[-1][0]:
+                return
+            leaf = leaf.next_leaf
+
+    # -- queries -------------------------------------------------------------
+    def search(self, key: Any) -> ScanResult:
+        return self.range_search(key, key)
+
+    def range_search(self, lo: Any, hi: Any, lo_incl: bool = True,
+                     hi_incl: bool = True) -> ScanResult:
+        result = ScanResult()
+        if lo is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+        else:
+            leaf, _ = self._descend(lo)
+        while leaf is not None:
+            result.visited_pages.append(leaf.page_no)
+            for key, tid in leaf.entries:
+                if lo is not None:
+                    if key < lo or (not lo_incl and key == lo):
+                        continue
+                if hi is not None:
+                    if hi < key or (not hi_incl and key == hi):
+                        # First key beyond the range: the next-key
+                        # guard of the rightmost scanned gap.
+                        result.next_key = key
+                        result.has_next = True
+                        self._set_guard_needed(result, hi, hi_incl)
+                        return result
+                result.tids.append(tid)
+                if not result.matched_keys or result.matched_keys[-1] != key:
+                    result.matched_keys.append(key)
+            leaf = leaf.next_leaf
+        # Range extends to +infinity (has_next False).
+        self._set_guard_needed(result, hi, hi_incl)
+        return result
+
+    @staticmethod
+    def _set_guard_needed(result: ScanResult, hi: Any,
+                          hi_incl: bool) -> None:
+        """No guard beyond the range is needed when its inclusive upper
+        bound was itself matched: new entries inside the range must
+        carry an existing matched key (duplicates) or have a matched
+        successor, both already locked."""
+        if (hi is not None and hi_incl and result.matched_keys
+                and result.matched_keys[-1] == hi):
+            result.guard_needed = False
+
+    def entry_count(self) -> int:
+        return self._count
+
+    # -- invariants (property tests) ------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural invariants: sorted leaves, correct chaining,
+        separator bounds, consistent count."""
+        leaves: List[_Leaf] = []
+
+        def collect(node: _Node, lo: Any, hi: Any) -> None:
+            if isinstance(node, _Leaf):
+                keys = [k for k, _ in node.entries]
+                assert keys == sorted(keys), "leaf keys unsorted"
+                for k in keys:
+                    # Bounds are inclusive on both sides: duplicate keys
+                    # equal to a separator may live on either side of it.
+                    if lo is not None:
+                        assert not k < lo, "key below subtree bound"
+                    if hi is not None:
+                        assert not hi < k, "key above subtree bound"
+                leaves.append(node)
+                return
+            assert isinstance(node, _Internal)
+            assert len(node.children) == len(node.separators) + 1
+            bounds = [lo] + list(node.separators) + [hi]
+            for i, child in enumerate(node.children):
+                collect(child, bounds[i], bounds[i + 1])
+
+        collect(self._root, None, None)
+        chain: List[_Leaf] = []
+        node = self._leftmost_leaf()
+        while node is not None:
+            chain.append(node)
+            node = node.next_leaf
+        assert chain == leaves, "leaf chain disagrees with tree order"
+        assert sum(len(l.entries) for l in leaves) == self._count

@@ -1,0 +1,24 @@
+"""Lock infrastructure.
+
+PostgreSQL's three lock mechanisms (paper section 5.1) map here as:
+
+* lightweight locks (latches) -- unnecessary: the engine is
+  single-threaded under the deterministic scheduler, but the lock
+  managers still count their work units so latch/CPU contention shows
+  up in the simulated cost model;
+* heavyweight locks -- :class:`repro.locks.manager.LockManager`:
+  multi-mode locks with FIFO wait queues and deadlock detection, used
+  for table-level locks, transaction-completion (xid) waits, and the
+  S2PL baseline's read/write/intention locks;
+* tuple locks -- stored in the tuple header itself (the xmax field,
+  see repro.storage.tuple); conflicts escalate to an xid wait in the
+  heavyweight manager, exactly as in PostgreSQL.
+
+SIREAD locks are *not* here: they never block and live in the dedicated
+SSI lock manager (repro.ssi.lockmgr), as in the paper (section 5.2.1).
+"""
+
+from repro.locks.modes import LockMode, modes_conflict
+from repro.locks.manager import LockManager, LockRequest
+
+__all__ = ["LockMode", "modes_conflict", "LockManager", "LockRequest"]

@@ -1,0 +1,235 @@
+"""Heavyweight lock manager.
+
+Multi-mode locks over arbitrary hashable tags, with FIFO wait queues
+and wait-for-graph deadlock detection. Three tag families are used:
+
+* ``('rel', oid)`` -- table locks (DML takes non-conflicting modes,
+  DDL takes ACCESS_EXCLUSIVE; also LOCK TABLE);
+* ``('xid', xid)`` -- every transaction holds EXCLUSIVE on its own xid;
+  waiting for a transaction (tuple write conflicts, unique-insert
+  conflicts) acquires SHARE on it, exactly PostgreSQL's mechanism, so
+  write-write deadlocks are caught by the same detector;
+* ``('s2pl-*', ...)`` -- the S2PL baseline's data and predicate locks.
+
+The manager never sleeps itself: ``acquire`` either grants immediately
+or returns a queued :class:`LockRequest`, which executor generators
+yield to the scheduler until ``request.granted`` becomes true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockDetected
+from repro.locks.modes import LockMode, modes_conflict
+
+LockTag = Tuple[Hashable, ...]
+
+
+@dataclass
+class LockRequest:
+    """A pending (queued) lock acquisition; doubles as the wait
+    condition a blocked executor yields to the scheduler."""
+
+    owner: int  # top-level xid
+    tag: LockTag
+    mode: LockMode
+    granted: bool = False
+    cancelled: bool = False
+
+    @property
+    def ready(self) -> bool:
+        return self.granted or self.cancelled
+
+    def describe(self) -> str:
+        return f"{self.mode.value} on {self.tag} for xid {self.owner}"
+
+
+@dataclass
+class _LockEntry:
+    """State for one lock tag."""
+
+    #: (owner, mode) -> hold count (reentrant acquisition).
+    granted: Dict[Tuple[int, LockMode], int] = field(default_factory=dict)
+    queue: List[LockRequest] = field(default_factory=list)
+
+    def holders_conflicting(self, owner: int, mode: LockMode) -> Set[int]:
+        out = set()
+        for (holder, held_mode), count in self.granted.items():
+            if count > 0 and holder != owner and modes_conflict(mode, held_mode):
+                out.add(holder)
+        return out
+
+    def queued_conflicting(self, owner: int, mode: LockMode,
+                           before: Optional[LockRequest] = None) -> Set[int]:
+        out = set()
+        for req in self.queue:
+            if req is before:
+                break
+            if req.owner != owner and modes_conflict(mode, req.mode):
+                out.add(req.owner)
+        return out
+
+
+class LockManager:
+    """The shared lock table."""
+
+    def __init__(self) -> None:
+        self._table: Dict[LockTag, _LockEntry] = {}
+        #: locks held per owner, for fast release_all.
+        self._held: Dict[int, Dict[LockTag, Set[LockMode]]] = {}
+        #: Work-unit counter consumed by the simulator's cost model.
+        self.work_units = 0
+        #: Deadlocks detected (benchmark statistic, cf. RUBiS/Figure 6).
+        self.deadlocks_detected = 0
+
+    # -- acquisition ---------------------------------------------------------
+    def acquire(self, owner: int, tag: LockTag,
+                mode: LockMode) -> Optional[LockRequest]:
+        """Try to take ``mode`` on ``tag`` for ``owner``.
+
+        Returns None when granted immediately (including reentrant
+        grants); otherwise enqueues and returns the pending request.
+        Raises DeadlockDetected (and does not enqueue) if waiting would
+        close a cycle; per PostgreSQL convention, the transaction that
+        detects the deadlock is the victim.
+        """
+        self.work_units += 1
+        entry = self._table.setdefault(tag, _LockEntry())
+        key = (owner, mode)
+        if entry.granted.get(key, 0) > 0:
+            entry.granted[key] += 1
+            return None
+        if not entry.holders_conflicting(owner, mode):
+            # Jump the wait queue if we already hold some lock on this
+            # object (PostgreSQL's rule): queueing an upgrade behind
+            # waiters that conflict with our existing hold would
+            # deadlock instantly.
+            already_holds = any(h == owner and count > 0
+                                for (h, _m), count in entry.granted.items())
+            if already_holds or not entry.queued_conflicting(owner, mode):
+                self._grant(entry, owner, tag, mode)
+                return None
+
+        request = LockRequest(owner, tag, mode)
+        entry.queue.append(request)
+        blockers = self._blockers_of(request, entry)
+        if self._creates_deadlock(owner, blockers):
+            entry.queue.remove(request)
+            request.cancelled = True
+            self.deadlocks_detected += 1
+            raise DeadlockDetected(
+                f"deadlock detected while waiting for {request.describe()}")
+        return request
+
+    def holds(self, owner: int, tag: LockTag, mode: LockMode) -> bool:
+        entry = self._table.get(tag)
+        return bool(entry and entry.granted.get((owner, mode), 0) > 0)
+
+    def _grant(self, entry: _LockEntry, owner: int, tag: LockTag,
+               mode: LockMode) -> None:
+        key = (owner, mode)
+        entry.granted[key] = entry.granted.get(key, 0) + 1
+        self._held.setdefault(owner, {}).setdefault(tag, set()).add(mode)
+
+    # -- release --------------------------------------------------------------
+    def release(self, owner: int, tag: LockTag, mode: LockMode) -> None:
+        """Release one hold of ``mode`` on ``tag``."""
+        self.work_units += 1
+        entry = self._table.get(tag)
+        if entry is None:
+            return
+        key = (owner, mode)
+        count = entry.granted.get(key, 0)
+        if count <= 1:
+            entry.granted.pop(key, None)
+            held = self._held.get(owner, {})
+            if tag in held:
+                held[tag].discard(mode)
+                if not held[tag]:
+                    del held[tag]
+        else:
+            entry.granted[key] = count - 1
+        self._wake_queue(entry)
+        self._maybe_gc(tag, entry)
+
+    def release_all(self, owner: int) -> None:
+        """Drop every lock and queued request owned by ``owner``
+        (transaction end)."""
+        held = self._held.pop(owner, {})
+        for tag in list(held):
+            entry = self._table.get(tag)
+            if entry is None:
+                continue
+            for mode in list(held[tag]):
+                entry.granted.pop((owner, mode), None)
+                self.work_units += 1
+            self._wake_queue(entry)
+            self._maybe_gc(tag, entry)
+        # Cancel any queued requests (e.g. transaction aborted by a
+        # deadlock or serialization failure while waiting).
+        for tag, entry in list(self._table.items()):
+            pending = [r for r in entry.queue if r.owner == owner]
+            for req in pending:
+                entry.queue.remove(req)
+                req.cancelled = True
+            if pending:
+                self._wake_queue(entry)
+                self._maybe_gc(tag, entry)
+
+    def _wake_queue(self, entry: _LockEntry) -> None:
+        """Grant queued requests in FIFO order until one must wait."""
+        while entry.queue:
+            req = entry.queue[0]
+            if entry.holders_conflicting(req.owner, req.mode):
+                break
+            entry.queue.pop(0)
+            self._grant(entry, req.owner, req.tag, req.mode)
+            req.granted = True
+            self.work_units += 1
+
+    def _maybe_gc(self, tag: LockTag, entry: _LockEntry) -> None:
+        if not entry.granted and not entry.queue:
+            self._table.pop(tag, None)
+
+    # -- deadlock detection ---------------------------------------------------
+    def _blockers_of(self, request: LockRequest,
+                     entry: _LockEntry) -> Set[int]:
+        blockers = entry.holders_conflicting(request.owner, request.mode)
+        blockers |= entry.queued_conflicting(request.owner, request.mode,
+                                             before=request)
+        return blockers
+
+    def _wait_edges(self) -> Dict[int, Set[int]]:
+        """Current wait-for graph: waiter xid -> blocker xids."""
+        edges: Dict[int, Set[int]] = {}
+        for entry in self._table.values():
+            for req in entry.queue:
+                edges.setdefault(req.owner, set()).update(
+                    self._blockers_of(req, entry))
+        return edges
+
+    def _creates_deadlock(self, start: int, first_hops: Set[int]) -> bool:
+        """Would ``start`` waiting on ``first_hops`` close a cycle?"""
+        edges = self._wait_edges()
+        stack = list(first_hops)
+        seen: Set[int] = set()
+        while stack:
+            self.work_units += 1
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    # -- introspection ----------------------------------------------------------
+    def locks_held(self, owner: int) -> Dict[LockTag, Set[LockMode]]:
+        return {tag: set(modes)
+                for tag, modes in self._held.get(owner, {}).items()}
+
+    def waiters(self) -> List[LockRequest]:
+        return [req for entry in self._table.values() for req in entry.queue]

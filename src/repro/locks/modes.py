@@ -1,0 +1,77 @@
+"""Lock modes and the conflict matrix.
+
+One enum covers both families used in the engine:
+
+* PostgreSQL's table lock modes (ACCESS_SHARE .. ACCESS_EXCLUSIVE),
+  acquired on ('rel', oid) tags by DML and DDL;
+* classic multigranularity data lock modes (IS, IX, S, SIX, X),
+  acquired on data tags by the S2PL baseline, plus SHARE/EXCLUSIVE for
+  xid waits.
+
+The two families are never requested on the same lock tag, so a single
+conflict table is safe and keeps the manager simple.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet
+
+
+class LockMode(enum.Enum):
+    # --- PostgreSQL table lock modes (weakest to strongest) ---
+    ACCESS_SHARE = "AccessShare"
+    ROW_SHARE = "RowShare"
+    ROW_EXCLUSIVE = "RowExclusive"
+    SHARE_UPDATE_EXCLUSIVE = "ShareUpdateExclusive"
+    SHARE = "Share"
+    SHARE_ROW_EXCLUSIVE = "ShareRowExclusive"
+    EXCLUSIVE = "Exclusive"
+    ACCESS_EXCLUSIVE = "AccessExclusive"
+    # --- multigranularity data lock modes (S2PL baseline) ---
+    INTENTION_SHARE = "IS"
+    INTENTION_EXCLUSIVE = "IX"
+    SHARE_INTENT_EXCLUSIVE = "SIX"
+
+
+_M = LockMode
+
+#: For each mode, the set of modes it conflicts with.
+CONFLICTS: Dict[LockMode, FrozenSet[LockMode]] = {
+    # PostgreSQL's table-lock conflict table.
+    _M.ACCESS_SHARE: frozenset({_M.ACCESS_EXCLUSIVE}),
+    _M.ROW_SHARE: frozenset({_M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE}),
+    _M.ROW_EXCLUSIVE: frozenset({
+        _M.SHARE, _M.SHARE_ROW_EXCLUSIVE, _M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE}),
+    _M.SHARE_UPDATE_EXCLUSIVE: frozenset({
+        _M.SHARE_UPDATE_EXCLUSIVE, _M.SHARE, _M.SHARE_ROW_EXCLUSIVE,
+        _M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE}),
+    _M.SHARE: frozenset({
+        _M.ROW_EXCLUSIVE, _M.SHARE_UPDATE_EXCLUSIVE, _M.SHARE_ROW_EXCLUSIVE,
+        _M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE,
+        # data-mode interactions (classic S/X/intent matrix)
+        _M.INTENTION_EXCLUSIVE, _M.SHARE_INTENT_EXCLUSIVE}),
+    _M.SHARE_ROW_EXCLUSIVE: frozenset({
+        _M.ROW_EXCLUSIVE, _M.SHARE_UPDATE_EXCLUSIVE, _M.SHARE,
+        _M.SHARE_ROW_EXCLUSIVE, _M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE}),
+    _M.EXCLUSIVE: frozenset({
+        _M.ROW_SHARE, _M.ROW_EXCLUSIVE, _M.SHARE_UPDATE_EXCLUSIVE, _M.SHARE,
+        _M.SHARE_ROW_EXCLUSIVE, _M.EXCLUSIVE, _M.ACCESS_EXCLUSIVE,
+        # data-mode interactions
+        _M.INTENTION_SHARE, _M.INTENTION_EXCLUSIVE,
+        _M.SHARE_INTENT_EXCLUSIVE}),
+    _M.ACCESS_EXCLUSIVE: frozenset(set(_M) - {_M.INTENTION_SHARE,
+                                              _M.INTENTION_EXCLUSIVE,
+                                              _M.SHARE_INTENT_EXCLUSIVE}),
+    # Classic multigranularity matrix.
+    _M.INTENTION_SHARE: frozenset({_M.EXCLUSIVE}),
+    _M.INTENTION_EXCLUSIVE: frozenset({
+        _M.SHARE, _M.SHARE_INTENT_EXCLUSIVE, _M.EXCLUSIVE}),
+    _M.SHARE_INTENT_EXCLUSIVE: frozenset({
+        _M.INTENTION_EXCLUSIVE, _M.SHARE, _M.SHARE_INTENT_EXCLUSIVE,
+        _M.EXCLUSIVE}),
+}
+
+
+def modes_conflict(a: LockMode, b: LockMode) -> bool:
+    return b in CONFLICTS[a]

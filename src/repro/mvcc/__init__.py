@@ -1,0 +1,24 @@
+"""Multiversion concurrency control substrate.
+
+PostgreSQL-style transaction IDs, commit log (pg_clog), snapshots, and
+tuple visibility rules (paper section 5.1). SSI's conflict detection for
+write-before-read conflicts is driven entirely by this machinery
+(section 5.2): the visibility check result tells the reader whether the
+tuple's creator or deleter is a concurrent transaction.
+"""
+
+from repro.mvcc.xid import INVALID_XID, FIRST_XID, XidAllocator
+from repro.mvcc.clog import CommitLog, XidStatus
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.visibility import VisibilityResult, tuple_visibility
+
+__all__ = [
+    "INVALID_XID",
+    "FIRST_XID",
+    "XidAllocator",
+    "CommitLog",
+    "XidStatus",
+    "Snapshot",
+    "VisibilityResult",
+    "tuple_visibility",
+]

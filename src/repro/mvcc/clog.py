@@ -1,0 +1,75 @@
+"""Commit log (pg_clog) and subtransaction parent map (pg_subtrans).
+
+Records the final status of every transaction ID. Subtransactions get
+their own xids; the engine marks the whole surviving subtree committed
+when the top-level transaction commits, and marks a subtree aborted on
+ROLLBACK TO SAVEPOINT, so visibility checks reduce to simple lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable
+
+from repro.mvcc.xid import INVALID_XID
+
+
+class XidStatus(enum.Enum):
+    IN_PROGRESS = "in_progress"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class CommitLog:
+    """Status store for transaction IDs.
+
+    Unknown xids are reported IN_PROGRESS; the engine registers each
+    xid at assignment, so an unknown xid can only be one that is about
+    to be assigned.
+    """
+
+    def __init__(self) -> None:
+        self._status: Dict[int, XidStatus] = {}
+        self._parent: Dict[int, int] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, xid: int, parent: int = INVALID_XID) -> None:
+        """Record a newly-assigned xid as in progress.
+
+        ``parent`` links a subtransaction xid to its immediate parent.
+        """
+        self._status[xid] = XidStatus.IN_PROGRESS
+        if parent != INVALID_XID:
+            self._parent[xid] = parent
+
+    def parent_of(self, xid: int) -> int:
+        return self._parent.get(xid, INVALID_XID)
+
+    def top_level_of(self, xid: int) -> int:
+        """Follow the subtrans chain to the top-level transaction."""
+        while xid in self._parent:
+            xid = self._parent[xid]
+        return xid
+
+    # -- status transitions ----------------------------------------------
+    def set_committed(self, xids: Iterable[int]) -> None:
+        """Mark a top-level xid and its surviving subxacts committed."""
+        for xid in xids:
+            self._status[xid] = XidStatus.COMMITTED
+
+    def set_aborted(self, xids: Iterable[int]) -> None:
+        for xid in xids:
+            self._status[xid] = XidStatus.ABORTED
+
+    # -- queries ----------------------------------------------------------
+    def status(self, xid: int) -> XidStatus:
+        return self._status.get(xid, XidStatus.IN_PROGRESS)
+
+    def did_commit(self, xid: int) -> bool:
+        return self._status.get(xid) is XidStatus.COMMITTED
+
+    def did_abort(self, xid: int) -> bool:
+        return self._status.get(xid) is XidStatus.ABORTED
+
+    def in_progress(self, xid: int) -> bool:
+        return self.status(xid) is XidStatus.IN_PROGRESS

@@ -1,0 +1,48 @@
+"""MVCC snapshots.
+
+A snapshot is "the set of transactions whose effects are visible"
+(paper section 5.1), represented the PostgreSQL way: a half-open window
+``[xmin, xmax)`` plus the set ``xip`` of xids that were still in
+progress when the snapshot was taken. A committed xid is visible in the
+snapshot iff it is below ``xmax`` and not in ``xip``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.mvcc.clog import CommitLog
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable point-in-time view of the database.
+
+    Attributes:
+        xmin: all xids below this had completed when the snapshot was
+            taken (lower bound of ``xip``).
+        xmax: first xid not yet assigned at snapshot time; any xid at
+            or above it is invisible.
+        xip: xids (including subtransaction xids) in progress at
+            snapshot time; invisible even if they commit later.
+    """
+
+    xmin: int
+    xmax: int
+    xip: FrozenSet[int] = field(default_factory=frozenset)
+
+    def xid_in_progress_at_snapshot(self, xid: int) -> bool:
+        """Was ``xid`` still running (or unassigned) at snapshot time?"""
+        return xid >= self.xmax or xid in self.xip
+
+    def committed_visible(self, xid: int, clog: CommitLog) -> bool:
+        """True iff ``xid`` committed and its effects are in this snapshot."""
+        if self.xid_in_progress_at_snapshot(xid):
+            return False
+        return clog.did_commit(xid)
+
+    def overlaps(self, other: "Snapshot") -> bool:
+        """Heuristic used in tests: two snapshots could belong to
+        concurrent transactions if their windows intersect."""
+        return not (self.xmax <= other.xmin or other.xmax <= self.xmin)

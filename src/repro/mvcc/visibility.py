@@ -1,0 +1,124 @@
+"""Tuple visibility under MVCC snapshots (HeapTupleSatisfiesMVCC).
+
+Besides the boolean answer, the result records *why* a tuple is or is
+not visible whenever a concurrent transaction is involved. This is
+exactly the information SSI mines for write-before-read rw-conflicts
+(paper section 5.2):
+
+* a tuple invisible because its creator had not committed when the
+  reader took its snapshot -> the reader must precede the creator in
+  the serial order (rw-conflict reader -> creator);
+* a tuple still visible although it has a deleter, because the deleter
+  had not committed at snapshot time -> rw-conflict reader -> deleter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet
+
+from repro.mvcc.clog import CommitLog
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.xid import INVALID_XID
+
+
+@dataclass(frozen=True)
+class TxnView:
+    """The reading transaction's own identity.
+
+    Attributes:
+        xids: the top-level xid plus all live subtransaction xids.
+            (Aborted subtransactions are recorded in the commit log and
+            handled there.)
+        curcid: current command ID; tuples written by an earlier
+            command of this transaction are visible, tuples written by
+            the current or a later command are not.
+    """
+
+    xids: AbstractSet[int]
+    curcid: int
+
+
+@dataclass(frozen=True)
+class VisibilityResult:
+    """Outcome of a visibility check, with SSI-relevant classification."""
+
+    visible: bool
+    #: Tuple invisible because its creator is concurrent with the
+    #: reader (in progress, or committed after the reader's snapshot).
+    creator_concurrent: bool = False
+    #: Tuple visible but its deleter is concurrent with the reader.
+    deleter_concurrent: bool = False
+    creator_xid: int = INVALID_XID
+    deleter_xid: int = INVALID_XID
+
+
+def tuple_visibility(tup, snapshot: Snapshot, view: TxnView,
+                     clog: CommitLog) -> VisibilityResult:
+    """Evaluate ``tup`` against ``snapshot`` for the transaction ``view``.
+
+    ``tup`` needs attributes ``xmin``, ``cmin``, ``xmax``, ``cmax`` and
+    ``xmax_lock_only`` (a FOR UPDATE-style locker stored in xmax does
+    not delete the tuple, mirroring HEAP_XMAX_LOCK_ONLY).
+    """
+    xmin, xmax = tup.xmin, tup.xmax
+
+    # --- creator -------------------------------------------------------
+    if clog.did_abort(xmin):
+        # Dead on arrival (includes our own aborted subtransactions).
+        return VisibilityResult(False)
+
+    if xmin in view.xids:
+        if tup.cmin >= view.curcid:
+            # Inserted by the current command: invisible to it
+            # (Halloween protection).
+            return VisibilityResult(False)
+        return _check_deleter(tup, snapshot, view, clog, creator_mine=True)
+
+    if not snapshot.committed_visible(xmin, clog):
+        # Creator still in progress, or committed after our snapshot:
+        # a concurrent writer whose update we are not seeing.
+        return VisibilityResult(False, creator_concurrent=True,
+                                creator_xid=xmin)
+
+    return _check_deleter(tup, snapshot, view, clog, creator_mine=False)
+
+
+def _check_deleter(tup, snapshot: Snapshot, view: TxnView, clog: CommitLog,
+                   creator_mine: bool) -> VisibilityResult:
+    xmax = tup.xmax
+    if xmax == INVALID_XID or tup.xmax_lock_only:
+        return VisibilityResult(True)
+
+    if clog.did_abort(xmax):
+        return VisibilityResult(True)
+
+    if xmax in view.xids:
+        if tup.cmax >= view.curcid:
+            # Being deleted by the current command; still visible to it.
+            return VisibilityResult(True)
+        return VisibilityResult(False)
+
+    if snapshot.committed_visible(xmax, clog):
+        return VisibilityResult(False)
+
+    # Deleter in progress or committed after our snapshot: we still see
+    # the tuple, and the deleter is a concurrent writer.
+    return VisibilityResult(True, deleter_concurrent=True, deleter_xid=xmax)
+
+
+def tuple_is_dead(tup, horizon_xmin: int, clog: CommitLog) -> bool:
+    """Can VACUUM remove this tuple?
+
+    True when no current or future snapshot can see it: its creator
+    aborted, or its deleter committed before every active transaction's
+    snapshot window (``horizon_xmin`` = min over active snapshots of
+    ``xmin``).
+    """
+    if clog.did_abort(tup.xmin):
+        return True
+    if tup.xmax == INVALID_XID or tup.xmax_lock_only:
+        return False
+    if not clog.did_commit(tup.xmax):
+        return False
+    return tup.xmax < horizon_xmin

@@ -1,0 +1,38 @@
+"""Transaction ID allocation.
+
+Transaction IDs are monotonically increasing integers. Unlike
+PostgreSQL we never wrap around (Python integers are unbounded), so
+freezing is unnecessary; everything else follows the PostgreSQL scheme:
+xid 0 is invalid, and subtransactions receive their own xids linked to
+their parent through the commit log's subtrans map.
+"""
+
+from __future__ import annotations
+
+#: Marker for "no transaction" (e.g. a tuple with no deleter).
+INVALID_XID = 0
+
+#: First assignable transaction ID. IDs 1 and 2 are reserved the way
+#: PostgreSQL reserves bootstrap/frozen xids, purely for familiarity.
+FIRST_XID = 3
+
+
+class XidAllocator:
+    """Hands out transaction IDs in increasing order.
+
+    The next unassigned xid doubles as the ``xmax`` bound of new
+    snapshots: any xid at or above it must be invisible.
+    """
+
+    def __init__(self, start: int = FIRST_XID) -> None:
+        self._next = start
+
+    @property
+    def next_xid(self) -> int:
+        """The xid the next assignment will return (snapshot xmax)."""
+        return self._next
+
+    def assign(self) -> int:
+        xid = self._next
+        self._next += 1
+        return xid

@@ -1,0 +1,139 @@
+"""Read-only replica fed by log shipping (paper section 7.2).
+
+The replica applies the master's logical WAL in commit order into two
+materialized states:
+
+* ``latest``: everything applied -- what PostgreSQL hot standby serves
+  to REPEATABLE READ (snapshot) queries. Serializable-looking queries
+  here can observe the section 7.2 anomaly, because SSI's commit order
+  need not match the apparent serial order.
+* ``safe``: applied only up to the most recent safe-snapshot marker in
+  the log stream. SERIALIZABLE queries are served from here, which is
+  the paper's proposed design ("slave replicas will run serializable
+  transactions only on safe snapshots"); they may be stale but are
+  never anomalous.
+
+A serializable query can also WAIT for the next safe snapshot,
+mirroring DEFERRABLE behaviour on the master.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.config import EngineConfig
+from repro.errors import FeatureNotSupportedError
+from repro.replication.wal import CommitRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: engine.database imports replication.wal for WAL records)
+    from repro.engine.database import Database
+    from repro.engine.predicate import Predicate
+
+
+class ReplicaReadMode(enum.Enum):
+    #: Snapshot-isolation read of everything applied (hot standby
+    #: default; not serializable).
+    LATEST = "latest"
+    #: Serializable: read the most recent safe snapshot (may be stale).
+    LATEST_SAFE = "latest_safe"
+
+
+class Replica:
+    """A read-only standby."""
+
+    def __init__(self, master: "Database", name: str = "standby") -> None:
+        from repro.engine.database import Database
+        self.master = master
+        self.name = name
+        self._latest = Database(EngineConfig())
+        self._safe = Database(EngineConfig())
+        self._mirror_catalog(self._latest)
+        self._mirror_catalog(self._safe)
+        self._applied = 0          # records applied to `latest`
+        self._safe_applied = 0     # records applied to `safe`
+        self._last_safe_point: Optional[int] = None
+
+    def _mirror_catalog(self, db) -> None:
+        for name, rel in self.master.relations().items():
+            db.create_table(name, rel.columns)
+            for idx in rel.indexes.values():
+                if getattr(idx, "spatial", False):
+                    kind = "gist"
+                elif not idx.ordered:
+                    kind = "hash"
+                else:
+                    kind = "btree"
+                db.create_index(name, idx.column, name=idx.name,
+                                unique=idx.unique, using=kind)
+
+    # -- log shipping -----------------------------------------------------
+    def catch_up(self) -> int:
+        """Apply all WAL shipped since the last call; returns the
+        number of commit records applied."""
+        records = self.master.wal[self._applied:]
+        for record in records:
+            self._apply(self._latest, record)
+            self._applied += 1
+            if record.safe_snapshot_marker:
+                self._last_safe_point = self._applied
+        # Advance the safe state to the newest safe point.
+        if self._last_safe_point is not None:
+            for record in self.master.wal[self._safe_applied:
+                                          self._last_safe_point]:
+                self._apply(self._safe, record)
+            self._safe_applied = max(self._safe_applied,
+                                     self._last_safe_point)
+        return len(records)
+
+    @staticmethod
+    def _apply(db, record: CommitRecord) -> None:
+        session = db.session()
+        session.begin()
+        for kind, rel_name, old, new in record.changes:
+            if kind == "insert":
+                session.insert(rel_name, new)
+            elif kind == "delete":
+                session.delete(rel_name, _whole_row_pred(old))
+            elif kind == "update":
+                session.update(rel_name, _whole_row_pred(old), new)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown WAL change kind {kind!r}")
+        session.commit()
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def has_safe_snapshot(self) -> bool:
+        return self._last_safe_point is not None
+
+    @property
+    def safe_snapshot_lag(self) -> int:
+        """Commit records between the safe state and the latest state
+        (staleness of serializable reads)."""
+        return self._applied - self._safe_applied
+
+    def query(self, table: str, where=None, *,
+              mode: ReplicaReadMode = ReplicaReadMode.LATEST
+              ) -> List[Dict[str, Any]]:
+        """Run a read-only query on the standby."""
+        if mode is ReplicaReadMode.LATEST:
+            db = self._latest
+        else:
+            if not self.has_safe_snapshot:
+                raise FeatureNotSupportedError(
+                    "cannot use serializable mode on standby: no safe "
+                    "snapshot available yet (section 7.2)")
+            db = self._safe
+        session = db.session()
+        return session.select(table, where)
+
+
+def _whole_row_pred(row: Dict[str, Any]) -> Predicate:
+    from repro.engine.predicate import Func
+    items = dict(row)
+    return Func(lambda r, items=items: all(r.get(k) == v
+                                           for k, v in items.items()),
+                description=f"row = {items!r}")

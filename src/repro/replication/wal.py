@@ -1,0 +1,25 @@
+"""Logical write-ahead-log records shipped to replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: (kind, relation name, old row, new row); kind in insert/update/delete.
+Change = Tuple[str, str, Optional[Dict[str, Any]], Optional[Dict[str, Any]]]
+
+
+@dataclass
+class CommitRecord:
+    """One committed transaction's changes, in commit order.
+
+    ``safe_snapshot_marker`` is the paper's proposed log-stream
+    annotation (section 7.2): True when a snapshot taken just after
+    this commit is safe (no read/write serializable transaction was
+    active on the master), so a replica may serve SERIALIZABLE reads
+    from it.
+    """
+
+    xid: int
+    changes: List[Change] = field(default_factory=list)
+    safe_snapshot_marker: bool = False

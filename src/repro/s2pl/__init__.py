@@ -1,0 +1,32 @@
+"""Strict two-phase locking baseline (paper section 8).
+
+The paper compared SSI against "a simple implementation of strict
+two-phase locking for PostgreSQL" that reused the SSI lock manager's
+support for index-range and multigranularity locking, but acquired
+"classic" read locks in the heavyweight lock manager instead of SIREAD
+locks. This package does the same: blocking S/X locks with IS/IX
+intention modes on relations, tuple-granularity data locks, and
+index-page range locks, all held until transaction end, with the
+heavyweight manager's deadlock detector resolving cycles.
+
+The serializability guarantee holds when *all* concurrent sessions run
+in S2PL mode, exactly as in the paper's benchmark configuration.
+"""
+
+from repro.s2pl.locking import (data_rel_tag, data_tuple_tag,
+                                index_page_tag, lock_index_page_read,
+                                lock_index_page_write, lock_relation_read,
+                                lock_tuple_read, lock_tuple_write,
+                                s2pl_visible)
+
+__all__ = [
+    "data_rel_tag",
+    "data_tuple_tag",
+    "index_page_tag",
+    "lock_relation_read",
+    "lock_tuple_read",
+    "lock_tuple_write",
+    "lock_index_page_read",
+    "lock_index_page_write",
+    "s2pl_visible",
+]

@@ -1,0 +1,114 @@
+"""S2PL lock acquisition helpers and read semantics.
+
+All acquisition helpers are generators: they yield the pending
+LockRequest while blocked and return once granted (strict 2PL: locks
+are released only at transaction end, by LockManager.release_all).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode
+from repro.mvcc.clog import CommitLog
+from repro.mvcc.visibility import TxnView
+from repro.mvcc.xid import INVALID_XID
+from repro.storage.tuple import TID
+
+
+def data_rel_tag(rel_oid: int):
+    return ("2r", rel_oid)
+
+
+def data_tuple_tag(rel_oid: int, tid: TID):
+    return ("2t", rel_oid, tid.page, tid.slot)
+
+
+def index_page_tag(index_oid: int, page_no: int):
+    return ("2ip", index_oid, page_no)
+
+
+def _acquire(lockmgr: LockManager, owner: int, tag, mode: LockMode) -> Iterator:
+    """Acquire, yielding the request while it must wait. Raises
+    DeadlockDetected if waiting would close a cycle."""
+    request = lockmgr.acquire(owner, tag, mode)
+    while request is not None and not request.granted:
+        if request.cancelled:
+            raise RuntimeError(
+                f"lock request cancelled while waiting: {request.describe()}")
+        yield request
+
+
+def lock_relation_read(lockmgr: LockManager, owner: int,
+                       rel_oid: int) -> Iterator:
+    """Sequential scan: relation-level S lock (covers phantoms)."""
+    yield from _acquire(lockmgr, owner, data_rel_tag(rel_oid), LockMode.SHARE)
+
+
+def lock_relation_read_intent(lockmgr: LockManager, owner: int,
+                              rel_oid: int) -> Iterator:
+    yield from _acquire(lockmgr, owner, data_rel_tag(rel_oid),
+                        LockMode.INTENTION_SHARE)
+
+
+def lock_relation_write_intent(lockmgr: LockManager, owner: int,
+                               rel_oid: int) -> Iterator:
+    yield from _acquire(lockmgr, owner, data_rel_tag(rel_oid),
+                        LockMode.INTENTION_EXCLUSIVE)
+
+
+def lock_tuple_read(lockmgr: LockManager, owner: int, rel_oid: int,
+                    tid: TID) -> Iterator:
+    """Index-scan tuple read: IS on the relation + S on the tuple."""
+    yield from lock_relation_read_intent(lockmgr, owner, rel_oid)
+    yield from _acquire(lockmgr, owner, data_tuple_tag(rel_oid, tid),
+                        LockMode.SHARE)
+
+
+def lock_tuple_write(lockmgr: LockManager, owner: int, rel_oid: int,
+                     tid: TID) -> Iterator:
+    """Write: IX on the relation + X on the tuple."""
+    yield from lock_relation_write_intent(lockmgr, owner, rel_oid)
+    yield from _acquire(lockmgr, owner, data_tuple_tag(rel_oid, tid),
+                        LockMode.EXCLUSIVE)
+
+
+def lock_index_page_read(lockmgr: LockManager, owner: int, index_oid: int,
+                         page_no: int) -> Iterator:
+    """Index-range (gap) read lock at page granularity."""
+    yield from _acquire(lockmgr, owner, index_page_tag(index_oid, page_no),
+                        LockMode.SHARE)
+
+
+def lock_index_page_write(lockmgr: LockManager, owner: int, index_oid: int,
+                          page_no: int) -> Iterator:
+    """Insert into an index page: conflicts with readers' gap locks."""
+    yield from _acquire(lockmgr, owner, index_page_tag(index_oid, page_no),
+                        LockMode.EXCLUSIVE)
+
+
+def s2pl_visible(tup, view: TxnView, clog: CommitLog) -> bool:
+    """Latest-committed read semantics for S2PL.
+
+    Under 2PL, a reader holds locks that keep the versions it reads
+    stable, so it simply reads the newest committed version (or its
+    own uncommitted writes). Command-id rules still apply to our own
+    writes (Halloween protection).
+    """
+    xmin = tup.xmin
+    if clog.did_abort(xmin):
+        return False
+    if xmin in view.xids:
+        if tup.cmin >= view.curcid:
+            return False
+    elif not clog.did_commit(xmin):
+        # In-progress foreign writer: its X lock should have blocked
+        # us; being here means we locked first and it is invisible.
+        return False
+    xmax = tup.xmax
+    if xmax == INVALID_XID or tup.xmax_lock_only or clog.did_abort(xmax):
+        return True
+    if xmax in view.xids:
+        return tup.cmax >= view.curcid
+    return not clog.did_commit(xmax)

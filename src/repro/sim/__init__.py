@@ -1,0 +1,43 @@
+"""Deterministic concurrency simulator.
+
+The paper measures wall-clock throughput of concurrent clients against
+PostgreSQL on real hardware. Here, concurrency is simulated: client
+transaction programs are Python generators yielding statement
+descriptors; a seeded scheduler interleaves them one statement at a
+time, suspending clients whose statements must wait (lock queues, safe
+snapshots) and resuming them when their wait condition clears.
+
+Time is a simulated clock: every statement is charged ticks according
+to EngineConfig's CostModel -- tuples touched, lock-manager work units
+(where SSI's tracking overhead and S2PL's lock maintenance show up),
+and buffer misses (the disk-bound configurations). Throughput =
+committed transactions / ticks. Because the paper's figures are
+normalized to snapshot isolation, only these *relative* costs matter
+(see DESIGN.md, "Substitutions").
+
+Aborted transactions are retried by the client (the middleware retry
+layer of section 3.3), so wasted work from serialization failures and
+deadlocks is charged exactly as it would be on a real system.
+"""
+
+from repro.sim.ops import (begin, commit, delete, insert, rollback, select,
+                           select_for_update, update, Op)
+from repro.sim.client import Client, ClientStats, TxnOutcome
+from repro.sim.scheduler import Scheduler, SimResult
+
+__all__ = [
+    "Op",
+    "begin",
+    "commit",
+    "rollback",
+    "select",
+    "select_for_update",
+    "insert",
+    "update",
+    "delete",
+    "Client",
+    "ClientStats",
+    "TxnOutcome",
+    "Scheduler",
+    "SimResult",
+]

@@ -1,0 +1,166 @@
+"""Simulated clients: drive transaction programs against a session."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.errors import (CapacityExceededError, DeadlockDetected,
+                          RetryableError, SerializationFailure,
+                          UniqueViolationError, WouldBlock)
+
+#: A workload hands the client (transaction name, restartable factory).
+TxnSpec = Tuple[str, Callable[[], Generator]]
+
+
+class TxnOutcome(enum.Enum):
+    COMMITTED = "committed"
+    SERIALIZATION_FAILURE = "serialization_failure"
+    DEADLOCK = "deadlock"
+    CONSTRAINT = "constraint"
+
+
+@dataclass
+class ClientStats:
+    commits: int = 0
+    aborts: int = 0
+    serialization_failures: int = 0
+    deadlocks: int = 0
+    constraint_failures: int = 0
+    retries: int = 0
+    #: commits per transaction type.
+    by_type: Dict[str, int] = field(default_factory=dict)
+    #: (txn name, start tick, end tick, attempts) per committed txn --
+    #: the deferrable-latency measurements of section 8.4 come from
+    #: here.
+    latencies: list = field(default_factory=list)
+
+
+class Client:
+    """One simulated connection running transactions from a workload.
+
+    The scheduler calls :meth:`step` repeatedly; each step executes one
+    statement. A statement that must wait leaves the client ``blocked``
+    with a wait condition the scheduler polls.
+    """
+
+    def __init__(self, client_id: int, session, next_transaction:
+                 Callable[[], Optional[TxnSpec]],
+                 max_retries: int = 100) -> None:
+        self.client_id = client_id
+        self.session = session
+        session.cooperative = True  # surface mid-scan Yields to us
+        self._next_transaction = next_transaction
+        self.max_retries = max_retries
+        self.stats = ClientStats()
+        self.finished = False
+        self.wait_condition = None
+        self._program: Optional[Generator] = None
+        self._factory: Optional[Callable[[], Generator]] = None
+        self._txn_name = ""
+        self._send_value: Any = None
+        self._resuming = False
+        self._attempts = 0
+        self._txn_start_tick: float = 0.0
+        self._now: float = 0.0
+
+    @property
+    def blocked(self) -> bool:
+        return self.wait_condition is not None
+
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> None:
+        """Execute one statement (or resume a suspended one)."""
+        if self.finished:
+            return
+        self._now = now
+        if self._program is None and not self._start_next(now):
+            return
+        try:
+            if self._resuming:
+                self._resuming = False
+                result = self.session.resume()
+            else:
+                op = self._advance()
+                if op is None:
+                    return
+                method = getattr(self.session, op.method)
+                result = method(*op.args, **op.kwargs)
+            self._send_value = result
+        except WouldBlock as block:
+            self.wait_condition = block.condition
+            self._resuming = True
+            return
+        except RetryableError as exc:
+            self._transaction_failed(exc)
+            return
+        except (UniqueViolationError, CapacityExceededError) as exc:
+            self._constraint_failed(exc)
+            return
+
+    def on_wakeup(self) -> None:
+        """The scheduler observed our wait condition became ready."""
+        self.wait_condition = None
+
+    # ------------------------------------------------------------------
+    def _start_next(self, now: float) -> bool:
+        spec = self._next_transaction()
+        if spec is None:
+            self.finished = True
+            return False
+        self._txn_name, self._factory = spec
+        self._program = self._factory()
+        self._send_value = None
+        self._attempts = 1
+        self._txn_start_tick = now
+        return True
+
+    def _advance(self):
+        try:
+            return self._program.send(self._send_value)
+        except StopIteration:
+            self._transaction_done()
+            return None
+
+    def _transaction_done(self) -> None:
+        if self.session.in_transaction():
+            # Programs should commit explicitly; be forgiving.
+            self.session.rollback()
+            self.stats.aborts += 1
+        else:
+            self.stats.commits += 1
+            self.stats.by_type[self._txn_name] = (
+                self.stats.by_type.get(self._txn_name, 0) + 1)
+            self.stats.latencies.append(
+                (self._txn_name, self._txn_start_tick, self._now,
+                 self._attempts))
+        self._program = None
+        self._factory = None
+
+    def _transaction_failed(self, exc: Exception) -> None:
+        self.stats.aborts += 1
+        if isinstance(exc, DeadlockDetected):
+            self.stats.deadlocks += 1
+        else:
+            self.stats.serialization_failures += 1
+        if self.session.in_transaction():
+            self.session.rollback()
+        # Safe retry (section 5.4): immediately restart the same
+        # transaction from scratch.
+        if self._attempts <= self.max_retries:
+            self.stats.retries += 1
+            self._attempts += 1
+            self._program = self._factory()
+            self._send_value = None
+        else:  # pragma: no cover - pathological
+            self._program = None
+            self._factory = None
+
+    def _constraint_failed(self, exc: Exception) -> None:
+        self.stats.aborts += 1
+        self.stats.constraint_failures += 1
+        if self.session.in_transaction():
+            self.session.rollback()
+        self._program = None  # constraint errors are not retried
+        self._factory = None

@@ -1,0 +1,68 @@
+"""Statement descriptors yielded by client transaction programs.
+
+A transaction program is a generator::
+
+    def my_txn():
+        rows = yield select("t", Eq("k", 1))
+        if rows:
+            yield update("t", Eq("k", 1), {"v": rows[0]["v"] + 1})
+        yield commit()
+
+The scheduler executes each Op against the client's session and sends
+the result back into the generator. Programs must be restartable (the
+client re-creates the generator to retry after a serialization
+failure) and must end with commit() or rollback().
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Op:
+    """One session call: ``session.<method>(*args, **kwargs)``."""
+
+    method: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"{self.method}({', '.join(parts)})"
+
+
+def begin(isolation=None, *, read_only: bool = False,
+          deferrable: bool = False) -> Op:
+    return Op("begin", (isolation,),
+              {"read_only": read_only, "deferrable": deferrable})
+
+
+def commit() -> Op:
+    return Op("commit")
+
+
+def rollback() -> Op:
+    return Op("rollback")
+
+
+def select(table: str, where=None) -> Op:
+    return Op("select", (table, where))
+
+
+def select_for_update(table: str, where=None) -> Op:
+    return Op("select_for_update", (table, where))
+
+
+def insert(table: str, row: Dict[str, Any]) -> Op:
+    return Op("insert", (table, row))
+
+
+def update(table: str, where, updates) -> Op:
+    return Op("update", (table, where, updates))
+
+
+def delete(table: str, where=None) -> Op:
+    return Op("delete", (table, where))

@@ -1,0 +1,30 @@
+"""A small SQL front end.
+
+The paper's case for serializability leans on *ad hoc* queries
+(section 2.2): administrators typing SQL at psql can create anomalies
+no static analysis anticipated. This package provides enough SQL to
+write every example in the paper as SQL text:
+
+* DDL: CREATE TABLE / CREATE [UNIQUE] INDEX ... USING {BTREE|HASH} /
+  DROP INDEX;
+* transactions: BEGIN [ISOLATION LEVEL ...] [READ ONLY [, DEFERRABLE]],
+  COMMIT, ROLLBACK, SAVEPOINT / ROLLBACK TO / RELEASE, PREPARE
+  TRANSACTION / COMMIT PREPARED / ROLLBACK PREPARED, LOCK TABLE;
+* DML: INSERT, UPDATE (with column arithmetic), DELETE, SELECT with
+  WHERE / ORDER BY / LIMIT / FOR UPDATE and the aggregates COUNT, SUM,
+  MIN, MAX, AVG;
+* VACUUM.
+
+Usage::
+
+    from repro.sql import SQLSession
+    sql = SQLSession(db.session())
+    sql.execute("BEGIN ISOLATION LEVEL SERIALIZABLE")
+    rows = sql.execute("SELECT COUNT(*) FROM doctors WHERE oncall = TRUE")
+"""
+
+from repro.sql.lexer import tokenize, Token, SQLSyntaxError
+from repro.sql.parser import parse
+from repro.sql.executor import SQLSession
+
+__all__ = ["tokenize", "Token", "SQLSyntaxError", "parse", "SQLSession"]

@@ -1,0 +1,183 @@
+"""SQL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+# -- expressions ---------------------------------------------------------
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic: col + 1, col - col, ..."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Any  # Literal | ColumnRef | BinaryOp
+
+
+# -- conditions -----------------------------------------------------------
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # = <> < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class BetweenCond:
+    column: Expr
+    lo: Expr
+    hi: Expr
+
+
+@dataclass(frozen=True)
+class NotCond:
+    inner: "Cond"
+
+
+@dataclass(frozen=True)
+class AndCond:
+    parts: Tuple["Cond", ...]
+
+
+@dataclass(frozen=True)
+class OrCond:
+    parts: Tuple["Cond", ...]
+
+
+Cond = Any
+
+
+# -- statements --------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """A projection item: column, *, or aggregate."""
+
+    kind: str  # column | star | aggregate
+    column: Optional[str] = None
+    func: Optional[str] = None  # COUNT | SUM | MIN | MAX | AVG
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Select:
+    items: Tuple[SelectItem, ...]
+    table: str
+    where: Optional[Cond]
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+    for_update: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Cond]
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Cond]
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[str, ...]
+    primary_key: Optional[str]
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    table: str
+    column: str
+    name: Optional[str]
+    unique: bool
+    using: str  # btree | hash
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+
+
+@dataclass(frozen=True)
+class Begin:
+    isolation: Optional[str]  # read committed|repeatable read|serializable|s2pl
+    read_only: bool
+    deferrable: bool
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    name: str
+
+
+@dataclass(frozen=True)
+class RollbackTo:
+    name: str
+
+
+@dataclass(frozen=True)
+class ReleaseSavepoint:
+    name: str
+
+
+@dataclass(frozen=True)
+class PrepareTransaction:
+    gid: str
+
+
+@dataclass(frozen=True)
+class CommitPrepared:
+    gid: str
+
+
+@dataclass(frozen=True)
+class RollbackPrepared:
+    gid: str
+
+
+@dataclass(frozen=True)
+class LockTable:
+    table: str
+    mode: str  # e.g. "ACCESS EXCLUSIVE"
+
+
+@dataclass(frozen=True)
+class Vacuum:
+    table: Optional[str]

@@ -1,0 +1,248 @@
+"""SQL execution: compile ASTs onto the Session API."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.engine import predicate as P
+from repro.engine.isolation import IsolationLevel
+from repro.locks.modes import LockMode
+from repro.sql import ast
+from repro.sql.lexer import SQLSyntaxError
+from repro.sql.parser import parse
+
+_ISOLATION = {
+    "read committed": IsolationLevel.READ_COMMITTED,
+    "repeatable read": IsolationLevel.REPEATABLE_READ,
+    "serializable": IsolationLevel.SERIALIZABLE,
+    "s2pl": IsolationLevel.S2PL,
+}
+
+_LOCK_MODES = {
+    "ACCESS SHARE": LockMode.ACCESS_SHARE,
+    "ROW SHARE": LockMode.ROW_SHARE,
+    "ROW EXCLUSIVE": LockMode.ROW_EXCLUSIVE,
+    "SHARE UPDATE EXCLUSIVE": LockMode.SHARE_UPDATE_EXCLUSIVE,
+    "SHARE": LockMode.SHARE,
+    "SHARE ROW EXCLUSIVE": LockMode.SHARE_ROW_EXCLUSIVE,
+    "EXCLUSIVE": LockMode.EXCLUSIVE,
+    "ACCESS EXCLUSIVE": LockMode.ACCESS_EXCLUSIVE,
+}
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and a < b,
+    "<=": lambda a, b: a is not None and b is not None and a <= b,
+    ">": lambda a, b: a is not None and b is not None and a > b,
+    ">=": lambda a, b: a is not None and b is not None and a >= b,
+}
+
+
+def eval_expr(expr, row: Dict[str, Any]) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        return row.get(expr.name)
+    if isinstance(expr, ast.BinaryOp):
+        left = eval_expr(expr.left, row)
+        right = eval_expr(expr.right, row)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        raise SQLSyntaxError(f"unsupported operator {expr.op!r}")
+    raise SQLSyntaxError(f"cannot evaluate {expr!r}")
+
+
+def _is_const(expr) -> bool:
+    return isinstance(expr, ast.Literal)
+
+
+def compile_condition(cond) -> P.Predicate:
+    """Compile to an engine predicate; sargable comparisons become the
+    structured predicates the planner can turn into index scans,
+    anything else becomes a Func filter (a sequential scan)."""
+    if cond is None:
+        return P.AlwaysTrue()
+    if isinstance(cond, ast.Comparison):
+        left, right, op = cond.left, cond.right, cond.op
+        if _is_const(left) and isinstance(right, ast.ColumnRef):
+            flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            left, right = right, left
+            op = flip.get(op, op)
+        if isinstance(left, ast.ColumnRef) and _is_const(right):
+            value = right.value
+            classes = {"=": P.Eq, "<>": P.Ne, "<": P.Lt, "<=": P.Le,
+                       ">": P.Gt, ">=": P.Ge}
+            return classes[op](left.name, value)
+        compare = _COMPARATORS[op]
+        return P.Func(lambda row, l=left, r=right, c=compare:
+                      c(eval_expr(l, row), eval_expr(r, row)),
+                      description=f"{left} {op} {right}")
+    if isinstance(cond, ast.BetweenCond):
+        if isinstance(cond.column, ast.ColumnRef) and _is_const(cond.lo) \
+                and _is_const(cond.hi):
+            return P.Between(cond.column.name, cond.lo.value, cond.hi.value)
+        return P.Func(lambda row, c=cond:
+                      eval_expr(c.lo, row) <= eval_expr(c.column, row)
+                      <= eval_expr(c.hi, row))
+    if isinstance(cond, ast.AndCond):
+        return P.And(*(compile_condition(part) for part in cond.parts))
+    if isinstance(cond, ast.OrCond):
+        return P.Or(*(compile_condition(part) for part in cond.parts))
+    if isinstance(cond, ast.NotCond):
+        inner = compile_condition(cond.inner)
+        return P.Func(lambda row, p=inner: not p.matches(row),
+                      description=f"NOT {inner!r}")
+    raise SQLSyntaxError(f"cannot compile condition {cond!r}")
+
+
+class SQLSession:
+    """Execute SQL text against one engine session.
+
+    ``execute`` returns a list of row dicts for SELECT, an affected-row
+    count for INSERT/UPDATE/DELETE, and None for other statements.
+    """
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.db = session.db
+
+    def execute(self, sql: str):
+        statement = parse(sql)
+        handler = getattr(self, "_do_" + type(statement).__name__.lower())
+        return handler(statement)
+
+    # -- DML -----------------------------------------------------------------
+    def _do_select(self, stmt: ast.Select):
+        where = compile_condition(stmt.where)
+        if stmt.for_update:
+            rows = self.session.select_for_update(stmt.table, where)
+        else:
+            rows = self.session.select(stmt.table, where)
+        if stmt.order_by is not None:
+            rows.sort(key=lambda r: r.get(stmt.order_by),
+                      reverse=stmt.descending)
+        if any(item.kind == "aggregate" for item in stmt.items):
+            return [self._aggregate_row(stmt.items, rows)]
+        if stmt.limit is not None:
+            rows = rows[:stmt.limit]
+        if all(item.kind == "star" for item in stmt.items):
+            return rows
+        projected = []
+        for row in rows:
+            out: Dict[str, Any] = {}
+            for item in stmt.items:
+                if item.kind == "star":
+                    out.update(row)
+                else:
+                    out[item.alias or item.column] = row.get(item.column)
+            projected.append(out)
+        return projected
+
+    @staticmethod
+    def _aggregate_row(items, rows) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for item in items:
+            if item.kind != "aggregate":
+                raise SQLSyntaxError(
+                    "cannot mix aggregates with plain columns "
+                    "(no GROUP BY support)")
+            func = item.func
+            name = item.alias or (f"{func.lower()}"
+                                  + (f"_{item.column}" if item.column else ""))
+            if func == "COUNT":
+                value = (len(rows) if item.column is None else
+                         sum(1 for r in rows if r.get(item.column)
+                             is not None))
+            else:
+                values = [r.get(item.column) for r in rows
+                          if r.get(item.column) is not None]
+                if not values:
+                    value = None
+                elif func == "SUM":
+                    value = sum(values)
+                elif func == "MIN":
+                    value = min(values)
+                elif func == "MAX":
+                    value = max(values)
+                elif func == "AVG":
+                    value = sum(values) / len(values)
+                else:  # pragma: no cover - parser restricts
+                    raise SQLSyntaxError(f"unknown aggregate {func}")
+            out[name] = value
+        return out
+
+    def _do_insert(self, stmt: ast.Insert) -> int:
+        count = 0
+        for values in stmt.rows:
+            row = {column: eval_expr(value, {})
+                   for column, value in zip(stmt.columns, values)}
+            self.session.insert(stmt.table, row)
+            count += 1
+        return count
+
+    def _do_update(self, stmt: ast.Update) -> int:
+        where = compile_condition(stmt.where)
+        assignments = stmt.assignments
+
+        def updater(row: Dict[str, Any]) -> Dict[str, Any]:
+            return {column: eval_expr(expr, row)
+                    for column, expr in assignments}
+
+        return self.session.update(stmt.table, where, updater)
+
+    def _do_delete(self, stmt: ast.Delete) -> int:
+        return self.session.delete(stmt.table, compile_condition(stmt.where))
+
+    # -- DDL --------------------------------------------------------------------
+    def _do_createtable(self, stmt: ast.CreateTable):
+        self.db.create_table(stmt.name, stmt.columns, key=stmt.primary_key)
+
+    def _do_createindex(self, stmt: ast.CreateIndex):
+        self.db.create_index(stmt.table, stmt.column, name=stmt.name,
+                             unique=stmt.unique, using=stmt.using)
+
+    def _do_dropindex(self, stmt: ast.DropIndex):
+        self.session.drop_index(stmt.name)
+
+    # -- transaction control -------------------------------------------------------
+    def _do_begin(self, stmt: ast.Begin):
+        isolation = _ISOLATION[stmt.isolation] if stmt.isolation else None
+        self.session.begin(isolation, read_only=stmt.read_only,
+                           deferrable=stmt.deferrable)
+
+    def _do_commit(self, stmt: ast.Commit):
+        self.session.commit()
+
+    def _do_rollback(self, stmt: ast.Rollback):
+        self.session.rollback()
+
+    def _do_savepoint(self, stmt: ast.Savepoint):
+        self.session.savepoint(stmt.name)
+
+    def _do_rollbackto(self, stmt: ast.RollbackTo):
+        self.session.rollback_to_savepoint(stmt.name)
+
+    def _do_releasesavepoint(self, stmt: ast.ReleaseSavepoint):
+        self.session.release_savepoint(stmt.name)
+
+    def _do_preparetransaction(self, stmt: ast.PrepareTransaction):
+        self.session.prepare_transaction(stmt.gid)
+
+    def _do_commitprepared(self, stmt: ast.CommitPrepared):
+        self.db.commit_prepared(stmt.gid)
+
+    def _do_rollbackprepared(self, stmt: ast.RollbackPrepared):
+        self.db.rollback_prepared(stmt.gid)
+
+    def _do_locktable(self, stmt: ast.LockTable):
+        try:
+            mode = _LOCK_MODES[stmt.mode]
+        except KeyError:
+            raise SQLSyntaxError(f"unknown lock mode {stmt.mode!r}") from None
+        self.session.lock_table(stmt.table, mode)
+
+    def _do_vacuum(self, stmt: ast.Vacuum):
+        self.db.vacuum(stmt.table)

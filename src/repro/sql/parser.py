@@ -1,0 +1,441 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sql import ast
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise SQLSyntaxError(
+                f"expected {' or '.join(names)}, got {self.current.value!r}")
+        return self.advance()
+
+    def accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self.current.is_symbol(*symbols):
+            return self.advance()
+        return None
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise SQLSyntaxError(
+                f"expected {symbol!r}, got {self.current.value!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.current.kind == "ident":
+            return self.advance().value
+        # Non-reserved keywords may serve as identifiers (e.g. a column
+        # named "count" would be unusual; keep it strict instead).
+        raise SQLSyntaxError(f"expected identifier, got "
+                             f"{self.current.value!r}")
+
+    def expect_string(self) -> str:
+        if self.current.kind != "string":
+            raise SQLSyntaxError(f"expected string literal, got "
+                                 f"{self.current.value!r}")
+        return self.advance().value
+
+    def expect_end(self) -> None:
+        self.accept_symbol(";")
+        if self.current.kind != "end":
+            raise SQLSyntaxError(
+                f"unexpected trailing input: {self.current.value!r}")
+
+    # -- entry point ------------------------------------------------------------
+    def parse_statement(self):
+        token = self.current
+        if token.is_keyword("SELECT"):
+            return self.select()
+        if token.is_keyword("INSERT"):
+            return self.insert()
+        if token.is_keyword("UPDATE"):
+            return self.update()
+        if token.is_keyword("DELETE"):
+            return self.delete()
+        if token.is_keyword("CREATE"):
+            return self.create()
+        if token.is_keyword("DROP"):
+            return self.drop()
+        if token.is_keyword("BEGIN"):
+            return self.begin()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            if self.accept_keyword("PREPARED"):
+                gid = self.expect_string()
+                self.expect_end()
+                return ast.CommitPrepared(gid)
+            self.expect_end()
+            return ast.Commit()
+        if token.is_keyword("ROLLBACK"):
+            return self.rollback()
+        if token.is_keyword("SAVEPOINT"):
+            self.advance()
+            name = self.expect_ident()
+            self.expect_end()
+            return ast.Savepoint(name)
+        if token.is_keyword("RELEASE"):
+            self.advance()
+            self.accept_keyword("SAVEPOINT")
+            name = self.expect_ident()
+            self.expect_end()
+            return ast.ReleaseSavepoint(name)
+        if token.is_keyword("PREPARE"):
+            self.advance()
+            self.expect_keyword("TRANSACTION")
+            gid = self.expect_string()
+            self.expect_end()
+            return ast.PrepareTransaction(gid)
+        if token.is_keyword("LOCK"):
+            return self.lock_table()
+        if token.is_keyword("VACUUM"):
+            self.advance()
+            table = None
+            if self.current.kind == "ident":
+                table = self.advance().value
+            self.expect_end()
+            return ast.Vacuum(table)
+        raise SQLSyntaxError(f"cannot parse statement starting with "
+                             f"{token.value!r}")
+
+    # -- expressions --------------------------------------------------------------
+    def expr(self):
+        left = self.term()
+        while self.current.is_symbol("+", "-"):
+            op = self.advance().value
+            right = self.term()
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def term(self):
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_symbol("-"):
+            self.advance()
+            inner = self.term()
+            if isinstance(inner, ast.Literal):
+                return ast.Literal(-inner.value)
+            return ast.BinaryOp("-", ast.Literal(0), inner)
+        if token.kind == "ident":
+            self.advance()
+            return ast.ColumnRef(token.value)
+        if token.is_symbol("("):
+            self.advance()
+            inner = self.expr()
+            if self.accept_symbol(","):
+                # Tuple literal, e.g. an interval value: (9, 17).
+                parts = [inner, self.expr()]
+                while self.accept_symbol(","):
+                    parts.append(self.expr())
+                self.expect_symbol(")")
+                values = []
+                for part in parts:
+                    if not isinstance(part, ast.Literal):
+                        raise SQLSyntaxError(
+                            "tuple literals must contain constants")
+                    values.append(part.value)
+                return ast.Literal(tuple(values))
+            self.expect_symbol(")")
+            return inner
+        raise SQLSyntaxError(f"expected expression, got {token.value!r}")
+
+    # -- conditions ------------------------------------------------------------------
+    def condition(self):
+        return self.or_cond()
+
+    def or_cond(self):
+        parts = [self.and_cond()]
+        while self.accept_keyword("OR"):
+            parts.append(self.and_cond())
+        return parts[0] if len(parts) == 1 else ast.OrCond(tuple(parts))
+
+    def and_cond(self):
+        parts = [self.primary_cond()]
+        while self.accept_keyword("AND"):
+            parts.append(self.primary_cond())
+        return parts[0] if len(parts) == 1 else ast.AndCond(tuple(parts))
+
+    def primary_cond(self):
+        if self.accept_keyword("NOT"):
+            return ast.NotCond(self.primary_cond())
+        if self.current.is_symbol("("):
+            # Could be a parenthesized condition; try it.
+            save = self.pos
+            self.advance()
+            try:
+                inner = self.condition()
+                self.expect_symbol(")")
+                return inner
+            except SQLSyntaxError:
+                self.pos = save
+        left = self.expr()
+        if self.accept_keyword("BETWEEN"):
+            lo = self.expr()
+            self.expect_keyword("AND")
+            hi = self.expr()
+            return ast.BetweenCond(left, lo, hi)
+        token = self.current
+        if token.is_symbol("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            right = self.expr()
+            return ast.Comparison(op, left, right)
+        raise SQLSyntaxError(f"expected comparison, got {token.value!r}")
+
+    # -- SELECT -----------------------------------------------------------------------
+    def select(self):
+        self.expect_keyword("SELECT")
+        items = [self.select_item()]
+        while self.accept_symbol(","):
+            items.append(self.select_item())
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.condition() if self.accept_keyword("WHERE") else None
+        order_by, descending = None, False
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self.expect_ident()
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.advance()
+            if token.kind != "number" or not isinstance(token.value, int):
+                raise SQLSyntaxError("LIMIT expects an integer")
+            limit = token.value
+        for_update = False
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("UPDATE")
+            for_update = True
+        self.expect_end()
+        return ast.Select(tuple(items), table, where, order_by, descending,
+                          limit, for_update)
+
+    def select_item(self):
+        token = self.current
+        if token.is_symbol("*"):
+            self.advance()
+            return ast.SelectItem("star")
+        if token.is_keyword("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            func = self.advance().value
+            self.expect_symbol("(")
+            if self.accept_symbol("*"):
+                column = None
+                if func != "COUNT":
+                    raise SQLSyntaxError(f"{func}(*) is not valid")
+            else:
+                column = self.expect_ident()
+            self.expect_symbol(")")
+            alias = self.expect_ident() if self.accept_keyword("AS") else None
+            return ast.SelectItem("aggregate", column=column, func=func,
+                                  alias=alias)
+        column = self.expect_ident()
+        alias = self.expect_ident() if self.accept_keyword("AS") else None
+        return ast.SelectItem("column", column=column, alias=alias)
+
+    # -- INSERT / UPDATE / DELETE -------------------------------------------------------
+    def insert(self):
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        columns = [self.expect_ident()]
+        while self.accept_symbol(","):
+            columns.append(self.expect_ident())
+        self.expect_symbol(")")
+        self.expect_keyword("VALUES")
+        rows = [self.value_row(len(columns))]
+        while self.accept_symbol(","):
+            rows.append(self.value_row(len(columns)))
+        self.expect_end()
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def value_row(self, arity: int) -> Tuple:
+        self.expect_symbol("(")
+        values = [self.expr()]
+        while self.accept_symbol(","):
+            values.append(self.expr())
+        self.expect_symbol(")")
+        if len(values) != arity:
+            raise SQLSyntaxError(
+                f"INSERT has {arity} columns but {len(values)} values")
+        return tuple(values)
+
+    def update(self):
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self.assignment())
+        where = self.condition() if self.accept_keyword("WHERE") else None
+        self.expect_end()
+        return ast.Update(table, tuple(assignments), where)
+
+    def assignment(self):
+        column = self.expect_ident()
+        self.expect_symbol("=")
+        return (column, self.expr())
+
+    def delete(self):
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.condition() if self.accept_keyword("WHERE") else None
+        self.expect_end()
+        return ast.Delete(table, where)
+
+    # -- DDL ---------------------------------------------------------------------------
+    def create(self):
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            name = self.expect_ident()
+            self.expect_symbol("(")
+            columns, primary = [], None
+            while True:
+                column = self.expect_ident()
+                # Optional type name, ignored (dynamically typed rows).
+                if self.current.kind == "ident":
+                    self.advance()
+                if self.accept_keyword("PRIMARY"):
+                    self.expect_keyword("KEY")
+                    primary = column
+                columns.append(column)
+                if not self.accept_symbol(","):
+                    break
+            self.expect_symbol(")")
+            self.expect_end()
+            return ast.CreateTable(name, tuple(columns), primary)
+        unique = bool(self.accept_keyword("UNIQUE"))
+        self.expect_keyword("INDEX")
+        name = None
+        if self.current.kind == "ident":
+            name = self.advance().value
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        column = self.expect_ident()
+        self.expect_symbol(")")
+        using = "btree"
+        if self.accept_keyword("USING"):
+            using = self.expect_keyword("BTREE", "HASH", "GIST").value.lower()
+        self.expect_end()
+        return ast.CreateIndex(table, column, name, unique, using)
+
+    def drop(self):
+        self.expect_keyword("DROP")
+        self.expect_keyword("INDEX")
+        name = self.expect_ident()
+        self.expect_end()
+        return ast.DropIndex(name)
+
+    # -- transaction control ----------------------------------------------------------
+    def begin(self):
+        self.expect_keyword("BEGIN")
+        self.accept_keyword("TRANSACTION")
+        isolation = None
+        read_only = False
+        deferrable = False
+        while True:
+            self.accept_symbol(",")
+            if self.accept_keyword("ISOLATION"):
+                self.expect_keyword("LEVEL")
+                if self.accept_keyword("SERIALIZABLE"):
+                    isolation = "serializable"
+                elif self.accept_keyword("REPEATABLE"):
+                    self.expect_keyword("READ")
+                    isolation = "repeatable read"
+                elif self.accept_keyword("READ"):
+                    self.expect_keyword("COMMITTED")
+                    isolation = "read committed"
+                elif self.accept_keyword("S2PL"):
+                    isolation = "s2pl"
+                else:
+                    raise SQLSyntaxError("unknown isolation level")
+                continue
+            if self.accept_keyword("READ"):
+                self.expect_keyword("ONLY")
+                read_only = True
+                continue
+            if self.accept_keyword("DEFERRABLE"):
+                deferrable = True
+                continue
+            break
+        self.expect_end()
+        return ast.Begin(isolation, read_only, deferrable)
+
+    def rollback(self):
+        self.expect_keyword("ROLLBACK")
+        if self.accept_keyword("PREPARED"):
+            gid = self.expect_string()
+            self.expect_end()
+            return ast.RollbackPrepared(gid)
+        if self.accept_keyword("TO"):
+            self.accept_keyword("SAVEPOINT")
+            name = self.expect_ident()
+            self.expect_end()
+            return ast.RollbackTo(name)
+        self.expect_end()
+        return ast.Rollback()
+
+    def lock_table(self):
+        self.expect_keyword("LOCK")
+        self.expect_keyword("TABLE")
+        table = self.expect_ident()
+        mode = "ACCESS EXCLUSIVE"
+        if self.accept_keyword("IN"):
+            words = []
+            while not self.current.is_keyword("MODE"):
+                token = self.advance()
+                if token.kind not in ("keyword", "ident"):
+                    raise SQLSyntaxError("bad lock mode")
+                words.append(str(token.value).upper())
+            self.expect_keyword("MODE")
+            mode = " ".join(words)
+        self.expect_end()
+        return ast.LockTable(table, mode)
+
+
+def parse(sql: str):
+    """Parse one SQL statement into its AST node."""
+    return _Parser(tokenize(sql)).parse_statement()

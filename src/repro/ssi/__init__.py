@@ -1,0 +1,35 @@
+"""Serializable Snapshot Isolation: the paper's primary contribution.
+
+Layout:
+
+* :mod:`repro.ssi.targets` -- predicate-lock target tags over the
+  relation / page / tuple hierarchy (plus index pages/relations);
+* :mod:`repro.ssi.sxact` -- per-transaction SSI state
+  (SerializableXact): rw-antidependency lists, commit sequence numbers,
+  flags (DOOMED, PREPARED, RO_SAFE, ...);
+* :mod:`repro.ssi.lockmgr` -- the SIREAD lock manager (section 5.2.1):
+  non-blocking, multigranularity without intention locks, granularity
+  promotion, page-split lock copying, DDL promotions, and consolidation
+  into the summary dummy transaction (section 6.2);
+* :mod:`repro.ssi.manager` -- conflict detection and resolution
+  (sections 5.2-5.4), the read-only optimizations (section 4), and the
+  memory-mitigation machinery (section 6).
+"""
+
+from repro.ssi.sxact import SerializableXact, INFINITE_SEQ
+from repro.ssi.lockmgr import SIReadLockManager
+from repro.ssi.manager import SSIManager
+from repro.ssi.targets import (index_page_target, index_rel_target,
+                               page_target, rel_target, tuple_target)
+
+__all__ = [
+    "SerializableXact",
+    "INFINITE_SEQ",
+    "SIReadLockManager",
+    "SSIManager",
+    "rel_target",
+    "page_target",
+    "tuple_target",
+    "index_page_target",
+    "index_rel_target",
+]

@@ -1,0 +1,65 @@
+"""Predicate-lock targets.
+
+SIREAD locks are keyed by tags over a granularity hierarchy
+(section 5.2.1): heap relation > heap page > heap tuple, plus index
+relation > index page for index-gap (phantom) locking. Page and tuple
+targets are identified by *physical* location, which is why DDL that
+moves tuples must promote them (see SIReadLockManager.promote_*).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.storage.tuple import TID
+
+Target = Tuple
+
+
+def rel_target(rel_oid: int) -> Target:
+    return ("r", rel_oid)
+
+
+def page_target(rel_oid: int, page_no: int) -> Target:
+    return ("p", rel_oid, page_no)
+
+
+def tuple_target(rel_oid: int, tid: TID) -> Target:
+    return ("t", rel_oid, tid.page, tid.slot)
+
+
+def index_rel_target(index_oid: int) -> Target:
+    return ("ir", index_oid)
+
+
+def index_page_target(index_oid: int, page_no: int) -> Target:
+    return ("ip", index_oid, page_no)
+
+
+def index_key_target(index_oid: int, key) -> Target:
+    """Next-key locking: one target per key value (including the key
+    bounding a scanned gap)."""
+    return ("ik", index_oid, key)
+
+
+def index_inf_target(index_oid: int) -> Target:
+    """The virtual +infinity key: guards the gap beyond the last key."""
+    return ("ik+", index_oid)
+
+
+def heap_write_targets(rel_oid: int, tid: TID) -> List[Target]:
+    """Targets a heap write must check for SIREAD locks, coarsest first.
+
+    Checking coarsest-to-finest is what lets the implementation skip
+    intention locks entirely (section 5.2.1).
+    """
+    return [rel_target(rel_oid),
+            page_target(rel_oid, tid.page),
+            tuple_target(rel_oid, tid)]
+
+
+def index_insert_targets(index_oid: int, leaf_pages: List[int]) -> List[Target]:
+    """Targets an index insert must check, coarsest first."""
+    targets: List[Target] = [index_rel_target(index_oid)]
+    targets.extend(index_page_target(index_oid, p) for p in leaf_pages)
+    return targets

@@ -1,0 +1,17 @@
+"""Heap storage substrate.
+
+PostgreSQL-style versioned heap: slotted pages of tuples, each tuple
+tagged with its creator (xmin) and deleter/replacer (xmax) transaction
+IDs (paper section 5.1). An UPDATE deletes the old version and inserts
+a new tuple at a new location, linked through the forward ``ctid``
+pointer; write locks live in the tuple header itself (the xmax field),
+which is why the paper needed a separate in-RAM SIREAD lock manager.
+"""
+
+from repro.storage.tuple import TID, HeapTuple
+from repro.storage.page import HeapPage
+from repro.storage.heap import Heap
+from repro.storage.buffer import BufferManager
+from repro.storage.relation import Relation
+
+__all__ = ["TID", "HeapTuple", "HeapPage", "Heap", "BufferManager", "Relation"]

@@ -1,0 +1,52 @@
+"""Buffer manager: page residency tracking with LRU eviction.
+
+The simulator charges an I/O cost per buffer miss, which is how the
+paper's disk-bound configurations (sections 8.2, 8.4) are modelled
+without real disks: with a small buffer pool and a large per-miss
+charge, I/O dominates and concurrency-control CPU overhead stops
+mattering, compressing the SI/SSI/S2PL differences exactly as Figure 5b
+shows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+PageKey = Tuple[int, int]  # (relation oid, page number)
+
+
+class BufferManager:
+    """LRU page cache. ``capacity=None`` means everything fits
+    (the paper's tmpfs configuration)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self._lru: "OrderedDict[PageKey, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, rel_oid: int, page_no: int) -> bool:
+        """Access a page; returns True on a miss (I/O charged)."""
+        key = (rel_oid, page_no)
+        if self.capacity is None:
+            # Unlimited cache: first touch of a page is still a miss.
+            if key in self._lru:
+                self.hits += 1
+                return False
+            self._lru[key] = None
+            self.misses += 1
+            return True
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return False
+        self._lru[key] = None
+        if len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+        self.misses += 1
+        return True
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,100 @@
+"""Heap: the page collection backing one relation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.mvcc.clog import CommitLog
+from repro.mvcc.visibility import tuple_is_dead
+from repro.storage.page import HeapPage
+from repro.storage.tuple import TID, HeapTuple
+
+
+class Heap:
+    """Append-mostly tuple storage with slot reuse after VACUUM."""
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self._pages: List[HeapPage] = []
+
+    # -- basic access ----------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def page(self, page_no: int) -> Optional[HeapPage]:
+        if 0 <= page_no < len(self._pages):
+            return self._pages[page_no]
+        return None
+
+    def fetch(self, tid: TID) -> Optional[HeapTuple]:
+        page = self.page(tid.page)
+        return page.get(tid.slot) if page else None
+
+    def insert(self, data: Dict[str, Any], xid: int, cid: int) -> HeapTuple:
+        """Store a new tuple version; returns it with its TID set."""
+        page = self._page_with_room()
+        tup = HeapTuple(tid=TID(page.page_no, 0), data=dict(data),
+                        xmin=xid, cmin=cid)
+        slot = page.add(tup)
+        tup.tid = TID(page.page_no, slot)
+        return tup
+
+    def _page_with_room(self) -> HeapPage:
+        # Check the last page first (the common case), then any page
+        # with a vacuumed slot, then extend.
+        if self._pages and self._pages[-1].has_room():
+            return self._pages[-1]
+        for page in self._pages:
+            if page.has_room():
+                return page
+        page = HeapPage(len(self._pages), self.page_size)
+        self._pages.append(page)
+        return page
+
+    # -- scans -------------------------------------------------------------
+    def scan(self) -> Iterator[HeapTuple]:
+        """All tuple versions, in physical order (sequential scan)."""
+        for page in self._pages:
+            yield from page.tuples()
+
+    def scan_pages(self) -> Iterator[HeapPage]:
+        yield from self._pages
+
+    # -- maintenance ---------------------------------------------------------
+    def vacuum(self, horizon_xmin: int, clog: CommitLog) -> List[HeapTuple]:
+        """Remove tuple versions no snapshot can see.
+
+        Returns the removed tuples (they carry their TID and data) so
+        the caller can clean index entries. Tuples are not moved (plain
+        VACUUM, not VACUUM FULL), so physical SIREAD lock targets stay
+        valid (paper section 5.2.1).
+        """
+        removed: List[HeapTuple] = []
+        for page in self._pages:
+            for slot in range(page.capacity):
+                tup = page.get(slot)
+                if tup is not None and tuple_is_dead(tup, horizon_xmin, clog):
+                    page.remove(slot)
+                    removed.append(tup)
+        return removed
+
+    def rewrite(self, keep) -> "Heap":
+        """Physically rewrite the heap (CLUSTER / rewriting ALTER TABLE).
+
+        ``keep`` is a predicate over tuples selecting versions to copy.
+        Tuples move to new TIDs, which is why the engine must promote
+        page- and tuple-granularity SIREAD locks on this relation to
+        relation granularity (paper section 5.2.1).
+        """
+        new = Heap(self.page_size)
+        for tup in self.scan():
+            if keep(tup):
+                page = new._page_with_room()
+                moved = HeapTuple(tid=TID(page.page_no, 0), data=tup.data,
+                                  xmin=tup.xmin, cmin=tup.cmin,
+                                  xmax=tup.xmax, cmax=tup.cmax,
+                                  xmax_lock_only=tup.xmax_lock_only)
+                slot = page.add(moved)
+                moved.tid = TID(page.page_no, slot)
+        return new

@@ -1,0 +1,52 @@
+"""Slotted heap pages."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.storage.tuple import HeapTuple
+
+
+class HeapPage:
+    """A fixed-capacity array of tuple slots.
+
+    Slots are never reused while a tuple occupies them; VACUUM frees
+    slots of dead tuples, after which they can host new inserts. Keeping
+    pages small (tens of tuples) makes page-granularity SIREAD locks and
+    granularity promotion meaningful at laptop scale.
+    """
+
+    def __init__(self, page_no: int, capacity: int) -> None:
+        self.page_no = page_no
+        self.capacity = capacity
+        self._slots: List[Optional[HeapTuple]] = []
+
+    def has_room(self) -> bool:
+        return len(self._slots) < self.capacity or None in self._slots
+
+    def add(self, tup: HeapTuple) -> int:
+        """Place a tuple in a free slot and return the slot number."""
+        for i, slot in enumerate(self._slots):
+            if slot is None:
+                self._slots[i] = tup
+                return i
+        if len(self._slots) >= self.capacity:
+            raise ValueError(f"page {self.page_no} is full")
+        self._slots.append(tup)
+        return len(self._slots) - 1
+
+    def get(self, slot: int) -> Optional[HeapTuple]:
+        if 0 <= slot < len(self._slots):
+            return self._slots[slot]
+        return None
+
+    def remove(self, slot: int) -> None:
+        self._slots[slot] = None
+
+    def tuples(self) -> Iterator[HeapTuple]:
+        for tup in self._slots:
+            if tup is not None:
+                yield tup
+
+    def __len__(self) -> int:
+        return sum(1 for t in self._slots if t is not None)

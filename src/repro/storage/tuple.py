@@ -1,0 +1,53 @@
+"""Heap tuples: row versions with MVCC headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, NamedTuple, Optional
+
+from repro.mvcc.xid import INVALID_XID
+
+
+class TID(NamedTuple):
+    """Physical tuple identifier: (page number, slot within page).
+
+    SIREAD locks at tuple and page granularity are keyed by physical
+    location (paper section 5.2.1), which is why table rewrites must
+    promote them to relation granularity.
+    """
+
+    page: int
+    slot: int
+
+
+@dataclass
+class HeapTuple:
+    """One row version.
+
+    Header fields follow PostgreSQL: ``xmin``/``cmin`` identify the
+    creating transaction and command, ``xmax``/``cmax`` the deleting or
+    replacing one. ``xmax_lock_only`` marks a FOR UPDATE-style tuple
+    lock stored in xmax without deleting the tuple (HEAP_XMAX_LOCK_ONLY).
+    ``next_tid`` is the forward ctid chain to the replacing version.
+    """
+
+    tid: TID
+    data: Dict[str, Any]
+    xmin: int
+    cmin: int = 0
+    xmax: int = INVALID_XID
+    cmax: int = 0
+    xmax_lock_only: bool = False
+    next_tid: Optional[TID] = None
+
+    def set_deleter(self, xid: int, cid: int, *, lock_only: bool = False) -> None:
+        self.xmax = xid
+        self.cmax = cid
+        self.xmax_lock_only = lock_only
+
+    def clear_deleter(self) -> None:
+        """Remove an aborted deleter / released tuple lock."""
+        self.xmax = INVALID_XID
+        self.cmax = 0
+        self.xmax_lock_only = False
+        self.next_tid = None

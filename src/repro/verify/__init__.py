@@ -1,0 +1,27 @@
+"""Serializability verification.
+
+Records complete execution histories and builds the Adya multiversion
+serialization history graph (paper section 3.1): wr-dependencies,
+ww-dependencies, and rw-antidependencies, including predicate-read
+(phantom) antidependencies. A cycle among committed transactions means
+the execution was not serializable; acyclicity yields a witness serial
+order by topological sort.
+
+Used by the anomaly tests (the SI runs of Figures 1 and 2 must show a
+cycle; SSI and S2PL runs must never produce one) and by the
+property-based random-history tests.
+"""
+
+from repro.verify.history import HistoryRecorder, ReadEvent, WriteEvent
+from repro.verify.graph import SerializationGraph, build_graph
+from repro.verify.checker import CheckResult, check_serializable
+
+__all__ = [
+    "HistoryRecorder",
+    "ReadEvent",
+    "WriteEvent",
+    "SerializationGraph",
+    "build_graph",
+    "CheckResult",
+    "check_serializable",
+]

@@ -1,0 +1,37 @@
+"""Serializability verdicts over recorded histories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.verify.graph import SerializationGraph, build_graph
+from repro.verify.history import HistoryRecorder
+
+
+@dataclass
+class CheckResult:
+    serializable: bool
+    #: A cycle of xids when not serializable.
+    cycle: Optional[List[int]]
+    #: A witness serial order (topological sort) when serializable.
+    serial_order: Optional[List[int]]
+    graph: SerializationGraph
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.serializable
+
+
+def check_serializable(recorder: HistoryRecorder) -> CheckResult:
+    """Was the committed portion of the recorded history serializable?
+
+    Uses the Adya multiversion serialization graph: acyclicity is
+    equivalent to the existence of an equivalent serial order
+    (section 3.1: "Otherwise, the serial order can be determined using
+    a topological sort").
+    """
+    graph = build_graph(recorder)
+    cycle = graph.find_cycle()
+    if cycle is not None:
+        return CheckResult(False, cycle, None, graph)
+    return CheckResult(True, None, graph.serial_order(), graph)

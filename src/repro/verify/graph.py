@@ -1,0 +1,112 @@
+"""Multiversion serialization history graph (Adya; paper section 3.1).
+
+Nodes are committed transactions; edges are:
+
+* ``wr``: T1 wrote a version T2 read -> T1 before T2;
+* ``ww``: T1 wrote a version T2 replaced -> T1 before T2;
+* ``rw``: T1 read a version T2 replaced, or T1's predicate read missed
+  a matching version T2 created (phantom) -> T1 before T2 (the
+  antidependencies central to SSI).
+
+A cycle proves the execution non-serializable; otherwise a topological
+sort yields a witness serial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.verify.history import HistoryRecorder, INITIAL_XID
+
+
+@dataclass
+class SerializationGraph:
+    """Wrapper around the networkx digraph with typed edges."""
+
+    graph: nx.DiGraph
+
+    def edges_of_type(self, kind: str) -> List[Tuple[int, int]]:
+        return [(u, v) for u, v, k in self.graph.edges(data="kinds")
+                if kind in k]
+
+    def find_cycle(self) -> Optional[List[int]]:
+        try:
+            cycle_edges = nx.find_cycle(self.graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [u for u, _v in cycle_edges]
+
+    def serial_order(self) -> Optional[List[int]]:
+        try:
+            return list(nx.topological_sort(self.graph))
+        except nx.NetworkXUnfeasible:
+            return None
+
+    def edge_kinds(self, u: int, v: int) -> Set[str]:
+        data = self.graph.get_edge_data(u, v)
+        return set(data["kinds"]) if data else set()
+
+
+def build_graph(recorder: HistoryRecorder,
+                include_initial: bool = False) -> SerializationGraph:
+    """Build the serialization graph over committed transactions."""
+    committed = recorder.committed_xids()
+    g = nx.DiGraph()
+
+    def node_ok(xid: int) -> bool:
+        if xid == INITIAL_XID and not include_initial:
+            return False
+        return xid in committed
+
+    def add_edge(u: int, v: int, kind: str) -> None:
+        if u == v or not node_ok(u) or not node_ok(v):
+            return
+        if g.has_edge(u, v):
+            g[u][v]["kinds"].add(kind)
+        else:
+            g.add_edge(u, v, kinds={kind})
+
+    for xid in committed:
+        if xid == INITIAL_XID and not include_initial:
+            continue
+        g.add_node(xid)
+
+    # ww: version chain order.
+    for info in recorder.versions.values():
+        if info.replacer_xid is not None:
+            add_edge(info.creator_xid, info.replacer_xid, "ww")
+
+    for read in recorder.reads:
+        if read.xid not in committed:
+            continue
+        # wr: creators of versions we read precede us.
+        for vid in read.versions:
+            info = recorder.versions[vid]
+            add_edge(info.creator_xid, read.xid, "wr")
+            # rw: replacers of versions we read follow us.
+            if info.replacer_xid is not None:
+                add_edge(read.xid, info.replacer_xid, "rw")
+        # rw (phantoms): committed versions matching our predicate that
+        # our snapshot could not see -> their creators follow us.
+        seen = set(read.versions)
+        for vid, info in recorder.versions.items():
+            if vid[0] != read.rel_oid or vid in seen:
+                continue
+            creator = info.creator_xid
+            if creator == read.xid or creator not in committed:
+                continue
+            if creator == INITIAL_XID:
+                continue
+            if not read.snapshot.xid_in_progress_at_snapshot(creator):
+                continue  # visible-committed; not a missed write
+            try:
+                matches = read.predicate.matches(info.data)
+            except Exception:
+                matches = False
+            if matches:
+                add_edge(read.xid, creator, "rw")
+
+    return SerializationGraph(g)

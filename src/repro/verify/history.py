@@ -1,0 +1,112 @@
+"""Execution-history recording.
+
+The engine (when EngineConfig.record_history is set) reports every
+begin, read (with its predicate and visibility snapshot), write, and
+commit/abort. The recorder keeps a version registry -- who created
+each tuple version, its contents, who replaced it -- from which the
+multiversion serialization graph is rebuilt offline (repro.verify.graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.mvcc.snapshot import Snapshot
+from repro.storage.tuple import TID
+
+VersionId = Tuple[int, TID]  # (relation oid, tid)
+
+#: Synthetic transaction that "created" pre-existing data (setup rows
+#: inserted outside recorded sessions).
+INITIAL_XID = 0
+
+
+@dataclass
+class VersionInfo:
+    """Provenance of one tuple version."""
+
+    vid: VersionId
+    creator_xid: int
+    data: Dict[str, Any]
+    replacer_xid: Optional[int] = None
+    successor: Optional[VersionId] = None
+
+
+@dataclass
+class ReadEvent:
+    """One scan: which versions it returned, under which predicate and
+    visibility snapshot (for phantom antidependencies)."""
+
+    xid: int
+    rel_oid: int
+    predicate: Any
+    versions: List[VersionId]
+    snapshot: Snapshot
+
+
+@dataclass
+class WriteEvent:
+    xid: int
+    rel_oid: int
+    kind: str  # insert | update | delete
+    old: Optional[VersionId]
+    new: Optional[VersionId]
+
+
+class HistoryRecorder:
+    """Accumulates one execution history."""
+
+    def __init__(self) -> None:
+        self.versions: Dict[VersionId, VersionInfo] = {}
+        self.reads: List[ReadEvent] = []
+        self.writes: List[WriteEvent] = []
+        self.committed: Set[int] = {INITIAL_XID}
+        self.aborted: Set[int] = set()
+        self.begun: Dict[int, Tuple[Snapshot, Any]] = {}
+
+    # -- engine hooks -----------------------------------------------------
+    def on_begin(self, xid: int, snapshot: Snapshot, isolation) -> None:
+        self.begun[xid] = (snapshot, isolation)
+
+    def on_read(self, xid: int, rel_oid: int, predicate,
+                tids: List[TID], snapshot: Snapshot) -> None:
+        vids = []
+        for tid in tids:
+            vid = (rel_oid, tid)
+            self._ensure_version(vid)
+            vids.append(vid)
+        self.reads.append(ReadEvent(xid, rel_oid, predicate, vids, snapshot))
+
+    def on_write(self, xid: int, rel_oid: int, kind: str,
+                 old_tuple, new_tuple) -> None:
+        old_vid = (rel_oid, old_tuple.tid) if old_tuple is not None else None
+        new_vid = (rel_oid, new_tuple.tid) if new_tuple is not None else None
+        if new_vid is not None:
+            self.versions[new_vid] = VersionInfo(
+                vid=new_vid, creator_xid=xid, data=dict(new_tuple.data))
+        if old_vid is not None:
+            info = self._ensure_version(old_vid, old_tuple)
+            info.replacer_xid = xid
+            info.successor = new_vid
+        self.writes.append(WriteEvent(xid, rel_oid, kind, old_vid, new_vid))
+
+    def on_commit(self, xid: int) -> None:
+        self.committed.add(xid)
+
+    def on_abort(self, xid: int) -> None:
+        self.aborted.add(xid)
+
+    # -- helpers -------------------------------------------------------------
+    def _ensure_version(self, vid: VersionId, tup=None) -> VersionInfo:
+        info = self.versions.get(vid)
+        if info is None:
+            data = dict(tup.data) if tup is not None else {}
+            info = VersionInfo(vid=vid, creator_xid=INITIAL_XID, data=data)
+            self.versions[vid] = info
+        elif tup is not None and not info.data:
+            info.data = dict(tup.data)
+        return info
+
+    def committed_xids(self) -> Set[int]:
+        return set(self.committed)

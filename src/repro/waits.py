@@ -1,0 +1,56 @@
+"""Wait conditions.
+
+Executor generators yield these when a statement must suspend; the
+deterministic scheduler parks the client until ``ready`` is true, then
+resumes the generator exactly where it stopped (no statement restart,
+so partial statement work is never re-applied).
+
+Two kinds exist:
+
+* :class:`repro.locks.manager.LockRequest` -- queued heavyweight lock
+  acquisitions (table locks, xid waits for tuple write conflicts, and
+  every S2PL data lock);
+* :class:`SafeSnapshotWait` -- a DEFERRABLE read-only transaction
+  blocked until its snapshot is proven safe or unsafe (section 4.3).
+"""
+
+from __future__ import annotations
+
+
+class Yield:
+    """An always-ready wait: the statement voluntarily yields the
+    processor mid-scan so long statements interleave with other
+    clients' work, as they would on real hardware. Sequential and
+    index scans yield every few pages; this is what lets a long
+    read-only query's snapshot become safe *during* the scan
+    (section 4.2) and lets writers block behind long S2PL scans."""
+
+    ready = True
+
+    def describe(self) -> str:
+        return "voluntary yield"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Yield>"
+
+
+#: Shared instance; the condition carries no state.
+YIELD = Yield()
+
+
+class SafeSnapshotWait:
+    """Deferrable transaction waiting for its snapshot's safety to be
+    decided by the completion of concurrent read/write transactions."""
+
+    def __init__(self, sxact) -> None:
+        self.sxact = sxact
+
+    @property
+    def ready(self) -> bool:
+        return self.sxact.ro_safe or self.sxact.ro_unsafe
+
+    def describe(self) -> str:
+        return f"safe-snapshot wait for sxact {self.sxact.xid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SafeSnapshotWait {self.describe()}>"

@@ -1,0 +1,32 @@
+"""Benchmark workloads from the paper's evaluation (section 8).
+
+* :mod:`repro.workloads.sibench` -- the SIBENCH microbenchmark
+  (section 8.1): N-row table, 50% single-row updates / 50% full-scan
+  min-value queries;
+* :mod:`repro.workloads.dbt2pp` -- a scaled-down DBT-2++/TPC-C++
+  transaction mix (section 8.2), including Cahill's credit-check
+  transaction that makes TPC-C non-serializable under SI, with a
+  tunable read-only fraction;
+* :mod:`repro.workloads.rubis` -- a RUBiS-like auction-site bidding
+  mix (section 8.3), 85% read-only;
+* :mod:`repro.workloads.receipts`, :mod:`repro.workloads.doctors` --
+  the paper's motivating anomaly examples (sections 2.1.1-2.1.2) as
+  runnable workloads.
+"""
+
+from repro.workloads.base import Workload, run_workload
+from repro.workloads.sibench import SIBench
+from repro.workloads.dbt2pp import DBT2PP
+from repro.workloads.rubis import RubisBidding
+from repro.workloads.doctors import DoctorsWorkload
+from repro.workloads.receipts import ReceiptsWorkload
+
+__all__ = [
+    "Workload",
+    "run_workload",
+    "SIBench",
+    "DBT2PP",
+    "RubisBidding",
+    "DoctorsWorkload",
+    "ReceiptsWorkload",
+]

@@ -1,0 +1,340 @@
+"""DBT-2++ : a scaled-down TPC-C-like mix with the TPC-C++ credit
+check (paper section 8.2).
+
+TPC-C proper is serializable under plain snapshot isolation, so the
+paper added Cahill's "credit check" transaction, which closes a cycle
+of dependencies with NEW-ORDER when run concurrently. The read-only
+fraction of the mix is a parameter (the x-axis of Figure 5): read-only
+transactions are ORDER-STATUS and STOCK-LEVEL, read/write ones are
+NEW-ORDER, PAYMENT, DELIVERY, and CREDIT-CHECK in their standard
+relative proportions.
+
+Scale is laptop-sized (a few warehouses, tens of customers); composite
+TPC-C keys are flattened to integers so every table has a B+-tree
+primary index:
+
+* district key  = w * 100 + d
+* customer key  = (w * 100 + d) * 1000 + c
+* stock key     = w * 100000 + i
+* order key     = district key * 100000 + o_id
+* order line key = order key * 100 + line number
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import And, Between, Eq
+from repro.sim import ops
+from repro.sim.client import TxnSpec
+from repro.workloads.base import Workload
+
+
+def district_key(w: int, d: int) -> int:
+    return w * 100 + d
+
+
+def customer_key(w: int, d: int, c: int) -> int:
+    return district_key(w, d) * 1000 + c
+
+
+def stock_key(w: int, i: int) -> int:
+    return w * 100_000 + i
+
+
+def order_key(w: int, d: int, o_id: int) -> int:
+    return district_key(w, d) * 100_000 + o_id
+
+
+class DBT2PP(Workload):
+    name = "dbt2pp"
+
+    #: Relative weights of the read/write transactions (the standard
+    #: TPC-C proportions, with a slice for the credit check).
+    RW_MIX: List[Tuple[str, float]] = [
+        ("new_order", 0.46),
+        ("payment", 0.44),
+        ("delivery", 0.05),
+        ("credit_check", 0.05),
+    ]
+    #: Relative weights of the read-only transactions.
+    RO_MIX: List[Tuple[str, float]] = [
+        ("order_status", 0.5),
+        ("stock_level", 0.5),
+    ]
+
+    def __init__(self, warehouses: int = 2, districts: int = 10,
+                 customers_per_district: int = 20, items: int = 50,
+                 read_only_fraction: float = 0.08,
+                 items_per_order: Tuple[int, int] = (3, 6),
+                 remote_fraction: float = 0.10) -> None:
+        self.warehouses = warehouses
+        self.districts = districts
+        self.customers = customers_per_district
+        self.items = items
+        self.read_only_fraction = read_only_fraction
+        self.items_per_order = items_per_order
+        #: Probability that a transaction touches a random district
+        #: instead of the client's home district. TPC-C binds each
+        #: terminal to a home (warehouse, district); without that
+        #: binding our slow-motion simulation has every client
+        #: colliding on the district rows, which the paper's
+        #: de-contended DBT-2++ variant explicitly avoided.
+        self.remote_fraction = remote_fraction
+        #: Orders pre-loaded per district (TPC-C ships with 3000; even
+        #: a handful spreads the order-table B+-trees across leaf
+        #: pages, avoiding the everything-on-one-empty-leaf gap-lock
+        #: collisions a cold database would suffer).
+        self.initial_orders = 8
+        self._homes: dict = {}
+        self._next_home = 0
+
+    # ------------------------------------------------------------------
+    def setup(self, db, rng: random.Random) -> None:
+        db.create_table("warehouse", ["w_id", "w_tax"], key="w_id")
+        db.create_table("district",
+                        ["d_key", "w_id", "d_id", "d_next_o_id", "d_ytd"],
+                        key="d_key")
+        db.create_table("customer",
+                        ["c_key", "w_id", "d_id", "c_id", "c_balance",
+                         "c_credit_lim", "c_credit", "c_ytd"],
+                        key="c_key")
+        db.create_table("item", ["i_id", "i_price"], key="i_id")
+        db.create_table("stock", ["s_key", "w_id", "i_id", "s_quantity"],
+                        key="s_key")
+        db.create_table("orders",
+                        ["o_key", "d_key", "o_id", "c_key", "o_carrier",
+                         "o_ol_cnt"],
+                        key="o_key")
+        db.create_index("orders", "c_key")
+        db.create_table("order_line",
+                        ["ol_key", "o_key", "i_id", "ol_amount",
+                         "ol_delivered"],
+                        key="ol_key")
+        db.create_index("order_line", "o_key")
+        db.create_table("new_order", ["no_key", "d_key"], key="no_key")
+
+        session = db.session()
+        session.begin()
+        for w in range(self.warehouses):
+            session.insert("warehouse", {"w_id": w, "w_tax": 0.05})
+            for i in range(self.items):
+                session.insert("stock", {"s_key": stock_key(w, i),
+                                         "w_id": w, "i_id": i,
+                                         "s_quantity": 50 + rng.randrange(50)})
+            for d in range(self.districts):
+                session.insert("district", {
+                    "d_key": district_key(w, d), "w_id": w, "d_id": d,
+                    "d_next_o_id": self.initial_orders + 1, "d_ytd": 0.0})
+                for c in range(self.customers):
+                    session.insert("customer", {
+                        "c_key": customer_key(w, d, c), "w_id": w,
+                        "d_id": d, "c_id": c, "c_balance": 0.0,
+                        "c_credit_lim": 500.0, "c_credit": "GC",
+                        "c_ytd": 0.0})
+                for o_id in range(1, self.initial_orders + 1):
+                    self._load_order(session, rng, w, d, o_id)
+        for i in range(self.items):
+            session.insert("item", {"i_id": i,
+                                    "i_price": 1 + rng.randrange(100)})
+        session.commit()
+
+    def _load_order(self, session, rng: random.Random, w: int, d: int,
+                    o_id: int) -> None:
+        dk = district_key(w, d)
+        ok = order_key(w, d, o_id)
+        c = rng.randrange(self.customers)
+        n_lines = rng.randint(*self.items_per_order)
+        delivered = o_id <= self.initial_orders // 2
+        for line_no in range(n_lines):
+            session.insert("order_line", {
+                "ol_key": ok * 100 + line_no, "o_key": ok,
+                "i_id": rng.randrange(self.items),
+                "ol_amount": float(rng.randint(1, 100)),
+                "ol_delivered": delivered})
+        session.insert("orders", {
+            "o_key": ok, "d_key": dk, "o_id": o_id,
+            "c_key": customer_key(w, d, c),
+            "o_carrier": 7 if delivered else None, "o_ol_cnt": n_lines})
+        if not delivered:
+            session.insert("new_order", {"no_key": ok, "d_key": dk})
+
+    # ------------------------------------------------------------------
+    def _pick(self, rng: random.Random, mix: List[Tuple[str, float]]) -> str:
+        total = sum(w for _n, w in mix)
+        draw = rng.random() * total
+        for name, weight in mix:
+            draw -= weight
+            if draw <= 0:
+                return name
+        return mix[-1][0]
+
+    def _home(self, rng: random.Random) -> Tuple[int, int]:
+        key = id(rng)
+        if key not in self._homes:
+            slot = self._next_home
+            self._next_home += 1
+            self._homes[key] = (slot % self.warehouses,
+                                (slot // self.warehouses) % self.districts)
+        return self._homes[key]
+
+    def next_transaction(self, rng: random.Random,
+                         isolation: IsolationLevel) -> TxnSpec:
+        if rng.random() < self.read_only_fraction:
+            kind = self._pick(rng, self.RO_MIX)
+        else:
+            kind = self._pick(rng, self.RW_MIX)
+        if rng.random() < self.remote_fraction:
+            w = rng.randrange(self.warehouses)
+            d = rng.randrange(self.districts)
+        else:
+            w, d = self._home(rng)
+        c = rng.randrange(self.customers)
+        builder = getattr(self, f"_txn_{kind}")
+        return (kind, builder(rng, isolation, w, d, c))
+
+    # -- read/write transactions -------------------------------------------
+    def _txn_new_order(self, rng, iso, w, d, c):
+        n_items = rng.randint(*self.items_per_order)
+        lines = [(rng.randrange(self.items), rng.randint(1, 5))
+                 for _ in range(n_items)]
+
+        def program(iso=iso, w=w, d=d, c=c, lines=tuple(lines)):
+            yield ops.begin(iso)
+            yield ops.select("warehouse", Eq("w_id", w))
+            dk = district_key(w, d)
+            district = (yield ops.select("district", Eq("d_key", dk)))[0]
+            o_id = district["d_next_o_id"]
+            yield ops.update("district", Eq("d_key", dk),
+                             {"d_next_o_id": o_id + 1})
+            yield ops.select("customer", Eq("c_key", customer_key(w, d, c)))
+            ok = order_key(w, d, o_id)
+            total = 0.0
+            for line_no, (i_id, qty) in enumerate(lines):
+                item = (yield ops.select("item", Eq("i_id", i_id)))[0]
+                sk = stock_key(w, i_id)
+                stock = (yield ops.select("stock", Eq("s_key", sk)))[0]
+                quantity = stock["s_quantity"] - qty
+                if quantity < 10:
+                    quantity += 91
+                yield ops.update("stock", Eq("s_key", sk),
+                                 {"s_quantity": quantity})
+                amount = item["i_price"] * qty
+                total += amount
+                yield ops.insert("order_line", {
+                    "ol_key": ok * 100 + line_no, "o_key": ok,
+                    "i_id": i_id, "ol_amount": amount,
+                    "ol_delivered": False})
+            yield ops.insert("orders", {
+                "o_key": ok, "d_key": dk, "o_id": o_id,
+                "c_key": customer_key(w, d, c), "o_carrier": None,
+                "o_ol_cnt": len(lines)})
+            yield ops.insert("new_order", {"no_key": ok, "d_key": dk})
+            yield ops.commit()
+
+        return program
+
+    def _txn_payment(self, rng, iso, w, d, c):
+        amount = float(rng.randint(1, 50))
+
+        def program(iso=iso, w=w, d=d, c=c, amount=amount):
+            yield ops.begin(iso)
+            dk = district_key(w, d)
+            yield ops.update("district", Eq("d_key", dk),
+                             lambda r: {"d_ytd": r["d_ytd"] + amount})
+            ck = customer_key(w, d, c)
+            yield ops.update("customer", Eq("c_key", ck),
+                             lambda r: {"c_balance": r["c_balance"] - amount,
+                                        "c_ytd": r["c_ytd"] + amount})
+            yield ops.commit()
+
+        return program
+
+    def _txn_delivery(self, rng, iso, w, d, c):
+        def program(iso=iso, w=w, d=d):
+            yield ops.begin(iso)
+            dk = district_key(w, d)
+            lo, hi = dk * 100_000, (dk + 1) * 100_000 - 1
+            pending = yield ops.select("new_order", Between("no_key", lo, hi))
+            if pending:
+                ok = min(p["no_key"] for p in pending)
+                yield ops.delete("new_order", Eq("no_key", ok))
+                yield ops.update("orders", Eq("o_key", ok),
+                                 {"o_carrier": 7})
+                lines = yield ops.select("order_line", Eq("o_key", ok))
+                total = sum(l["ol_amount"] for l in lines)
+                yield ops.update("order_line", Eq("o_key", ok),
+                                 {"ol_delivered": True})
+                order = (yield ops.select("orders", Eq("o_key", ok)))[0]
+                yield ops.update(
+                    "customer", Eq("c_key", order["c_key"]),
+                    lambda r: {"c_balance": r["c_balance"] + total})
+            yield ops.commit()
+
+        return program
+
+    def _txn_credit_check(self, rng, iso, w, d, c):
+        """Cahill's TPC-C++ credit check: reads the customer's balance
+        plus the amounts of their undelivered orders and sets the
+        credit status. Concurrent NEW-ORDER transactions for the same
+        customer create the rw/rw cycle SI misses."""
+
+        def program(iso=iso, w=w, d=d, c=c):
+            yield ops.begin(iso)
+            ck = customer_key(w, d, c)
+            cust = (yield ops.select("customer", Eq("c_key", ck)))[0]
+            orders = yield ops.select("orders", Eq("c_key", ck))
+            open_amount = 0.0
+            for order in orders:
+                if order["o_carrier"] is None:
+                    lines = yield ops.select("order_line",
+                                             Eq("o_key", order["o_key"]))
+                    open_amount += sum(l["ol_amount"] for l in lines)
+            status = ("BC" if cust["c_balance"] + open_amount
+                      > cust["c_credit_lim"] else "GC")
+            yield ops.update("customer", Eq("c_key", ck),
+                             {"c_credit": status})
+            yield ops.commit()
+
+        return program
+
+    # -- read-only transactions ---------------------------------------------
+    def _txn_order_status(self, rng, iso, w, d, c):
+        read_only = iso is IsolationLevel.SERIALIZABLE
+
+        def program(iso=iso, w=w, d=d, c=c, ro=read_only):
+            yield ops.begin(iso, read_only=ro)
+            ck = customer_key(w, d, c)
+            yield ops.select("customer", Eq("c_key", ck))
+            orders = yield ops.select("orders", Eq("c_key", ck))
+            if orders:
+                last = max(orders, key=lambda o: o["o_id"])
+                yield ops.select("order_line", Eq("o_key", last["o_key"]))
+            yield ops.commit()
+
+        return program
+
+    def _txn_stock_level(self, rng, iso, w, d, c):
+        read_only = iso is IsolationLevel.SERIALIZABLE
+        threshold = rng.randint(30, 60)
+
+        def program(iso=iso, w=w, d=d, threshold=threshold, ro=read_only):
+            yield ops.begin(iso, read_only=ro)
+            dk = district_key(w, d)
+            district = (yield ops.select("district", Eq("d_key", dk)))[0]
+            next_o = district["d_next_o_id"]
+            lo = order_key(w, d, max(1, next_o - 5)) * 100
+            hi = order_key(w, d, next_o) * 100
+            lines = yield ops.select("order_line", Between("ol_key", lo, hi))
+            item_ids = {l["i_id"] for l in lines}
+            low = 0
+            for i_id in sorted(item_ids):
+                stock = yield ops.select("stock",
+                                         Eq("s_key", stock_key(w, i_id)))
+                if stock and stock[0]["s_quantity"] < threshold:
+                    low += 1
+            yield ops.commit()
+
+        return program

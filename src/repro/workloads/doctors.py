@@ -1,0 +1,65 @@
+"""The doctors on-call workload (paper Figure 1 / section 2.1.1).
+
+Every transaction checks that at least two doctors are on call and, if
+so, takes one off call -- individually a correct way to enforce the
+invariant "at least one doctor on call". Under snapshot isolation,
+concurrent write-skew can drive the on-call count to zero; under
+SERIALIZABLE (or S2PL) it cannot.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import Eq
+from repro.sim import ops
+from repro.sim.client import TxnSpec
+from repro.workloads.base import Workload
+
+
+class DoctorsWorkload(Workload):
+    name = "doctors"
+
+    def __init__(self, n_doctors: int = 4,
+                 transactions_per_client: int = 4) -> None:
+        self.n_doctors = n_doctors
+        self.transactions_per_client = transactions_per_client
+        self._issued: dict = {}
+
+    def setup(self, db, rng: random.Random) -> None:
+        db.create_table("doctors", ["name", "oncall"], key="name")
+        session = db.session()
+        session.begin()
+        for i in range(self.n_doctors):
+            session.insert("doctors", {"name": f"doc{i}", "oncall": True})
+        session.commit()
+
+    def next_transaction(self, rng: random.Random,
+                         isolation: IsolationLevel) -> TxnSpec:
+        # Each client runs a bounded number of transactions so the
+        # workload terminates and the invariant can be checked.
+        key = id(rng)
+        issued = self._issued.get(key, 0)
+        if issued >= self.transactions_per_client:
+            return None
+        self._issued[key] = issued + 1
+        doctor = f"doc{rng.randrange(self.n_doctors)}"
+
+        def take_off_call(doctor=doctor, iso=isolation):
+            yield ops.begin(iso)
+            rows = yield ops.select("doctors", Eq("oncall", True))
+            if len(rows) >= 2 and any(r["name"] == doctor for r in rows):
+                yield ops.update("doctors", Eq("name", doctor),
+                                 {"oncall": False})
+            yield ops.commit()
+
+        return ("take_off_call", take_off_call)
+
+    # -- invariant --------------------------------------------------------
+    def on_call_count(self, db) -> int:
+        return len(db.session().select("doctors", Eq("oncall", True)))
+
+    def invariant_holds(self, db) -> bool:
+        """At least one doctor must remain on call."""
+        return self.on_call_count(db) >= 1

@@ -1,0 +1,103 @@
+"""The batch-processing workload (paper Figure 2 / section 2.1.2).
+
+Three transaction types over a control table (current batch number)
+and a receipts table:
+
+* NEW-RECEIPT: read the current batch number, insert a receipt tagged
+  with it;
+* CLOSE-BATCH: increment the current batch number;
+* REPORT (read-only): read the current batch number x, total the
+  receipts of batch x-1.
+
+Serializable invariant: once a REPORT has shown the total for a batch,
+that total can never change. Under SI the Figure 2 interleaving
+violates it silently; ``violations(db)`` counts such cases after a run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import Eq
+from repro.sim import ops
+from repro.sim.client import TxnSpec
+from repro.workloads.base import Workload
+
+
+class ReceiptsWorkload(Workload):
+    name = "receipts"
+
+    def __init__(self, new_receipt_weight: float = 0.65,
+                 close_batch_weight: float = 0.1,
+                 report_weight: float = 0.25) -> None:
+        total = new_receipt_weight + close_batch_weight + report_weight
+        self.w_new = new_receipt_weight / total
+        self.w_close = close_batch_weight / total
+        self._rid = 0
+        #: (batch, total) pairs observed by committed REPORTs.
+        self.reports: List[Tuple[int, int]] = []
+
+    def setup(self, db, rng: random.Random) -> None:
+        db.create_table("control", ["id", "batch"], key="id")
+        db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+        db.create_index("receipts", "batch")
+        session = db.session()
+        session.insert("control", {"id": 0, "batch": 1})
+
+    def next_transaction(self, rng: random.Random,
+                         isolation: IsolationLevel) -> TxnSpec:
+        draw = rng.random()
+        if draw < self.w_new:
+            self._rid += 1
+            rid = self._rid
+            amount = rng.randrange(1, 100)
+
+            def new_receipt(rid=rid, amount=amount, iso=isolation):
+                yield ops.begin(iso)
+                row = yield ops.select("control", Eq("id", 0))
+                batch = row[0]["batch"]
+                yield ops.insert("receipts", {"rid": rid, "batch": batch,
+                                              "amount": amount})
+                yield ops.commit()
+
+            return ("new_receipt", new_receipt)
+
+        if draw < self.w_new + self.w_close:
+            def close_batch(iso=isolation):
+                yield ops.begin(iso)
+                yield ops.update("control", Eq("id", 0),
+                                 lambda r: {"batch": r["batch"] + 1})
+                yield ops.commit()
+
+            return ("close_batch", close_batch)
+
+        read_only = isolation is IsolationLevel.SERIALIZABLE
+
+        def report(iso=isolation, ro=read_only):
+            yield ops.begin(iso, read_only=ro)
+            row = yield ops.select("control", Eq("id", 0))
+            batch = row[0]["batch"] - 1
+            rows = yield ops.select("receipts", Eq("batch", batch))
+            total = sum(r["amount"] for r in rows)
+            yield ops.commit()
+            # Reached only if the commit succeeded.
+            self.reports.append((batch, total))
+
+        return ("report", report)
+
+    # -- invariant ----------------------------------------------------------
+    def violations(self, db) -> List[Tuple[int, int, int]]:
+        """(batch, reported total, final total) for every report whose
+        batch total later changed -- the paper's silent corruption."""
+        session = db.session()
+        finals: Dict[int, int] = {}
+        for row in session.select("receipts"):
+            finals[row["batch"]] = finals.get(row["batch"], 0) + row["amount"]
+        out = []
+        for batch, total in self.reports:
+            final = finals.get(batch, 0)
+            if final != total:
+                out.append((batch, total, final))
+        return out

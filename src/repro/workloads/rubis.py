@@ -1,0 +1,214 @@
+"""RUBiS-like auction-site workload, "bidding" mix (paper section 8.3).
+
+85% read-only interactions (browsing categories, viewing items, bid
+histories, user pages) and 15% read/write ones (placing bids, leaving
+comments, registering items, buy-now). The paper highlights the
+conflict pattern: "queries that list the current bids on all items in
+a particular category conflict with requests to bid on those items" --
+reproduced here by ``search_category`` scanning items by category
+(reading each item's current max bid) while ``place_bid`` updates it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import Eq
+from repro.sim import ops
+from repro.sim.client import TxnSpec
+from repro.workloads.base import Workload
+
+
+class RubisBidding(Workload):
+    name = "rubis"
+
+    RO_MIX: List[Tuple[str, float]] = [
+        ("search_category", 0.35),
+        ("view_item", 0.35),
+        ("view_bid_history", 0.15),
+        ("view_user", 0.15),
+    ]
+    RW_MIX: List[Tuple[str, float]] = [
+        ("place_bid", 0.60),
+        ("store_comment", 0.20),
+        ("register_item", 0.10),
+        ("buy_now", 0.10),
+    ]
+
+    def __init__(self, n_users: int = 30, n_items: int = 60,
+                 n_categories: int = 6,
+                 read_only_fraction: float = 0.85) -> None:
+        self.n_users = n_users
+        self.n_items = n_items
+        self.n_categories = n_categories
+        self.read_only_fraction = read_only_fraction
+        self._next_item = n_items
+        self._next_bid = 0
+        self._next_comment = 0
+
+    def setup(self, db, rng: random.Random) -> None:
+        db.create_table("users", ["u_id", "name", "rating"], key="u_id")
+        db.create_table("items",
+                        ["i_id", "category", "seller", "max_bid", "nb_bids",
+                         "open"],
+                        key="i_id")
+        db.create_index("items", "category")
+        db.create_table("bids", ["b_id", "i_id", "u_id", "amount"],
+                        key="b_id")
+        db.create_index("bids", "i_id")
+        db.create_table("comments",
+                        ["cm_id", "to_u", "from_u", "rating", "text"],
+                        key="cm_id")
+        db.create_index("comments", "to_u")
+        session = db.session()
+        session.begin()
+        for u in range(self.n_users):
+            session.insert("users", {"u_id": u, "name": f"user{u}",
+                                     "rating": 0})
+        for i in range(self.n_items):
+            session.insert("items", {
+                "i_id": i, "category": i % self.n_categories,
+                "seller": rng.randrange(self.n_users),
+                "max_bid": 0, "nb_bids": 0, "open": True})
+        session.commit()
+
+    # ------------------------------------------------------------------
+    def _pick(self, rng: random.Random, mix: List[Tuple[str, float]]) -> str:
+        draw = rng.random()
+        for name, weight in mix:
+            draw -= weight
+            if draw <= 0:
+                return name
+        return mix[-1][0]
+
+    def next_transaction(self, rng: random.Random,
+                         isolation: IsolationLevel) -> TxnSpec:
+        if rng.random() < self.read_only_fraction:
+            kind = self._pick(rng, self.RO_MIX)
+        else:
+            kind = self._pick(rng, self.RW_MIX)
+        builder = getattr(self, f"_txn_{kind}")
+        return (kind, builder(rng, isolation))
+
+    # -- read-only interactions ------------------------------------------
+    def _ro(self, iso) -> bool:
+        return iso is IsolationLevel.SERIALIZABLE
+
+    def _txn_search_category(self, rng, iso):
+        category = rng.randrange(self.n_categories)
+
+        def program(iso=iso, category=category, ro=self._ro(iso)):
+            yield ops.begin(iso, read_only=ro)
+            items = yield ops.select("items", Eq("category", category))
+            # Render the listing: current top bid per open item.
+            sum(i["max_bid"] for i in items if i["open"])
+            yield ops.commit()
+
+        return program
+
+    def _txn_view_item(self, rng, iso):
+        item = rng.randrange(self.n_items)
+
+        def program(iso=iso, item=item, ro=self._ro(iso)):
+            yield ops.begin(iso, read_only=ro)
+            yield ops.select("items", Eq("i_id", item))
+            yield ops.select("bids", Eq("i_id", item))
+            yield ops.commit()
+
+        return program
+
+    def _txn_view_bid_history(self, rng, iso):
+        item = rng.randrange(self.n_items)
+
+        def program(iso=iso, item=item, ro=self._ro(iso)):
+            yield ops.begin(iso, read_only=ro)
+            bids = yield ops.select("bids", Eq("i_id", item))
+            for bid in bids[:5]:
+                yield ops.select("users", Eq("u_id", bid["u_id"]))
+            yield ops.commit()
+
+        return program
+
+    def _txn_view_user(self, rng, iso):
+        user = rng.randrange(self.n_users)
+
+        def program(iso=iso, user=user, ro=self._ro(iso)):
+            yield ops.begin(iso, read_only=ro)
+            yield ops.select("users", Eq("u_id", user))
+            yield ops.select("comments", Eq("to_u", user))
+            yield ops.commit()
+
+        return program
+
+    # -- read/write interactions --------------------------------------------
+    def _txn_place_bid(self, rng, iso):
+        item = rng.randrange(self.n_items)
+        user = rng.randrange(self.n_users)
+        increment = rng.randint(1, 10)
+        self._next_bid += 1
+        bid_id = self._next_bid
+
+        def program(iso=iso, item=item, user=user, increment=increment,
+                    bid_id=bid_id):
+            yield ops.begin(iso)
+            rows = yield ops.select("items", Eq("i_id", item))
+            it = rows[0]
+            if it["open"]:
+                amount = it["max_bid"] + increment
+                yield ops.insert("bids", {"b_id": bid_id, "i_id": item,
+                                          "u_id": user, "amount": amount})
+                yield ops.update("items", Eq("i_id", item),
+                                 {"max_bid": amount,
+                                  "nb_bids": it["nb_bids"] + 1})
+            yield ops.commit()
+
+        return program
+
+    def _txn_store_comment(self, rng, iso):
+        to_u = rng.randrange(self.n_users)
+        from_u = rng.randrange(self.n_users)
+        rating = rng.choice((-1, 0, 1))
+        self._next_comment += 1
+        cm_id = self._next_comment
+
+        def program(iso=iso, to_u=to_u, from_u=from_u, rating=rating,
+                    cm_id=cm_id):
+            yield ops.begin(iso)
+            yield ops.insert("comments", {"cm_id": cm_id, "to_u": to_u,
+                                          "from_u": from_u, "rating": rating,
+                                          "text": "..."})
+            yield ops.update("users", Eq("u_id", to_u),
+                             lambda r: {"rating": r["rating"] + rating})
+            yield ops.commit()
+
+        return program
+
+    def _txn_register_item(self, rng, iso):
+        seller = rng.randrange(self.n_users)
+        category = rng.randrange(self.n_categories)
+        self._next_item += 1
+        item_id = self._next_item
+
+        def program(iso=iso, seller=seller, category=category,
+                    item_id=item_id):
+            yield ops.begin(iso)
+            yield ops.insert("items", {"i_id": item_id, "category": category,
+                                       "seller": seller, "max_bid": 0,
+                                       "nb_bids": 0, "open": True})
+            yield ops.commit()
+
+        return program
+
+    def _txn_buy_now(self, rng, iso):
+        item = rng.randrange(self.n_items)
+
+        def program(iso=iso, item=item):
+            yield ops.begin(iso)
+            rows = yield ops.select("items", Eq("i_id", item))
+            if rows and rows[0]["open"] and rows[0]["nb_bids"] == 0:
+                yield ops.update("items", Eq("i_id", item), {"open": False})
+            yield ops.commit()
+
+        return program

@@ -1,0 +1,155 @@
+"""Unit and property-based tests for the B+-tree index."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index import BTreeIndex, HashIndex
+from repro.storage import TID
+
+import pytest
+
+
+def tid(i):
+    return TID(i // 32, i % 32)
+
+
+class TestBTreeBasics:
+    def test_insert_and_search(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        idx.insert_entry(10, tid(1))
+        idx.insert_entry(20, tid(2))
+        assert idx.search(10).tids == [tid(1)]
+        assert idx.search(15).tids == []
+        assert idx.entry_count() == 2
+
+    def test_duplicate_keys_different_tids(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for i in range(5):
+            idx.insert_entry(7, tid(i))
+        assert sorted(idx.search(7).tids) == sorted(tid(i) for i in range(5))
+
+    def test_duplicate_key_tid_pair_is_idempotent(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        idx.insert_entry(7, tid(1))
+        idx.insert_entry(7, tid(1))
+        assert idx.entry_count() == 1
+
+    def test_range_search_inclusive_exclusive(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for i in range(10):
+            idx.insert_entry(i, tid(i))
+        assert [idx.search(i).tids for i in range(10)]
+        r = idx.range_search(3, 6)
+        assert sorted(t.slot for t in r.tids) == [3, 4, 5, 6]
+        r = idx.range_search(3, 6, lo_incl=False, hi_incl=False)
+        assert sorted(t.slot for t in r.tids) == [4, 5]
+
+    def test_open_ended_ranges(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for i in range(10):
+            idx.insert_entry(i, tid(i))
+        assert len(idx.range_search(None, 4).tids) == 5
+        assert len(idx.range_search(5, None).tids) == 5
+        assert len(idx.range_search(None, None).tids) == 10
+
+    def test_empty_range_still_visits_gap_page(self):
+        # Phantom detection: scanning an empty range must report the
+        # page where matching keys would land.
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for i in (1, 2, 8, 9):
+            idx.insert_entry(i, tid(i))
+        r = idx.range_search(4, 6)
+        assert r.tids == []
+        assert r.visited_pages
+
+    def test_splits_reported(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        splits = []
+        for i in range(20):
+            splits.extend(idx.insert_entry(i, tid(i)).splits)
+        assert splits, "expected at least one page split"
+        old_pages = {s[0] for s in splits}
+        new_pages = {s[1] for s in splits}
+        assert old_pages and new_pages
+
+    def test_remove_entry(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for i in range(10):
+            idx.insert_entry(i % 3, tid(i))
+        idx.remove_entry(0, tid(0))
+        assert tid(0) not in idx.search(0).tids
+        assert idx.entry_count() == 9
+        idx.remove_entry(0, tid(999))  # absent tid: no-op
+        assert idx.entry_count() == 9
+
+    def test_string_keys(self):
+        idx = BTreeIndex(1, "i", "k", page_size=4)
+        for word in ["pear", "apple", "fig", "date", "cherry", "banana"]:
+            idx.insert_entry(word, tid(hash(word) % 100))
+        r = idx.range_search("b", "d")
+        assert len(r.tids) == 2  # banana, cherry
+
+
+class TestBTreeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    def test_invariants_after_inserts(self, keys):
+        idx = BTreeIndex(1, "i", "k", page_size=5)
+        for i, k in enumerate(keys):
+            idx.insert_entry(k, tid(i))
+        idx.check_invariants()
+        assert idx.entry_count() == len(keys)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+           st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    def test_range_search_matches_reference(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        idx = BTreeIndex(1, "i", "k", page_size=5)
+        for i, k in enumerate(keys):
+            idx.insert_entry(k, tid(i))
+        got = sorted(idx.range_search(lo, hi).tids)
+        want = sorted(tid(i) for i, k in enumerate(keys) if lo <= k <= hi)
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.booleans()),
+                    max_size=150))
+    def test_invariants_with_deletes(self, ops):
+        idx = BTreeIndex(1, "i", "k", page_size=5)
+        present = {}
+        for i, (k, is_delete) in enumerate(ops):
+            if is_delete and present:
+                dk, dt = next(iter(present.items()))
+                idx.remove_entry(dt, TID(dk, 0))
+                del present[dk]
+            else:
+                idx.insert_entry(k, TID(i, 0))
+                present[i] = k
+        idx.check_invariants()
+        assert idx.entry_count() == len(present)
+
+
+class TestHashIndex:
+    def test_equality_lookup(self):
+        idx = HashIndex(2, "h", "k")
+        idx.insert_entry("x", tid(1))
+        idx.insert_entry("x", tid(2))
+        assert sorted(idx.search("x").tids) == sorted([tid(1), tid(2)])
+        assert idx.search("y").tids == []
+
+    def test_no_range_scans(self):
+        idx = HashIndex(2, "h", "k")
+        with pytest.raises(NotImplementedError):
+            idx.range_search(1, 2)
+
+    def test_no_predicate_lock_support(self):
+        assert HashIndex.supports_predicate_locks is False
+        assert BTreeIndex.supports_predicate_locks is True
+
+    def test_remove(self):
+        idx = HashIndex(2, "h", "k")
+        idx.insert_entry("x", tid(1))
+        idx.remove_entry("x", tid(1))
+        assert idx.search("x").tids == []
+        assert idx.entry_count() == 0

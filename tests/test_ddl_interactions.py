@@ -1,0 +1,201 @@
+"""DDL and index-type interactions with SSI (paper sections 5.2.1, 7.4).
+
+SIREAD locks outlive their transaction, so DDL cannot simply wait for
+them the way it waits for table locks: table rewrites must *promote*
+surviving physical locks to relation granularity, and DROP INDEX must
+transfer index-gap locks to the heap relation. The tests pin a
+concurrent transaction open so committed readers' SIREAD locks are
+retained across the DDL (section 6.1's cleanup would otherwise drop
+them as unnecessary).
+"""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Between, Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure, WouldBlock
+from repro.locks.modes import LockMode
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(40):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+@pytest.fixture
+def pin(db):
+    """An idle concurrent transaction that keeps committed
+    transactions' SIREAD locks alive."""
+    session = db.session()
+    session.begin(SER)
+    yield session
+    if session.txn is not None:
+        session.rollback()
+
+
+class TestTableRewrite:
+    def test_rewrite_promotes_committed_siread_locks(self, db, pin):
+        r = db.session()
+        r.begin(SER)
+        r.select("t", Eq("k", 1))  # tuple + index-page SIREAD locks
+        sx = r.txn.sxact
+        fine = {t[0] for t in db.ssi.lockmgr.targets_held(sx)}
+        assert "t" in fine or "ip" in fine
+        r.commit()
+        assert db.ssi.lockmgr.targets_held(sx)  # retained: pin is open
+        db.session().recluster_table("t")
+        kinds = {t[0] for t in db.ssi.lockmgr.targets_held(sx)}
+        assert kinds == {"r"}, f"expected only relation locks, got {kinds}"
+
+    def test_rewrite_keeps_conflict_detection(self, db, pin):
+        """After the rewrite moves tuples, the promoted relation lock
+        must still flag writers against the committed reader."""
+        r = db.session()
+        r.begin(SER)
+        r.select("t", Eq("k", 1))
+        sx = r.txn.sxact
+        r.commit()
+        db.session().recluster_table("t")
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 1), {"v": 5})
+        assert sx in w.txn.sxact.in_conflicts  # r -rw-> w survived DDL
+        w.rollback()
+
+    def test_rewrite_compacts_dead_tuples(self, db):
+        s = db.session()
+        for i in range(10):
+            s.update("t", Eq("k", 1), {"v": i})
+        rel = db.relation("t")
+        assert sum(1 for _ in rel.heap.scan()) > 40
+        db.session().recluster_table("t")
+        rel = db.relation("t")
+        assert sum(1 for _ in rel.heap.scan()) == 40
+        assert s.select("t", Eq("k", 1))[0]["v"] == 9
+
+    def test_rewrite_blocks_behind_open_transaction(self, db):
+        r = db.session()
+        r.begin(SER)
+        r.select("t", Eq("k", 1))  # holds ACCESS_SHARE table lock
+        ddl = db.session()
+        with pytest.raises(WouldBlock):
+            ddl.recluster_table("t")
+        r.commit()
+        ddl.resume()
+        assert len(db.session().select("t")) == 40
+
+
+class TestDropIndex:
+    def test_drop_index_transfers_gap_locks_to_heap(self, db, pin):
+        r = db.session()
+        r.begin(SER)
+        assert r.select("t", Between("k", 50, 60)) == []  # gap lock only
+        sx = r.txn.sxact
+        assert any(t[0] == "ip" for t in db.ssi.lockmgr.targets_held(sx))
+        r.commit()
+        db.session().drop_index("t_pkey")
+        targets = db.ssi.lockmgr.targets_held(sx)
+        assert not any(t[0] in ("ip", "ir") for t in targets)
+        assert ("r", db.relation("t").oid) in targets
+
+    def test_phantom_still_detected_after_concurrent_index_drop(self, db):
+        """Mid-flight index drop (DROP INDEX CONCURRENTLY takes no
+        blocking table lock): the reader's gap locks move to the heap
+        relation and must still catch the phantom insert."""
+        r = db.session()
+        r.begin(SER)
+        assert r.select("t", Between("k", 50, 60)) == []
+        r.update("t", Eq("k", 1), {"v": 1})
+        rel = db.relation("t")
+        index = rel.indexes["t_pkey"]
+        rel.drop_index("t_pkey")
+        db.ssi.lockmgr.transfer_index_to_heap(index.oid, rel.oid)
+        w = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 1))            # w -rw-> r (r wrote k=1)
+        w.insert("t", {"k": 55, "v": 1})     # r -rw-> w (phantom)
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+
+class TestHashIndexFallback:
+    def test_hash_scan_locks_whole_index_relation(self, db):
+        db.create_table("h", ["k", "v"])
+        db.create_index("h", "k", using="hash")
+        s = db.session()
+        s.insert("h", {"k": "a", "v": 1})
+        r = db.session()
+        r.begin(SER)
+        r.select("h", Eq("k", "a"))
+        targets = db.ssi.lockmgr.targets_held(r.txn.sxact)
+        assert any(t[0] == "ir" for t in targets), targets
+        r.rollback()
+
+    def test_hash_fallback_detects_phantoms(self, db):
+        """Even equality scans through a hash index must detect a
+        concurrent insert of a matching row, via the index-relation
+        lock (section 7.4)."""
+        db.create_table("h", ["k", "v"])
+        db.create_index("h", "k", using="hash")
+        setup = db.session()
+        setup.insert("h", {"k": "x", "v": 0})
+        r, w = db.session(), db.session()
+        r.begin(SER)
+        w.begin(SER)
+        assert r.select("h", Eq("k", "zzz")) == []   # empty hash lookup
+        r.update("h", Eq("k", "x"), {"v": 1})        # r writes
+        w.select("h", Eq("k", "x"))                  # w -rw-> r
+        w.insert("h", {"k": "zzz", "v": 1})          # r -rw-> w
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+
+class TestBtreePageSplits:
+    def test_gap_locks_follow_page_splits(self):
+        """A reader's gap lock must keep covering its key range after
+        concurrent inserts split the page (PredicateLockPageSplit)."""
+        cfg = EngineConfig()
+        cfg.btree_page_size = 4  # tiny pages: splits happen fast
+        sdb = Database(cfg)
+        sdb.create_table("t", ["k", "v"], key="k")
+        s = sdb.session()
+        for k in range(0, 40, 10):
+            s.insert("t", {"k": k, "v": 0})
+        r, w = sdb.session(), sdb.session()
+        r.begin(SER)
+        w.begin(SER)
+        assert r.select("t", Between("k", 11, 19)) == []  # gap lock
+        r.update("t", Eq("k", 0), {"v": 1})
+        # w inserts many keys, forcing splits of the locked page,
+        # ending with one inside r's scanned gap.
+        w.select("t", Eq("k", 0))
+        for k in (1, 2, 3, 4, 5, 6, 7, 8, 9, 15):
+            w.insert("t", {"k": k, "v": 1})
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+
+class TestExplicitLocking:
+    def test_explicit_lock_table_workaround(self, db):
+        """Section 2.2: explicit LOCK TABLE serializes conflicting
+        transactions even under snapshot isolation."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(IsolationLevel.REPEATABLE_READ)
+        s2.begin(IsolationLevel.REPEATABLE_READ)
+        s1.lock_table("t", LockMode.SHARE_ROW_EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            s2.lock_table("t", LockMode.SHARE_ROW_EXCLUSIVE)
+        s1.update("t", Eq("k", 1), {"v": 1})
+        s1.commit()
+        s2.resume()
+        s2.commit()

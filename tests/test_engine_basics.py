@@ -1,0 +1,271 @@
+"""Integration tests: CRUD, visibility across isolation levels,
+autocommit, failed-transaction state, savepoints."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import (AlwaysTrue, Between, Database, Eq, Func, Ge,
+                          IsolationLevel, Lt)
+from repro.errors import (InvalidTransactionStateError,
+                          ReadOnlyTransactionError, UndefinedColumnError,
+                          UndefinedTableError, UniqueViolationError)
+
+RC = IsolationLevel.READ_COMMITTED
+RR = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("accounts", ["id", "owner", "balance"], key="id")
+    return database
+
+
+def load(db, rows):
+    s = db.session()
+    for row in rows:
+        s.insert("accounts", row)
+
+
+class TestCrud:
+    def test_insert_select_roundtrip(self, db):
+        s = db.session()
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 10})
+        assert s.select("accounts") == [{"id": 1, "owner": "a", "balance": 10}]
+
+    def test_select_returns_copies(self, db):
+        s = db.session()
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 10})
+        rows = s.select("accounts")
+        rows[0]["balance"] = 999
+        assert s.select("accounts")[0]["balance"] == 10
+
+    def test_update_with_dict_and_callable(self, db):
+        load(db, [{"id": i, "owner": "o", "balance": 10} for i in (1, 2)])
+        s = db.session()
+        assert s.update("accounts", Eq("id", 1), {"balance": 20}) == 1
+        assert s.update("accounts", Eq("id", 2),
+                        lambda row: {"balance": row["balance"] + 5}) == 1
+        by_id = {r["id"]: r["balance"] for r in s.select("accounts")}
+        assert by_id == {1: 20, 2: 15}
+
+    def test_delete(self, db):
+        load(db, [{"id": i, "owner": "o", "balance": 0} for i in range(5)])
+        s = db.session()
+        assert s.delete("accounts", Lt("id", 2)) == 2
+        assert len(s.select("accounts")) == 3
+
+    def test_update_all_rows(self, db):
+        load(db, [{"id": i, "owner": "o", "balance": 0} for i in range(4)])
+        s = db.session()
+        assert s.update("accounts", None, {"balance": 1}) == 4
+
+    def test_index_scan_equality_and_range(self, db):
+        load(db, [{"id": i, "owner": "o", "balance": i} for i in range(50)])
+        s = db.session()
+        assert s.select("accounts", Eq("id", 7))[0]["balance"] == 7
+        rows = s.select("accounts", Between("id", 10, 14))
+        assert sorted(r["id"] for r in rows) == [10, 11, 12, 13, 14]
+        rows = s.select("accounts", Ge("id", 48))
+        assert sorted(r["id"] for r in rows) == [48, 49]
+
+    def test_func_predicate_forces_seqscan(self, db):
+        load(db, [{"id": i, "owner": "o", "balance": i % 3} for i in range(9)])
+        s = db.session()
+        rows = s.select("accounts", Func(lambda r: r["balance"] == 2))
+        assert len(rows) == 3
+
+    def test_undefined_table(self, db):
+        with pytest.raises(UndefinedTableError):
+            db.session().select("nope")
+
+    def test_undefined_column(self, db):
+        with pytest.raises(UndefinedColumnError):
+            db.session().insert("accounts", {"id": 1, "bogus": 2})
+
+    def test_unique_violation(self, db):
+        s = db.session()
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        with pytest.raises(UniqueViolationError):
+            s.insert("accounts", {"id": 1, "owner": "b", "balance": 0})
+
+    def test_unique_allows_reinsert_after_delete(self, db):
+        s = db.session()
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.delete("accounts", Eq("id", 1))
+        s.insert("accounts", {"id": 1, "owner": "b", "balance": 0})
+        assert s.select("accounts", Eq("id", 1))[0]["owner"] == "b"
+
+
+class TestTransactionSemantics:
+    def test_uncommitted_changes_invisible_to_others(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RC)
+        s1.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        assert s2.select("accounts") == []
+        s1.commit()
+        assert len(s2.select("accounts")) == 1
+
+    def test_rollback_discards_changes(self, db):
+        s = db.session()
+        s.begin(RC)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.rollback()
+        assert s.select("accounts") == []
+
+    def test_own_changes_visible_within_txn(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        assert len(s.select("accounts")) == 1
+        s.update("accounts", Eq("id", 1), {"balance": 5})
+        assert s.select("accounts")[0]["balance"] == 5
+        s.commit()
+
+    def test_repeatable_read_ignores_later_commits(self, db):
+        load(db, [{"id": 1, "owner": "a", "balance": 0}])
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        assert s1.select("accounts")[0]["balance"] == 0
+        s2.update("accounts", Eq("id", 1), {"balance": 100})
+        assert s1.select("accounts")[0]["balance"] == 0  # same snapshot
+        s1.commit()
+        assert s1.select("accounts")[0]["balance"] == 100
+
+    def test_read_committed_sees_later_commits(self, db):
+        load(db, [{"id": 1, "owner": "a", "balance": 0}])
+        s1, s2 = db.session(), db.session()
+        s1.begin(RC)
+        assert s1.select("accounts")[0]["balance"] == 0
+        s2.update("accounts", Eq("id", 1), {"balance": 100})
+        assert s1.select("accounts")[0]["balance"] == 100
+        s1.commit()
+
+    def test_begin_twice_rejected(self, db):
+        s = db.session()
+        s.begin(RC)
+        with pytest.raises(InvalidTransactionStateError):
+            s.begin(RC)
+        s.rollback()
+
+    def test_commit_without_txn_rejected(self, db):
+        with pytest.raises(InvalidTransactionStateError):
+            db.session().commit()
+
+    def test_read_only_txn_rejects_writes(self, db):
+        s = db.session()
+        s.begin(SER, read_only=True)
+        with pytest.raises(ReadOnlyTransactionError):
+            s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.rollback()
+
+    def test_failed_txn_blocks_statements_until_rollback(self, db):
+        s = db.session()
+        s.begin(RC)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        with pytest.raises(UniqueViolationError):
+            s.insert("accounts", {"id": 1, "owner": "b", "balance": 0})
+        with pytest.raises(InvalidTransactionStateError):
+            s.select("accounts")
+        s.rollback()
+        assert s.select("accounts") == []  # nothing survived
+
+    def test_commit_of_failed_txn_rolls_back(self, db):
+        s = db.session()
+        s.begin(RC)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        with pytest.raises(UniqueViolationError):
+            s.insert("accounts", {"id": 1, "owner": "b", "balance": 0})
+        assert s.commit() is False
+        assert s.select("accounts") == []
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint_discards_inner_changes(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.savepoint("sp")
+        s.insert("accounts", {"id": 2, "owner": "b", "balance": 0})
+        s.update("accounts", Eq("id", 1), {"balance": 99})
+        s.rollback_to_savepoint("sp")
+        rows = s.select("accounts")
+        assert [r["id"] for r in rows] == [1]
+        assert rows[0]["balance"] == 0
+        s.commit()
+        assert len(db.session().select("accounts")) == 1
+
+    def test_release_savepoint_keeps_changes(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.savepoint("sp")
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.release_savepoint("sp")
+        s.commit()
+        assert len(db.session().select("accounts")) == 1
+
+    def test_nested_savepoints(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.savepoint("outer")
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.savepoint("inner")
+        s.insert("accounts", {"id": 2, "owner": "b", "balance": 0})
+        s.rollback_to_savepoint("inner")
+        s.commit()
+        assert [r["id"] for r in db.session().select("accounts")] == [1]
+
+    def test_rollback_to_outer_discards_inner(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.savepoint("outer")
+        s.savepoint("inner")
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.rollback_to_savepoint("outer")
+        s.commit()
+        assert db.session().select("accounts") == []
+
+    def test_failed_statement_recoverable_via_savepoint(self, db):
+        s = db.session()
+        s.begin(RC)
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s.savepoint("sp")
+        with pytest.raises(UniqueViolationError):
+            s.insert("accounts", {"id": 1, "owner": "dup", "balance": 0})
+        s.rollback_to_savepoint("sp")
+        s.insert("accounts", {"id": 2, "owner": "b", "balance": 0})
+        s.commit()
+        assert len(db.session().select("accounts")) == 2
+
+    def test_unknown_savepoint(self, db):
+        s = db.session()
+        s.begin(RC)
+        with pytest.raises(InvalidTransactionStateError):
+            s.rollback_to_savepoint("nope")
+
+
+class TestVacuum:
+    def test_vacuum_removes_dead_versions(self, db):
+        s = db.session()
+        s.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        for i in range(5):
+            s.update("accounts", Eq("id", 1), {"balance": i})
+        rel = db.relation("accounts")
+        versions_before = sum(1 for _ in rel.heap.scan())
+        assert versions_before == 6
+        removed = db.vacuum("accounts")
+        assert removed == 5
+        assert sum(1 for _ in rel.heap.scan()) == 1
+        assert s.select("accounts")[0]["balance"] == 4
+
+    def test_vacuum_respects_active_snapshots(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.insert("accounts", {"id": 1, "owner": "a", "balance": 0})
+        s2.begin(IsolationLevel.REPEATABLE_READ)
+        assert s2.select("accounts")[0]["balance"] == 0
+        s1.update("accounts", Eq("id", 1), {"balance": 1})
+        assert db.vacuum("accounts") == 0  # old version still visible to s2
+        assert s2.select("accounts")[0]["balance"] == 0
+        s2.commit()
+        assert db.vacuum("accounts") == 1

@@ -1,0 +1,157 @@
+"""GiST interval index: structure, planner integration, and the
+internal-node predicate locking of paper section 7.4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel, Overlaps
+from repro.errors import SerializationFailure
+from repro.index.gist import GiSTIndex, _as_interval, _overlaps
+from repro.storage.tuple import TID
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def tid(i):
+    return TID(i // 32, i % 32)
+
+
+class TestGiSTStructure:
+    def test_insert_and_overlap_search(self):
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        idx.insert_entry((0, 10), tid(1))
+        idx.insert_entry((20, 30), tid(2))
+        idx.insert_entry((5, 25), tid(3))
+        hits = set(idx.range_search(8, 22).tids)
+        assert hits == {tid(1), tid(2), tid(3)}
+        assert set(idx.range_search(11, 19).tids) == {tid(3)}
+        assert idx.range_search(40, 50).tids == []
+
+    def test_scalar_keys_are_degenerate_intervals(self):
+        idx = GiSTIndex(1, "g", "p", node_size=4)
+        idx.insert_entry(7, tid(1))
+        assert idx.range_search(5, 10).tids == [tid(1)]
+        assert idx.search(7).tids == [tid(1)]
+        assert idx.search(8).tids == []
+
+    def test_splits_reported_and_bounds_maintained(self):
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        splits = []
+        for i in range(40):
+            result = idx.insert_entry((i * 3, i * 3 + 5), tid(i))
+            splits.extend(result.splits)
+        assert splits
+        idx.check_invariants()
+        assert idx.entry_count() == 40
+
+    def test_scan_visits_internal_nodes(self):
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        for i in range(30):
+            idx.insert_entry((i, i + 1), tid(i))
+        result = idx.range_search(10, 12)
+        # More pages visited than a single leaf: internal nodes count.
+        assert len(result.visited_pages) >= 2
+
+    def test_insert_reports_whole_path(self):
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        for i in range(30):
+            idx.insert_entry((i, i + 1), tid(i))
+        result = idx.insert_entry((15, 16), tid(99))
+        assert len(result.leaf_pages) >= 2  # leaf + ancestors
+
+    def test_remove_entry(self):
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        for i in range(20):
+            idx.insert_entry((i, i + 2), tid(i))
+        idx.remove_entry((5, 7), tid(5))
+        assert tid(5) not in idx.range_search(5, 7).tids
+        assert idx.entry_count() == 19
+        idx.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                    max_size=80),
+           st.integers(0, 100), st.integers(0, 100))
+    def test_overlap_search_matches_reference(self, intervals, a, b):
+        lo, hi = min(a, b), max(a, b)
+        idx = GiSTIndex(1, "g", "span", node_size=4)
+        for i, pair in enumerate(intervals):
+            idx.insert_entry(pair, tid(i))
+        idx.check_invariants()
+        got = sorted(idx.range_search(lo, hi).tids)
+        want = sorted(tid(i) for i, pair in enumerate(intervals)
+                      if _overlaps(_as_interval(pair), (lo, hi)))
+        assert got == want
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("bookings", ["bid", "room", "span"], key="bid")
+    database.create_index("bookings", "span", using="gist")
+    s = database.session()
+    s.insert("bookings", {"bid": 1, "room": "A", "span": (0, 10)})
+    s.insert("bookings", {"bid": 2, "room": "B", "span": (20, 30)})
+    return database
+
+
+class TestEngineIntegration:
+    def test_overlaps_predicate_uses_gist(self, db):
+        s = db.session()
+        rows = s.select("bookings", Overlaps("span", 5, 8))
+        assert [r["bid"] for r in rows] == [1]
+        rows = s.select("bookings", Overlaps("span", 0, 100))
+        assert len(rows) == 2
+
+    def test_gist_phantom_detection(self, db):
+        """The booking write-skew: two transactions check an interval
+        is free and both insert overlapping bookings. The GiST
+        node-level SIREAD locks must catch it."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        assert s1.select("bookings", Overlaps("span", 12, 18)) == []
+        assert s2.select("bookings", Overlaps("span", 12, 18)) == []
+        s1.insert("bookings", {"bid": 3, "room": "A", "span": (12, 15)})
+        s2.insert("bookings", {"bid": 4, "room": "A", "span": (14, 18)})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+
+    def test_gist_under_nextkey_config_still_uses_node_locks(self):
+        """GiST has no linear key order, so the nextkey setting falls
+        back to node locking for it -- phantoms are still caught."""
+        database = Database(EngineConfig(
+            ssi=SSIConfig(index_locking="nextkey")))
+        database.create_table("bookings", ["bid", "span"], key="bid")
+        database.create_index("bookings", "span", using="gist")
+        s1, s2 = database.session(), database.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        assert s1.select("bookings", Overlaps("span", 0, 10)) == []
+        assert s2.select("bookings", Overlaps("span", 0, 10)) == []
+        s1.insert("bookings", {"bid": 1, "span": (1, 2)})
+        s2.insert("bookings", {"bid": 2, "span": (3, 4)})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+
+    def test_serial_bookings_never_abort(self, db):
+        s = db.session()
+        s.begin(SER)
+        if s.select("bookings", Overlaps("span", 12, 18)) == []:
+            s.insert("bookings", {"bid": 3, "room": "A", "span": (12, 15)})
+        s.commit()
+        s.begin(SER)
+        assert s.select("bookings", Overlaps("span", 12, 18)) != []
+        s.commit()
+
+    def test_replication_mirrors_gist(self, db):
+        from repro.replication import Replica
+        replica = Replica(db)
+        db.session().insert("bookings",
+                            {"bid": 5, "room": "C", "span": (40, 50)})
+        replica.catch_up()
+        rows = replica.query("bookings", Overlaps("span", 45, 46))
+        assert [r["bid"] for r in rows] == [5]

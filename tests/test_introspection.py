@@ -1,0 +1,109 @@
+"""Tests for the monitoring views (pg_stat_activity / pg_locks style)."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import WouldBlock
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestStatActivity:
+    def test_reflects_active_transactions(self, db):
+        s = db.session()
+        s.begin(SER, read_only=True)
+        rows = db.stat_activity()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["xid"] == s.txn.xid
+        assert row["isolation"] == "serializable"
+        assert row["read_only"] is True
+        assert row["safe_snapshot"] is True  # no concurrent writers
+        s.commit()
+        assert db.stat_activity() == []
+
+    def test_shows_doomed_flag(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        s1.select("t", Eq("k", 0))
+        s2.select("t", Eq("k", 1))
+        s1.update("t", Eq("k", 1), {"v": 1})
+        s2.update("t", Eq("k", 0), {"v": 1})
+        s1.commit()
+        doomed = [r for r in db.stat_activity() if r["doomed"]]
+        assert [r["xid"] for r in doomed] == [s2.txn.xid]
+        s2.rollback()
+
+    def test_subxact_depth(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.savepoint("a")
+        s.savepoint("b")
+        assert db.stat_activity()[0]["subxact_depth"] == 2
+        s.rollback()
+
+
+class TestLockViews:
+    def test_lock_status_granted_and_waiting(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(IsolationLevel.REPEATABLE_READ)
+        s2.begin(IsolationLevel.REPEATABLE_READ)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 0), {"v": 2})
+        rows = db.lock_status()
+        waiting = [r for r in rows if not r["granted"]]
+        assert any(r["owner_xid"] == s2.txn.xid for r in waiting)
+        granted_xids = {r["owner_xid"] for r in rows if r["granted"]}
+        assert s1.txn.xid in granted_xids
+        s1.commit()
+        from repro.errors import SerializationFailure
+        with pytest.raises(SerializationFailure):
+            s2.resume()  # first-updater-wins after the wait
+        s2.rollback()
+
+    def test_siread_locks_view(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.select("t", Eq("k", 0))
+        rows = db.siread_locks()
+        assert any(r["holder_xid"] == s.txn.xid for r in rows)
+        s.rollback()
+        assert all(r["holder_xid"] != s.txn.xid for r in db.siread_locks())
+
+    def test_prepared_xacts_view(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.update("t", Eq("k", 0), {"v": 1})
+        s.prepare_transaction("g1")
+        assert db.prepared_xacts() == [{"gid": "g1", "xid": s.txn.xid
+                                        if s.txn else db._prepared["g1"].xid}]
+        db.commit_prepared("g1")
+        assert db.prepared_xacts() == []
+
+
+class TestSSISummary:
+    def test_counters_populate(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        s1.select("t", Eq("k", 0))
+        s2.update("t", Eq("k", 0), {"v": 1})
+        summary = db.ssi_summary()
+        assert summary["active_sxacts"] == 2
+        assert summary["conflicts_flagged"] >= 1
+        assert summary["siread_locks"] >= 1
+        s1.rollback()
+        s2.rollback()

@@ -1,0 +1,176 @@
+"""Unit tests for the heavyweight lock manager: modes, queues,
+reentrancy, release, and deadlock detection."""
+
+import pytest
+
+from repro.errors import DeadlockDetected
+from repro.locks import LockManager, LockMode, modes_conflict
+
+REL = ("rel", 1)
+XID5 = ("xid", 5)
+
+
+class TestConflictMatrix:
+    def test_symmetry(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert modes_conflict(a, b) == modes_conflict(b, a), (a, b)
+
+    def test_share_compatible_with_share(self):
+        assert not modes_conflict(LockMode.SHARE, LockMode.SHARE)
+
+    def test_exclusive_conflicts_share(self):
+        assert modes_conflict(LockMode.EXCLUSIVE, LockMode.SHARE)
+
+    def test_access_share_only_conflicts_access_exclusive(self):
+        assert modes_conflict(LockMode.ACCESS_SHARE, LockMode.ACCESS_EXCLUSIVE)
+        assert not modes_conflict(LockMode.ACCESS_SHARE, LockMode.EXCLUSIVE)
+
+    def test_intention_matrix(self):
+        assert not modes_conflict(LockMode.INTENTION_SHARE,
+                                  LockMode.INTENTION_EXCLUSIVE)
+        assert modes_conflict(LockMode.INTENTION_EXCLUSIVE, LockMode.SHARE)
+        assert modes_conflict(LockMode.SHARE_INTENT_EXCLUSIVE,
+                              LockMode.INTENTION_EXCLUSIVE)
+        assert not modes_conflict(LockMode.SHARE_INTENT_EXCLUSIVE,
+                                  LockMode.INTENTION_SHARE)
+
+
+class TestGrantAndQueue:
+    def test_compatible_grants_immediate(self):
+        mgr = LockManager()
+        assert mgr.acquire(1, REL, LockMode.ACCESS_SHARE) is None
+        assert mgr.acquire(2, REL, LockMode.ACCESS_SHARE) is None
+
+    def test_conflicting_request_queues(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        req = mgr.acquire(2, REL, LockMode.EXCLUSIVE)
+        assert req is not None and not req.granted
+
+    def test_release_grants_waiter(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        req = mgr.acquire(2, REL, LockMode.EXCLUSIVE)
+        mgr.release(1, REL, LockMode.SHARE)
+        assert req.granted
+        assert mgr.holds(2, REL, LockMode.EXCLUSIVE)
+
+    def test_release_all_grants_waiters(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.EXCLUSIVE)
+        req = mgr.acquire(2, REL, LockMode.SHARE)
+        mgr.release_all(1)
+        assert req.granted
+
+    def test_reentrant_acquire(self):
+        mgr = LockManager()
+        assert mgr.acquire(1, REL, LockMode.EXCLUSIVE) is None
+        assert mgr.acquire(1, REL, LockMode.EXCLUSIVE) is None
+        mgr.release(1, REL, LockMode.EXCLUSIVE)
+        # Still held once; a waiter stays queued.
+        req = mgr.acquire(2, REL, LockMode.SHARE)
+        assert req is not None and not req.granted
+        mgr.release(1, REL, LockMode.EXCLUSIVE)
+        assert req.granted
+
+    def test_upgrade_different_mode_same_owner_allowed(self):
+        # Same owner never conflicts with itself.
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        assert mgr.acquire(1, REL, LockMode.EXCLUSIVE) is None
+
+    def test_fifo_fairness_blocks_later_compatible_request(self):
+        # share held; exclusive queued; a new share must queue behind the
+        # exclusive rather than starve it.
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        excl = mgr.acquire(2, REL, LockMode.EXCLUSIVE)
+        share = mgr.acquire(3, REL, LockMode.SHARE)
+        assert share is not None and not share.granted
+        mgr.release(1, REL, LockMode.SHARE)
+        assert excl.granted and not share.granted
+        mgr.release_all(2)
+        assert share.granted
+
+    def test_queue_drains_multiple_compatible(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.EXCLUSIVE)
+        reqs = [mgr.acquire(i, REL, LockMode.SHARE) for i in (2, 3, 4)]
+        mgr.release_all(1)
+        assert all(r.granted for r in reqs)
+
+    def test_cancelled_request_on_release_all(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.EXCLUSIVE)
+        req = mgr.acquire(2, REL, LockMode.SHARE)
+        mgr.release_all(2)  # waiter aborts
+        assert req.cancelled and not req.granted
+
+    def test_locks_held_introspection(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        mgr.acquire(1, XID5, LockMode.EXCLUSIVE)
+        held = mgr.locks_held(1)
+        assert held[REL] == {LockMode.SHARE}
+        assert held[XID5] == {LockMode.EXCLUSIVE}
+
+
+class TestDeadlockDetection:
+    def test_two_party_deadlock(self):
+        mgr = LockManager()
+        a, b = ("xid", 1), ("xid", 2)
+        mgr.acquire(1, a, LockMode.EXCLUSIVE)
+        mgr.acquire(2, b, LockMode.EXCLUSIVE)
+        # 1 waits for 2.
+        assert mgr.acquire(1, b, LockMode.SHARE) is not None
+        # 2 waiting for 1 closes the cycle.
+        with pytest.raises(DeadlockDetected):
+            mgr.acquire(2, a, LockMode.SHARE)
+        assert mgr.deadlocks_detected == 1
+
+    def test_three_party_deadlock(self):
+        mgr = LockManager()
+        tags = {i: ("xid", i) for i in (1, 2, 3)}
+        for i in (1, 2, 3):
+            mgr.acquire(i, tags[i], LockMode.EXCLUSIVE)
+        assert mgr.acquire(1, tags[2], LockMode.SHARE) is not None
+        assert mgr.acquire(2, tags[3], LockMode.SHARE) is not None
+        with pytest.raises(DeadlockDetected):
+            mgr.acquire(3, tags[1], LockMode.SHARE)
+
+    def test_victim_request_removed_from_queue(self):
+        mgr = LockManager()
+        a, b = ("xid", 1), ("xid", 2)
+        mgr.acquire(1, a, LockMode.EXCLUSIVE)
+        mgr.acquire(2, b, LockMode.EXCLUSIVE)
+        mgr.acquire(1, b, LockMode.SHARE)
+        with pytest.raises(DeadlockDetected):
+            mgr.acquire(2, a, LockMode.SHARE)
+        # After the victim aborts and releases, the survivor is granted.
+        mgr.release_all(2)
+        assert mgr.holds(1, b, LockMode.SHARE)
+
+    def test_no_false_deadlock_on_chain(self):
+        mgr = LockManager()
+        a, b = ("xid", 1), ("xid", 2)
+        mgr.acquire(1, a, LockMode.EXCLUSIVE)
+        mgr.acquire(2, b, LockMode.EXCLUSIVE)
+        assert mgr.acquire(3, a, LockMode.SHARE) is not None
+        assert mgr.acquire(3, b, LockMode.SHARE) is not None  # no cycle
+
+    def test_deadlock_through_queued_waiters(self):
+        # 1 holds REL share; 2 queues exclusive on REL (waits on 1);
+        # 1 then waits on something 2 holds -> cycle through the queue.
+        mgr = LockManager()
+        other = ("xid", 2)
+        mgr.acquire(1, REL, LockMode.SHARE)
+        mgr.acquire(2, other, LockMode.EXCLUSIVE)
+        assert mgr.acquire(2, REL, LockMode.EXCLUSIVE) is not None
+        with pytest.raises(DeadlockDetected):
+            mgr.acquire(1, other, LockMode.SHARE)
+
+    def test_work_units_accumulate(self):
+        mgr = LockManager()
+        mgr.acquire(1, REL, LockMode.SHARE)
+        assert mgr.work_units > 0

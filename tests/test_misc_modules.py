@@ -1,0 +1,123 @@
+"""Coverage for the small supporting modules: errors, config, waits,
+isolation levels, and SSI target helpers."""
+
+import pytest
+
+from repro.config import CostModel, EngineConfig, SSIConfig
+from repro.engine.isolation import IsolationLevel
+from repro.errors import (CapacityExceededError, DeadlockDetected,
+                          ReproError, RetryableError, SerializationFailure,
+                          UserError, WouldBlock)
+from repro.ssi.targets import (heap_write_targets, index_inf_target,
+                               index_insert_targets, index_key_target,
+                               index_page_target, index_rel_target,
+                               page_target, rel_target, tuple_target)
+from repro.storage.tuple import TID
+from repro.waits import SafeSnapshotWait, Yield, YIELD
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SerializationFailure, RetryableError)
+        assert issubclass(DeadlockDetected, RetryableError)
+        assert issubclass(RetryableError, ReproError)
+        assert issubclass(UserError, ReproError)
+        assert not issubclass(CapacityExceededError, RetryableError)
+
+    def test_sqlstates(self):
+        assert SerializationFailure("x").sqlstate == "40001"
+        assert DeadlockDetected("x").sqlstate == "40P01"
+        assert CapacityExceededError("x").sqlstate == "53200"
+
+    def test_serialization_failure_metadata(self):
+        exc = SerializationFailure("boom", pivot_xid=7, reason="pivot")
+        assert exc.pivot_xid == 7
+        assert exc.reason == "pivot"
+
+    def test_would_block_is_not_repro_error(self):
+        # Control flow, not an error: a bare `except ReproError` must
+        # not swallow it.
+        assert not issubclass(WouldBlock, ReproError)
+
+
+class TestConfig:
+    def test_defaults_are_paper_faithful(self):
+        cfg = SSIConfig()
+        assert cfg.commit_ordering_opt
+        assert cfg.read_only_opt
+        assert cfg.safe_snapshots
+        assert cfg.own_write_drops_siread
+        assert cfg.conflict_tracking == "full"
+        assert cfg.index_locking == "page"  # what 9.1 shipped
+
+    def test_disk_bound_factory(self):
+        cfg = EngineConfig.disk_bound(io_miss=42.0, buffer_pages=10)
+        assert cfg.cost.io_miss == 42.0
+        assert cfg.buffer_pages == 10
+
+    def test_in_memory_factory(self):
+        cfg = EngineConfig.in_memory()
+        assert cfg.cost.io_miss == 0.0
+        assert cfg.buffer_pages is None
+
+    def test_cost_model_fields(self):
+        cost = CostModel()
+        assert cost.ssi_lock_work > cost.hw_lock_work
+        assert cost.parallelism >= 1
+
+
+class TestWaits:
+    def test_yield_always_ready(self):
+        assert YIELD.ready
+        assert Yield().ready
+        assert "yield" in YIELD.describe()
+
+    def test_safe_snapshot_wait_tracks_sxact(self):
+        class FakeSx:
+            xid = 9
+            ro_safe = False
+            ro_unsafe = False
+
+        sx = FakeSx()
+        wait = SafeSnapshotWait(sx)
+        assert not wait.ready
+        sx.ro_unsafe = True
+        assert wait.ready
+        sx.ro_unsafe = False
+        sx.ro_safe = True
+        assert wait.ready
+        assert "9" in wait.describe()
+
+
+class TestIsolationLevels:
+    def test_snapshot_based_classification(self):
+        assert IsolationLevel.READ_COMMITTED.snapshot_based
+        assert IsolationLevel.REPEATABLE_READ.snapshot_based
+        assert IsolationLevel.SERIALIZABLE.snapshot_based
+        assert not IsolationLevel.S2PL.snapshot_based
+
+    def test_only_serializable_uses_ssi(self):
+        assert IsolationLevel.SERIALIZABLE.uses_ssi
+        assert not IsolationLevel.REPEATABLE_READ.uses_ssi
+
+    def test_only_rc_takes_statement_snapshots(self):
+        assert IsolationLevel.READ_COMMITTED.statement_snapshot
+        assert not IsolationLevel.SERIALIZABLE.statement_snapshot
+
+
+class TestTargets:
+    def test_heap_write_targets_coarsest_first(self):
+        targets = heap_write_targets(5, TID(3, 7))
+        assert targets == [rel_target(5), page_target(5, 3),
+                           tuple_target(5, TID(3, 7))]
+
+    def test_index_insert_targets_coarsest_first(self):
+        targets = index_insert_targets(9, [1, 2])
+        assert targets[0] == index_rel_target(9)
+        assert index_page_target(9, 1) in targets
+        assert index_page_target(9, 2) in targets
+
+    def test_key_targets_distinct_per_key(self):
+        assert index_key_target(9, 5) != index_key_target(9, 6)
+        assert index_key_target(9, 5) != index_inf_target(9)
+        assert index_inf_target(9) == index_inf_target(9)

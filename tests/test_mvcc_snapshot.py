@@ -1,0 +1,98 @@
+"""Unit tests for xid allocation, the commit log, and snapshots."""
+
+import pytest
+
+from repro.mvcc import (CommitLog, INVALID_XID, Snapshot, XidAllocator,
+                        XidStatus)
+
+
+class TestXidAllocator:
+    def test_assigns_increasing_ids(self):
+        alloc = XidAllocator()
+        a, b, c = alloc.assign(), alloc.assign(), alloc.assign()
+        assert a < b < c
+
+    def test_next_xid_is_upper_bound(self):
+        alloc = XidAllocator()
+        nxt = alloc.next_xid
+        assert alloc.assign() == nxt
+        assert alloc.next_xid == nxt + 1
+
+    def test_invalid_xid_never_assigned(self):
+        alloc = XidAllocator()
+        for _ in range(100):
+            assert alloc.assign() != INVALID_XID
+
+
+class TestCommitLog:
+    def test_unknown_xid_reported_in_progress(self):
+        clog = CommitLog()
+        assert clog.status(42) is XidStatus.IN_PROGRESS
+
+    def test_commit_and_abort(self):
+        clog = CommitLog()
+        clog.register(5)
+        clog.register(6)
+        clog.set_committed([5])
+        clog.set_aborted([6])
+        assert clog.did_commit(5)
+        assert not clog.did_commit(6)
+        assert clog.did_abort(6)
+        assert not clog.in_progress(5)
+
+    def test_subtransaction_parent_chain(self):
+        clog = CommitLog()
+        clog.register(10)
+        clog.register(11, parent=10)
+        clog.register(12, parent=11)
+        assert clog.parent_of(12) == 11
+        assert clog.top_level_of(12) == 10
+        assert clog.top_level_of(10) == 10
+
+    def test_commit_marks_whole_subtree(self):
+        clog = CommitLog()
+        clog.register(10)
+        clog.register(11, parent=10)
+        clog.set_committed([10, 11])
+        assert clog.did_commit(11)
+
+
+class TestSnapshot:
+    def test_xid_beyond_xmax_in_progress(self):
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset())
+        assert snap.xid_in_progress_at_snapshot(10)
+        assert snap.xid_in_progress_at_snapshot(999)
+        assert not snap.xid_in_progress_at_snapshot(9)
+
+    def test_xip_members_in_progress(self):
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        assert snap.xid_in_progress_at_snapshot(7)
+        assert not snap.xid_in_progress_at_snapshot(6)
+
+    def test_committed_visible_requires_commit(self):
+        clog = CommitLog()
+        clog.register(6)
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        assert not snap.committed_visible(6, clog)  # still in progress
+        clog.set_committed([6])
+        assert snap.committed_visible(6, clog)
+
+    def test_committed_after_snapshot_invisible(self):
+        clog = CommitLog()
+        clog.register(7)
+        clog.set_committed([7])
+        # 7 was in progress at snapshot time despite committing later.
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        assert not snap.committed_visible(7, clog)
+
+    def test_overlap(self):
+        a = Snapshot(xmin=1, xmax=5)
+        b = Snapshot(xmin=4, xmax=9)
+        c = Snapshot(xmin=5, xmax=9)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_snapshot_is_immutable(self):
+        snap = Snapshot(xmin=1, xmax=2)
+        with pytest.raises(AttributeError):
+            snap.xmin = 7

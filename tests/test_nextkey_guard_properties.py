@@ -1,0 +1,77 @@
+"""Property tests for the next-key gap information the B+-tree reports
+(the soundness foundation of next-key locking): for every random tree,
+scan range, and hypothetical insert, the key set a reader locks must
+intersect the target set an insert checks whenever the insert would
+change the reader's result."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index import BTreeIndex
+from repro.storage.tuple import TID
+
+
+def build(keys):
+    idx = BTreeIndex(1, "i", "k", page_size=5)
+    for i, k in enumerate(keys):
+        idx.insert_entry(k, TID(i, 0))
+    return idx
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.integers(0, 60), unique=True, max_size=40),
+       st.integers(0, 60), st.integers(0, 60), st.integers(0, 60))
+def test_insert_into_scanned_range_always_guarded(keys, a, b, new_key):
+    """If inserting ``new_key`` would add a row to the range [lo, hi],
+    the reader's lock set (matched keys + guard) must contain either
+    the key itself or the insert's successor target."""
+    lo, hi = min(a, b), max(a, b)
+    idx = build(keys)
+    scan = idx.range_search(lo, hi)
+    reader_locks = set(scan.matched_keys)
+    if scan.guard_needed:
+        reader_locks.add(scan.next_key if scan.has_next else "+inf")
+
+    result = idx.insert_entry(new_key, TID(999, 0))
+    writer_targets = {new_key}
+    writer_targets.add(result.successor_key if result.has_successor
+                       else "+inf")
+
+    if lo <= new_key <= hi:
+        assert reader_locks & writer_targets, (
+            f"phantom: insert {new_key} into [{lo},{hi}] undetected; "
+            f"reader={reader_locks} writer={writer_targets}")
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.integers(0, 60), unique=True, max_size=40),
+       st.integers(0, 60))
+def test_gap_info_successor_is_correct(keys, new_key):
+    idx = build(keys)
+    result = idx.insert_entry(new_key, TID(999, 0))
+    existing = sorted(keys)
+    above = [k for k in existing if k > new_key]
+    if above:
+        assert result.has_successor
+        assert result.successor_key == above[0]
+    else:
+        assert not result.has_successor
+    assert result.key_existed == (new_key in keys)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.integers(0, 60), unique=True, max_size=40),
+       st.integers(0, 60), st.integers(0, 60))
+def test_scan_next_key_is_first_beyond_range(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    idx = build(keys)
+    scan = idx.range_search(lo, hi)
+    assert scan.matched_keys == sorted(k for k in keys if lo <= k <= hi)
+    beyond = sorted(k for k in keys if k > hi)
+    if scan.has_next:
+        assert scan.next_key == beyond[0]
+    else:
+        assert not beyond or not scan.guard_needed
+    # guard_needed is False only in the safe case: the inclusive upper
+    # bound itself was matched.
+    if not scan.guard_needed:
+        assert scan.matched_keys and scan.matched_keys[-1] == hi

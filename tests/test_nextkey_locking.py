@@ -1,0 +1,164 @@
+"""Next-key index-range locking (the section 5.2.1 future work,
+implemented): phantoms are still caught, and the page-sharing false
+positives of page-granularity locking disappear."""
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Between, Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def make_db(index_locking="nextkey", rows=8):
+    db = Database(EngineConfig(ssi=SSIConfig(index_locking=index_locking)))
+    db.create_table("t", ["k", "v"], key="k")
+    s = db.session()
+    for k in range(0, rows * 10, 10):
+        s.insert("t", {"k": k, "v": 0})
+    return db
+
+
+class TestPhantomsStillCaught:
+    def test_insert_into_scanned_gap_conflicts(self):
+        db = make_db()
+        r, w = db.session(), db.session()
+        r.begin(SER)
+        w.begin(SER)
+        assert r.select("t", Between("k", 11, 19)) == []  # gap scan
+        r.update("t", Eq("k", 0), {"v": 1})
+        w.select("t", Eq("k", 0))
+        w.insert("t", {"k": 15, "v": 1})  # lands in r's scanned gap
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+    def test_insert_beyond_last_key_conflicts_with_open_scan(self):
+        db = make_db()
+        r, w = db.session(), db.session()
+        r.begin(SER)
+        w.begin(SER)
+        # Scan runs off the right edge: +infinity gap locked.
+        rows = r.select("t", Between("k", 60, 10_000))
+        assert rows
+        r.update("t", Eq("k", 0), {"v": 1})
+        w.select("t", Eq("k", 0))
+        w.insert("t", {"k": 999, "v": 1})
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+    def test_duplicate_key_insert_conflicts_with_key_reader(self):
+        db = Database(EngineConfig(ssi=SSIConfig(index_locking="nextkey")))
+        db.create_table("t", ["k", "v"])  # non-unique
+        db.create_index("t", "k")
+        s = db.session()
+        s.insert("t", {"k": 5, "v": 0})
+        r, w = db.session(), db.session()
+        r.begin(SER)
+        w.begin(SER)
+        assert len(r.select("t", Eq("k", 5))) == 1
+        r.insert("t", {"k": 100, "v": 1})
+        w.select("t", Eq("k", 100))
+        w.insert("t", {"k": 5, "v": 2})  # another row enters r's k=5 set
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+    def test_empty_equality_lookup_guarded(self):
+        db = make_db()
+        r, w = db.session(), db.session()
+        r.begin(SER)
+        w.begin(SER)
+        assert r.select("t", Eq("k", 15)) == []
+        r.update("t", Eq("k", 0), {"v": 1})
+        w.select("t", Eq("k", 0))
+        w.insert("t", {"k": 15, "v": 1})
+        r.commit()
+        with pytest.raises(SerializationFailure):
+            w.commit()
+
+
+class TestFalsePositivesEliminated:
+    def _disjoint_key_scenario(self, index_locking):
+        """Two transactions reading/writing disjoint keys that happen
+        to share a B+-tree leaf page. Page locking flags a (false)
+        conflict; next-key locking must not."""
+        db = make_db(index_locking)
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        # T1 -rw-> T2 -rw-> T3 via page-sharing only:
+        t1.begin(SER)
+        t1.select("t", Eq("k", 0))
+        t2.begin(SER)
+        t2.select("t", Eq("k", 20))
+        t3.begin(SER)
+        t3.update("t", Eq("k", 20), {"v": 1})  # t2 -rw-> t3 (real)
+        t3.commit()
+        # t2 updates k=40: under page locking, the new version's index
+        # entry would land on the leaf t1 gap-locked -> false t1->t2
+        # edge completing a dangerous structure. Next-key locking sees
+        # k=40 != 0, no conflict.
+        t2.update("t", Eq("k", 40), {"v": 1})
+        outcome = []
+        for s in (t1, t2):
+            try:
+                s.commit()
+                outcome.append("committed")
+            except SerializationFailure:
+                if s.in_transaction():
+                    s.rollback()
+                outcome.append("aborted")
+        return outcome
+
+    def test_nextkey_allows_disjoint_key_updates(self):
+        assert self._disjoint_key_scenario("nextkey") == \
+            ["committed", "committed"]
+
+    def test_same_key_updates_still_detected(self):
+        """Sanity: the real conflicts are unaffected by the mode."""
+        db = make_db("nextkey")
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        s1.select("t", Eq("k", 0))
+        s2.select("t", Eq("k", 10))
+        s1.update("t", Eq("k", 10), {"v": 1})
+        s2.update("t", Eq("k", 0), {"v": 1})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+
+
+class TestMaintenance:
+    def test_key_locks_promote_to_index_relation(self):
+        db = Database(EngineConfig(ssi=SSIConfig(
+            index_locking="nextkey", max_pred_locks_per_relation=3)))
+        db.create_table("t", ["k", "v"], key="k")
+        s = db.session()
+        for k in range(20):
+            s.insert("t", {"k": k, "v": 0})
+        r = db.session()
+        r.begin(SER)
+        for k in range(6):
+            r.select("t", Eq("k", k))
+        targets = db.ssi.lockmgr.targets_held(r.txn.sxact)
+        assert any(t[0] == "ir" for t in targets)
+        assert not any(t[0] == "ik" for t in targets)
+        r.rollback()
+
+    def test_drop_index_transfers_key_locks(self):
+        db = make_db()
+        r = db.session()
+        r.begin(SER)
+        assert r.select("t", Between("k", 11, 19)) == []
+        sx = r.txn.sxact
+        assert any(t[0] == "ik" for t in db.ssi.lockmgr.targets_held(sx))
+        rel = db.relation("t")
+        index = rel.indexes["t_pkey"]
+        rel.drop_index("t_pkey")
+        db.ssi.lockmgr.transfer_index_to_heap(index.oid, rel.oid)
+        targets = db.ssi.lockmgr.targets_held(sx)
+        assert not any(t[0] in ("ik", "ik+") for t in targets)
+        assert ("r", rel.oid) in targets
+        r.rollback()

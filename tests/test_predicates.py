@@ -1,0 +1,106 @@
+"""Unit and property tests for WHERE-clause predicates and planner
+sargability."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.predicate import (AlwaysTrue, And, Between, Eq, Func, Ge,
+                                    Gt, Le, Lt, Ne, Or)
+
+
+class TestMatching:
+    def test_always_true(self):
+        assert AlwaysTrue().matches({})
+
+    def test_comparisons(self):
+        row = {"k": 5}
+        assert Eq("k", 5).matches(row)
+        assert not Eq("k", 6).matches(row)
+        assert Ne("k", 6).matches(row)
+        assert Lt("k", 6).matches(row)
+        assert Le("k", 5).matches(row)
+        assert Gt("k", 4).matches(row)
+        assert Ge("k", 5).matches(row)
+        assert not Gt("k", 5).matches(row)
+
+    def test_missing_column_is_never_less(self):
+        assert not Lt("absent", 10).matches({"k": 1})
+        assert not Ge("absent", 10).matches({"k": 1})
+        assert not Eq("absent", 10).matches({"k": 1})
+        assert Ne("absent", 10).matches({"k": 1})  # None != 10
+
+    def test_between(self):
+        assert Between("k", 1, 3).matches({"k": 2})
+        assert Between("k", 1, 3).matches({"k": 1})
+        assert Between("k", 1, 3).matches({"k": 3})
+        assert not Between("k", 1, 3).matches({"k": 4})
+
+    def test_and_or(self):
+        pred = And(Ge("k", 1), Le("k", 3))
+        assert pred.matches({"k": 2}) and not pred.matches({"k": 0})
+        pred = Or(Eq("k", 1), Eq("k", 9))
+        assert pred.matches({"k": 9}) and not pred.matches({"k": 5})
+
+    def test_operator_sugar(self):
+        pred = Eq("a", 1) & Eq("b", 2)
+        assert pred.matches({"a": 1, "b": 2})
+        assert not pred.matches({"a": 1, "b": 3})
+        pred = Eq("a", 1) | Eq("b", 2)
+        assert pred.matches({"a": 0, "b": 2})
+
+    def test_func(self):
+        pred = Func(lambda r: r["k"] % 2 == 0)
+        assert pred.matches({"k": 4}) and not pred.matches({"k": 3})
+
+
+class TestSargability:
+    def test_eq_is_equality_range(self):
+        rng = Eq("k", 5).index_range()
+        assert rng.is_equality and rng.column == "k"
+
+    def test_inequalities_are_open_ranges(self):
+        assert Lt("k", 5).index_range().hi == 5
+        assert not Lt("k", 5).index_range().hi_incl
+        assert Le("k", 5).index_range().hi_incl
+        assert Gt("k", 5).index_range().lo == 5
+        assert not Gt("k", 5).index_range().lo_incl
+        assert Ge("k", 5).index_range().lo_incl
+
+    def test_between_range(self):
+        rng = Between("k", 1, 9).index_range()
+        assert (rng.lo, rng.hi) == (1, 9)
+        assert not rng.is_equality
+
+    def test_and_uses_first_sargable_conjunct(self):
+        pred = And(Func(lambda r: True), Eq("k", 5))
+        assert pred.index_range().column == "k"
+
+    def test_or_and_func_not_sargable(self):
+        assert Or(Eq("k", 1), Eq("k", 2)).index_range() is None
+        assert Func(lambda r: True).index_range() is None
+        assert AlwaysTrue().index_range() is None
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+    def test_between_equals_conjunction(self, lo, hi, value):
+        row = {"k": value}
+        assert Between("k", lo, hi).matches(row) == \
+            And(Ge("k", lo), Le("k", hi)).matches(row)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_trichotomy(self, bound, value):
+        row = {"k": value}
+        outcomes = [Lt("k", bound).matches(row), Eq("k", bound).matches(row),
+                    Gt("k", bound).matches(row)]
+        assert sum(outcomes) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_demorgan_over_rows(self, a, value):
+        row = {"k": value}
+        left = Or(Eq("k", a), Ne("k", a)).matches(row)
+        assert left  # tautology
+        both = And(Eq("k", a), Ne("k", a)).matches(row)
+        assert not both  # contradiction

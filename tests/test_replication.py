@@ -1,0 +1,150 @@
+"""Streaming replication and safe snapshots on replicas (section 7.2)."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import FeatureNotSupportedError
+from repro.replication import Replica, ReplicaReadMode
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def master():
+    db = Database(EngineConfig())
+    db.create_table("control", ["id", "batch"], key="id")
+    db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+    s = db.session()
+    s.insert("control", {"id": 0, "batch": 1})
+    return db
+
+
+class TestLogShipping:
+    def test_changes_replicate(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        s.update("control", Eq("id", 0), {"batch": 2})
+        replica.catch_up()
+        assert replica.query("receipts") == [
+            {"rid": 1, "batch": 1, "amount": 5}]
+        assert replica.query("control")[0]["batch"] == 2
+
+    def test_deletes_replicate(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        s.delete("receipts", Eq("rid", 1))
+        replica.catch_up()
+        assert replica.query("receipts") == []
+
+    def test_uncommitted_changes_do_not_replicate(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.begin(SER)
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        replica.catch_up()
+        assert replica.query("receipts") == []
+        s.commit()
+        replica.catch_up()
+        assert len(replica.query("receipts")) == 1
+
+    def test_aborted_changes_never_ship(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.begin(SER)
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        s.rollback()
+        replica.catch_up()
+        assert replica.query("receipts") == []
+
+    def test_incremental_catch_up(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        assert replica.catch_up() >= 1
+        assert replica.catch_up() == 0
+        s.insert("receipts", {"rid": 2, "batch": 1, "amount": 6})
+        assert replica.catch_up() == 1
+
+
+class TestSafeSnapshotsOnReplica:
+    def test_serializable_requires_safe_snapshot(self, master):
+        replica = Replica(master)
+        with pytest.raises(FeatureNotSupportedError):
+            replica.query("control", mode=ReplicaReadMode.LATEST_SAFE)
+
+    def test_safe_marker_enables_serializable_reads(self, master):
+        replica = Replica(master)
+        s = master.session()
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        replica.catch_up()
+        # The autocommit insert ran with no other r/w serializable
+        # transactions active, so its commit record carries the marker.
+        assert replica.has_safe_snapshot
+        rows = replica.query("receipts", mode=ReplicaReadMode.LATEST_SAFE)
+        assert len(rows) == 1
+
+    def test_unsafe_window_holds_back_safe_state(self, master):
+        """While a r/w serializable transaction is open on the master,
+        commits are not safe points; the safe state lags."""
+        replica = Replica(master)
+        s = master.session()
+        s.insert("receipts", {"rid": 1, "batch": 1, "amount": 5})
+        long_txn = master.session()
+        long_txn.begin(SER)
+        long_txn.select("control", Eq("id", 0))  # keep it active & r/w
+        s2 = master.session()
+        s2.insert("receipts", {"rid": 2, "batch": 1, "amount": 6})
+        replica.catch_up()
+        # Latest state has both rows; safe state is stale.
+        assert len(replica.query("receipts")) == 2
+        assert len(replica.query("receipts",
+                                 mode=ReplicaReadMode.LATEST_SAFE)) == 1
+        assert replica.safe_snapshot_lag >= 1
+        long_txn.commit()
+        s3 = master.session()
+        s3.insert("receipts", {"rid": 3, "batch": 1, "amount": 7})
+        replica.catch_up()
+        assert len(replica.query("receipts",
+                                 mode=ReplicaReadMode.LATEST_SAFE)) == 3
+
+    def test_report_anomaly_prevented_on_safe_snapshot(self, master):
+        """The section 7.2 scenario: the REPORT query runs on the
+        standby. On the latest state it can expose the batch-processing
+        anomaly; on the safe snapshot it cannot, because the safe state
+        is a prefix of the apparent serial order."""
+        replica = Replica(master)
+        t2 = master.session()   # NEW-RECEIPT, still open
+        t2.begin(SER)
+        batch = t2.select("control", Eq("id", 0))[0]["batch"]
+        t3 = master.session()   # CLOSE-BATCH
+        t3.begin(SER)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()             # not a safe point: t2 still active
+        replica.catch_up()
+        # REPORT on the replica's LATEST state: sees batch closed and
+        # batch-1 total = 0. Then t2's receipt lands in batch 1 ->
+        # anomaly (the total changed after the report).
+        latest_ctrl = replica.query("control")[0]["batch"]
+        assert latest_ctrl == 2
+        latest_total = sum(r["amount"] for r in replica.query(
+            "receipts", Eq("batch", 1)))
+        assert latest_total == 0
+        t2.insert("receipts", {"rid": 1, "batch": batch, "amount": 10})
+        t2.commit()  # allowed on the master: no dangerous structure
+        #              without the REPORT transaction (section 3.3) --
+        #              the replica read was invisible to the master.
+        replica.catch_up()
+        new_total = sum(r["amount"] for r in replica.query(
+            "receipts", Eq("batch", 1)))
+        assert new_total == 10  # the anomaly: report said 0, now 10
+        # The safe snapshot never showed the closed batch with total 0:
+        # safe points only exist where no r/w txn was active.
+        safe_ctrl = replica.query("control",
+                                  mode=ReplicaReadMode.LATEST_SAFE)
+        safe_total = sum(r["amount"] for r in replica.query(
+            "receipts", Eq("batch", 1),
+            mode=ReplicaReadMode.LATEST_SAFE))
+        assert (safe_ctrl[0]["batch"], safe_total) in ((1, 0), (2, 10))

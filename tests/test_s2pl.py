@@ -1,0 +1,157 @@
+"""The strict two-phase locking baseline (paper section 8)."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import DeadlockDetected, WouldBlock
+
+S2PL = IsolationLevel.S2PL
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("doctors", ["name", "oncall"], key="name")
+    s = database.session()
+    s.insert("doctors", {"name": "alice", "oncall": True})
+    s.insert("doctors", {"name": "bob", "oncall": True})
+    database.create_table("t", ["k", "v"], key="k")
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestBlockingReads:
+    def test_reader_blocks_on_writer(self, db):
+        w, r = db.session(), db.session()
+        w.begin(S2PL)
+        r.begin(S2PL)
+        w.update("t", Eq("k", 1), {"v": 5})
+        with pytest.raises(WouldBlock):
+            r.select("t", Eq("k", 1))
+        w.commit()
+        rows = r.resume()
+        assert rows == [{"k": 1, "v": 5}]  # sees the committed write
+        r.commit()
+
+    def test_writer_blocks_on_reader(self, db):
+        w, r = db.session(), db.session()
+        r.begin(S2PL)
+        w.begin(S2PL)
+        assert r.select("t", Eq("k", 1)) == [{"k": 1, "v": 0}]
+        with pytest.raises(WouldBlock):
+            w.update("t", Eq("k", 1), {"v": 5})
+        r.commit()
+        assert w.resume() == 1
+        w.commit()
+
+    def test_readers_do_not_block_readers(self, db):
+        r1, r2 = db.session(), db.session()
+        r1.begin(S2PL)
+        r2.begin(S2PL)
+        assert r1.select("t", Eq("k", 1))
+        assert r2.select("t", Eq("k", 1))
+        r1.commit()
+        r2.commit()
+
+    def test_seqscan_blocks_any_write(self, db):
+        r, w = db.session(), db.session()
+        r.begin(S2PL)
+        w.begin(S2PL)
+        from repro.engine import Func
+        r.select("t", Func(lambda row: True))  # seqscan: relation S lock
+        with pytest.raises(WouldBlock):
+            w.insert("t", {"k": 99, "v": 1})
+        r.commit()
+        w.resume()
+        w.commit()
+
+
+class TestS2plSerializability:
+    def test_write_skew_prevented_by_blocking(self, db):
+        """Figure 1 under S2PL: the second transaction blocks on the
+        first's read locks and the interleaving becomes a deadlock,
+        resolved by aborting one transaction."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(S2PL)
+        s2.begin(S2PL)
+        n1 = len(s1.select("doctors", Eq("oncall", True)))
+        n2 = len(s2.select("doctors", Eq("oncall", True)))
+        assert n1 == n2 == 2
+        blocked = False
+        try:
+            s1.update("doctors", Eq("name", "alice"), {"oncall": False})
+        except WouldBlock:
+            blocked = True
+        # s2's symmetric update closes the wait cycle.
+        with pytest.raises((DeadlockDetected, WouldBlock)):
+            s2.update("doctors", Eq("name", "bob"), {"oncall": False})
+            if not blocked:
+                pytest.fail("expected blocking or deadlock")
+        s2.rollback()
+        if blocked:
+            s1.resume()
+        s1.commit()
+        oncall = db.session().select("doctors", Eq("oncall", True))
+        assert len(oncall) >= 1  # invariant preserved
+
+    def test_phantom_prevented_by_index_gap_locks(self, db):
+        r, w = db.session(), db.session()
+        r.begin(S2PL)
+        w.begin(S2PL)
+        from repro.engine import Between
+        assert r.select("t", Between("k", 10, 20)) == []
+        # Inserting into the scanned gap must block on the page lock.
+        with pytest.raises(WouldBlock):
+            w.insert("t", {"k": 15, "v": 1})
+        r.commit()
+        w.resume()
+        w.commit()
+
+    def test_reads_see_latest_committed(self, db):
+        # No snapshot staleness under S2PL: a reader that starts
+        # before a commit but reads after it sees the newest data.
+        r, w = db.session(), db.session()
+        r.begin(S2PL)
+        w.begin(S2PL)
+        w.update("t", Eq("k", 2), {"v": 42})
+        w.commit()
+        assert r.select("t", Eq("k", 2)) == [{"k": 2, "v": 42}]
+        r.commit()
+
+    def test_own_writes_visible(self, db):
+        s = db.session()
+        s.begin(S2PL)
+        s.update("t", Eq("k", 1), {"v": 7})
+        assert s.select("t", Eq("k", 1)) == [{"k": 1, "v": 7}]
+        s.insert("t", {"k": 50, "v": 1})
+        assert s.select("t", Eq("k", 50)) == [{"k": 50, "v": 1}]
+        s.rollback()
+        assert db.session().select("t", Eq("k", 1)) == [{"k": 1, "v": 0}]
+
+    def test_locks_released_at_commit(self, db):
+        a, b = db.session(), db.session()
+        a.begin(S2PL)
+        a.update("t", Eq("k", 1), {"v": 5})
+        a.commit()
+        b.begin(S2PL)
+        assert b.select("t", Eq("k", 1)) == [{"k": 1, "v": 5}]
+        b.commit()
+
+    def test_deadlock_statistics(self, db):
+        # Different tables avoid index-page lock coupling, producing a
+        # clean two-resource deadlock.
+        s1, s2 = db.session(), db.session()
+        s1.begin(S2PL)
+        s2.begin(S2PL)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        s2.update("doctors", Eq("name", "bob"), {"oncall": False})
+        with pytest.raises(WouldBlock):
+            s1.update("doctors", Eq("name", "bob"), {"oncall": True})
+        with pytest.raises(DeadlockDetected):
+            s2.update("t", Eq("k", 0), {"v": 2})
+        assert db.lockmgr.deadlocks_detected >= 1
+        s2.rollback()
+        s1.resume()
+        s1.commit()

@@ -1,0 +1,187 @@
+"""Safe snapshots and deferrable transactions (paper sections 4.2-4.3)."""
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import WouldBlock
+from repro.waits import SafeSnapshotWait
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestSafeSnapshots:
+    def test_ro_with_no_concurrent_rw_is_immediately_safe(self, db):
+        s = db.session()
+        s.begin(SER, read_only=True)
+        assert s.txn.sxact.ro_safe
+        # A safe-snapshot transaction acquires no SIREAD locks.
+        s.select("t")
+        assert db.ssi.lockmgr.targets_held(s.txn.sxact) == set()
+        s.commit()
+        assert db.ssi.stats.safe_snapshots == 1
+
+    def test_ro_with_concurrent_rw_not_immediately_safe(self, db):
+        w = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 0))  # keep it active
+        r = db.session()
+        r.begin(SER, read_only=True)
+        assert not r.txn.sxact.ro_safe
+        assert w.txn.sxact in r.txn.sxact.possible_unsafe_conflicts
+        w.commit()
+        r.commit()
+
+    def test_snapshot_becomes_safe_when_writers_finish_cleanly(self, db):
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 0), {"v": 1})
+        r = db.session()
+        r.begin(SER, read_only=True)
+        r.select("t", Eq("k", 1))
+        sx = r.txn.sxact
+        assert not sx.ro_safe
+        assert db.ssi.lockmgr.targets_held(sx)  # tracking SIREADs so far
+        w.commit()  # no conflict out to anything before r's snapshot
+        assert sx.ro_safe
+        # SIREAD locks were dropped mid-flight (section 4.2).
+        assert db.ssi.lockmgr.targets_held(sx) == set()
+        r.select("t")  # keeps working, now as plain SI
+        r.commit()
+
+    def test_snapshot_becomes_safe_when_writer_aborts(self, db):
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 0), {"v": 1})
+        r = db.session()
+        r.begin(SER, read_only=True)
+        w.rollback()
+        assert r.txn.sxact.ro_safe
+        r.commit()
+
+    def test_unsafe_snapshot_detected(self, db):
+        """A concurrent r/w transaction commits with a conflict out to
+        a transaction that committed before the RO snapshot: unsafe.
+
+        Uses a second table for T2's own write so page-granularity
+        SIREAD locks do not add extra edges.
+        """
+        db.create_table("other", ["k", "v"], key="k")
+        db.session().insert("other", {"k": 0, "v": 0})
+        w = db.session()       # will be T2
+        closer = db.session()  # will be T3
+        w.begin(SER)
+        w.select("t", Eq("k", 0))  # T2 reads k=0
+        closer.begin(SER)
+        closer.update("t", Eq("k", 0), {"v": 9})  # T3 writes it
+        closer.commit()  # T2 -rw-> T3(committed)
+        r = db.session()
+        r.begin(SER, read_only=True)  # snapshot AFTER T3's commit
+        sx = r.txn.sxact
+        w.update("other", Eq("k", 0), {"v": 1})  # make w a real writer
+        w.commit()  # commits with conflict out to pre-snapshot commit
+        assert sx.ro_unsafe
+        assert not sx.ro_safe
+        assert db.ssi.stats.unsafe_snapshots == 1
+        r.commit()
+
+    def test_read_only_writer_cannot_make_unsafe(self, db):
+        """A concurrent transaction that never writes cannot endanger
+        the snapshot even if it has conflicts out."""
+        w = db.session()
+        closer = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 0))
+        closer.begin(SER)
+        closer.update("t", Eq("k", 0), {"v": 9})
+        closer.commit()
+        r = db.session()
+        r.begin(SER, read_only=True)
+        w.commit()  # w never wrote anything
+        assert r.txn.sxact.ro_safe
+        r.commit()
+
+    def test_safe_ro_cannot_be_aborted_by_later_conflicts(self, db):
+        w = db.session()
+        w.begin(SER)
+        r = db.session()
+        r.begin(SER, read_only=True)
+        rows = r.select("t")
+        w.commit()
+        assert r.txn.sxact.ro_safe
+        # A new writer updates everything r read; r must still commit.
+        w2 = db.session()
+        w2.begin(SER)
+        w2.update("t", None, {"v": 42})
+        w2.commit()
+        r.select("t")
+        r.commit()  # no SerializationFailure possible
+
+    def test_config_can_disable_safe_snapshots(self):
+        db = Database(EngineConfig(ssi=SSIConfig(safe_snapshots=False)))
+        db.create_table("t", ["k"], key="k")
+        r = db.session()
+        r.begin(SER, read_only=True)
+        assert not r.txn.sxact.ro_safe
+        r.commit()
+
+
+class TestDeferrableTransactions:
+    def test_deferrable_with_idle_system_starts_immediately(self, db):
+        s = db.session()
+        s.begin(SER, read_only=True, deferrable=True)
+        assert s.txn.sxact.ro_safe
+        s.select("t")
+        s.commit()
+
+    def test_deferrable_blocks_until_writers_finish(self, db):
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 0), {"v": 1})
+        d = db.session()
+        with pytest.raises(WouldBlock) as exc:
+            d.begin(SER, read_only=True, deferrable=True)
+        assert isinstance(exc.value.condition, SafeSnapshotWait)
+        w.commit()
+        txn = d.resume()
+        assert txn.sxact.ro_safe
+        d.select("t")
+        d.commit()
+
+    def test_deferrable_retries_after_unsafe_snapshot(self, db):
+        # Arrange an unsafe first snapshot: w has a conflict out to a
+        # transaction that commits before the deferrable snapshot.
+        db.create_table("other", ["k", "v"], key="k")
+        db.session().insert("other", {"k": 0, "v": 0})
+        w = db.session()
+        closer = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 0))
+        closer.begin(SER)
+        closer.update("t", Eq("k", 0), {"v": 9})
+        closer.commit()
+        d = db.session()
+        with pytest.raises(WouldBlock):
+            d.begin(SER, read_only=True, deferrable=True)
+        w.update("other", Eq("k", 0), {"v": 1})
+        w.commit()  # first snapshot becomes unsafe -> retry
+        txn = d.resume()  # second snapshot: no writers left -> safe
+        assert txn.sxact.ro_safe
+        assert db.stats.deferrable_retries >= 1
+        d.commit()
+
+    def test_deferrable_requires_read_only(self, db):
+        from repro.errors import InvalidTransactionStateError
+        s = db.session()
+        with pytest.raises(InvalidTransactionStateError):
+            s.begin(SER, deferrable=True)

@@ -1,0 +1,186 @@
+"""Session API edge cases: statement lifecycle, resume misuse,
+autocommit interactions, run_transaction retries, mixed isolation."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import (InvalidTransactionStateError,
+                          SerializationFailure, WouldBlock)
+
+RC = IsolationLevel.READ_COMMITTED
+RR = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestStatementLifecycle:
+    def test_resume_without_pending_rejected(self, db):
+        s = db.session()
+        with pytest.raises(InvalidTransactionStateError):
+            s.resume()
+
+    def test_new_statement_while_suspended_rejected(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 0), {"v": 2})
+        with pytest.raises(InvalidTransactionStateError):
+            s2.select("t")
+        s1.rollback()
+        s2.resume()
+        s2.rollback()
+
+    def test_rollback_while_suspended_cancels_wait(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 0), {"v": 2})
+        s2.rollback()  # cancels the queued lock request
+        assert not db.lockmgr.waiters()
+        s1.commit()
+
+    def test_blocked_flag(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        assert not s2.blocked
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 0), {"v": 2})
+        assert s2.blocked
+        s1.rollback()
+        s2.resume()
+        assert not s2.blocked
+        s2.commit()
+
+    def test_autocommit_statement_with_block(self, db):
+        """An implicit (autocommit) statement that must wait commits
+        transparently on resume."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s1.update("t", Eq("k", 0), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 0), {"v": 2})  # autocommit, RC default
+        s1.commit()
+        assert s2.resume() == 1
+        assert not s2.in_transaction()  # committed automatically
+        assert db.session().select("t", Eq("k", 0))[0]["v"] == 2
+
+
+class TestRunTransaction:
+    def test_retries_until_success(self, db):
+        looser = db.session()
+        attempts = []
+
+        def body(s):
+            attempts.append(1)
+            rows = s.select("t", Eq("k", 1))
+            if len(attempts) == 1:
+                # Sabotage the first attempt: another session updates
+                # k=1 and commits, dooming us via write skew.
+                other = db.session()
+                other.begin(SER)
+                other.select("t", Eq("k", 2))
+                other.update("t", Eq("k", 1), {"v": 9})
+                s.update("t", Eq("k", 2), {"v": 9})
+                other.commit()
+            else:
+                s.update("t", Eq("k", 2), {"v": 5})
+            return rows[0]["v"]
+
+        result = looser.run_transaction(body, SER)
+        assert len(attempts) >= 2
+        assert result == 9  # second attempt saw the committed update
+
+    def test_gives_up_after_max_retries(self, db):
+        s = db.session()
+
+        def always_fails(session):
+            raise SerializationFailure("synthetic")
+
+        with pytest.raises(SerializationFailure):
+            s.run_transaction(always_fails, SER, max_retries=3)
+        assert not s.in_transaction()
+
+
+class TestMixedIsolation:
+    def test_rc_and_serializable_coexist(self, db):
+        """Weaker-isolation writers do not corrupt SSI state; the
+        serializable guarantee covers serializable transactions."""
+        rc = db.session()
+        ser = db.session()
+        ser.begin(SER)
+        ser.select("t", Eq("k", 0))
+        rc.begin(RC)
+        rc.update("t", Eq("k", 0), {"v": 42})  # non-serializable writer
+        rc.commit()
+        # The serializable reader keeps its snapshot and commits fine.
+        assert ser.select("t", Eq("k", 0))[0]["v"] == 0
+        ser.commit()
+        assert db.session().select("t", Eq("k", 0))[0]["v"] == 42
+
+    def test_rc_sees_per_statement_snapshots(self, db):
+        rc = db.session()
+        other = db.session()
+        rc.begin(RC)
+        assert rc.select("t", Eq("k", 0))[0]["v"] == 0
+        other.update("t", Eq("k", 0), {"v": 7})
+        assert rc.select("t", Eq("k", 0))[0]["v"] == 7
+        rc.commit()
+
+
+class TestSnapshotEdgeCases:
+    def test_serializable_snapshot_fixed_at_begin(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.update("t", Eq("k", 0), {"v": 5})  # commits after s1's BEGIN
+        assert s1.select("t", Eq("k", 0))[0]["v"] == 0
+        s1.commit()
+
+    def test_delete_then_select_in_same_txn(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.delete("t", Eq("k", 0))
+        assert s.select("t", Eq("k", 0)) == []
+        s.rollback()
+        assert len(db.session().select("t", Eq("k", 0))) == 1
+
+    def test_update_visible_to_later_command_not_same(self, db):
+        s = db.session()
+        s.begin(SER)
+        # One statement: the update's own writes are invisible to its
+        # scan (Halloween protection) -> applied exactly once.
+        n = s.update("t", None, lambda r: {"v": r["v"] + 1})
+        assert n == 4
+        assert all(r["v"] == 1 for r in s.select("t"))
+        s.commit()
+
+    def test_insert_then_update_same_txn(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("t", {"k": 100, "v": 0})
+        assert s.update("t", Eq("k", 100), {"v": 9}) == 1
+        s.commit()
+        assert db.session().select("t", Eq("k", 100))[0]["v"] == 9
+
+    def test_double_update_same_row_same_txn(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.update("t", Eq("k", 0), {"v": 1})
+        s.update("t", Eq("k", 0), {"v": 2})
+        s.commit()
+        assert db.session().select("t", Eq("k", 0))[0]["v"] == 2

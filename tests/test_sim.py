@@ -1,0 +1,239 @@
+"""Unit tests for the deterministic concurrency simulator."""
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.sim import Client, Op, Scheduler, ops
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def make_db():
+    db = Database(EngineConfig())
+    db.create_table("t", ["k", "v"], key="k")
+    s = db.session()
+    for k in range(8):
+        s.insert("t", {"k": k, "v": 0})
+    return db
+
+
+def single_txn_source(program_factory, count=1):
+    remaining = [count]
+
+    def source():
+        if remaining[0] <= 0:
+            return None
+        remaining[0] -= 1
+        return ("txn", program_factory)
+
+    return source
+
+
+class TestOps:
+    def test_op_repr(self):
+        op = ops.update("t", Eq("k", 1), {"v": 2})
+        assert "update" in repr(op)
+
+    def test_builders(self):
+        assert ops.begin().method == "begin"
+        assert ops.commit().method == "commit"
+        assert ops.select("t").args == ("t", None)
+
+
+class TestClient:
+    def test_runs_transaction_to_completion(self):
+        db = make_db()
+
+        def program():
+            yield ops.begin(SER)
+            rows = yield ops.select("t", Eq("k", 1))
+            assert rows[0]["v"] == 0
+            yield ops.update("t", Eq("k", 1), {"v": 5})
+            yield ops.commit()
+
+        sched = Scheduler(db, seed=1)
+        sched.add_client(Client(0, db.session(), single_txn_source(program)))
+        result = sched.run()
+        assert result.commits == 1
+        assert db.session().select("t", Eq("k", 1))[0]["v"] == 5
+
+    def test_retries_on_serialization_failure(self):
+        db = make_db()
+        # Two clients doing classic write skew; one will be retried.
+
+        def mk(me, other):
+            def program():
+                yield ops.begin(SER)
+                yield ops.select("t", Eq("k", other))
+                yield ops.update("t", Eq("k", me), {"v": 1})
+                yield ops.commit()
+            return program
+
+        sched = Scheduler(db, seed=3)
+        sched.add_client(Client(0, db.session(),
+                                single_txn_source(mk(1, 2))))
+        sched.add_client(Client(1, db.session(),
+                                single_txn_source(mk(2, 1))))
+        result = sched.run()
+        assert result.commits == 2  # both eventually commit
+        # The retry is visible iff the interleaving produced a conflict;
+        # with this seed it does.
+        assert result.retries >= 1
+        assert result.serialization_failures >= 1
+
+    def test_forgives_missing_commit(self):
+        db = make_db()
+
+        def program():
+            yield ops.begin(SER)
+            yield ops.select("t", Eq("k", 1))
+            # no commit: the client rolls back and counts an abort
+
+        sched = Scheduler(db, seed=1)
+        sched.add_client(Client(0, db.session(), single_txn_source(program)))
+        result = sched.run()
+        assert result.commits == 0
+        assert result.aborts == 1
+
+    def test_constraint_failures_not_retried(self):
+        db = make_db()
+
+        def program():
+            yield ops.begin(SER)
+            yield ops.insert("t", {"k": 1, "v": 9})  # duplicate key
+            yield ops.commit()
+
+        sched = Scheduler(db, seed=1)
+        sched.add_client(Client(0, db.session(), single_txn_source(program)))
+        result = sched.run()
+        assert result.commits == 0
+        stats = result.client_stats[0]
+        assert stats.constraint_failures == 1
+
+
+class TestScheduler:
+    def test_deterministic_given_seed(self):
+        def run_once():
+            db = make_db()
+            sched = Scheduler(db, seed=77)
+            for cid in range(3):
+                rng = random.Random(cid)
+
+                def mk(rng=rng):
+                    key = rng.randrange(8)
+
+                    def program(key=key):
+                        yield ops.begin(SER)
+                        yield ops.update("t", Eq("k", key),
+                                         lambda r: {"v": r["v"] + 1})
+                        yield ops.commit()
+                    return ("bump", program)
+
+                queue = [mk() for _ in range(5)]
+
+                def source(q=queue):
+                    return q.pop() if q else None
+
+                sched.add_client(Client(cid, db.session(), source))
+            result = sched.run()
+            values = tuple(r["v"] for r in db.session().select("t"))
+            return result.commits, result.ticks, values
+
+        assert run_once() == run_once()
+
+    def test_clock_advances_per_work(self):
+        db = make_db()
+
+        def program():
+            yield ops.begin(SER)
+            yield ops.select("t")
+            yield ops.commit()
+
+        sched = Scheduler(db, seed=1)
+        sched.add_client(Client(0, db.session(), single_txn_source(program)))
+        result = sched.run()
+        assert result.ticks > 0
+        assert result.steps >= 3
+
+    def test_max_ticks_stops_run(self):
+        db = make_db()
+
+        def endless():
+            def program():
+                yield ops.begin(SER)
+                yield ops.select("t", Eq("k", 0))
+                yield ops.commit()
+            return ("loop", program)
+
+        sched = Scheduler(db, seed=1)
+        sched.add_client(Client(0, db.session(), lambda: endless()))
+        result = sched.run(max_ticks=100.0)
+        assert result.ticks >= 100.0
+        assert result.commits > 0
+
+    def test_blocking_and_wakeup(self):
+        db = make_db()
+        order = []
+
+        def writer():
+            def program():
+                yield ops.begin(SER)
+                yield ops.update("t", Eq("k", 0), {"v": 1})
+                yield ops.update("t", Eq("k", 1), {"v": 1})
+                yield ops.commit()
+                order.append("writer")
+            return ("writer", program)
+
+        def conflicting():
+            def program():
+                yield ops.begin(SER)
+                yield ops.update("t", Eq("k", 0), {"v": 2})
+                yield ops.commit()
+                order.append("conflicting")
+            return ("conflicting", program)
+
+        sched = Scheduler(db, seed=5)
+        sched.add_client(Client(0, db.session(),
+                                single_txn_source(None) if False else
+                                _once(writer)))
+        sched.add_client(Client(1, db.session(), _once(conflicting)))
+        result = sched.run()
+        assert result.commits == 2
+        assert len(order) == 2
+
+    def test_stall_detection(self):
+        db = make_db()
+
+        class NeverReady:
+            ready = False
+
+            def describe(self):
+                return "never"
+
+        def program():
+            yield ops.begin(SER)
+            yield Op("resume")  # bogus; we'll inject the wait directly
+
+        # Simpler: a client blocked on a condition that never clears.
+        client = Client(0, db.session(), single_txn_source(program))
+        sched = Scheduler(db, seed=1)
+        sched.add_client(client)
+        client.wait_condition = NeverReady()
+        client._program = iter(())  # pretend mid-transaction
+        with pytest.raises(RuntimeError, match="stall"):
+            sched.run()
+
+
+def _once(spec_factory):
+    fired = [False]
+
+    def source():
+        if fired[0]:
+            return None
+        fired[0] = True
+        return spec_factory()
+
+    return source

@@ -1,0 +1,339 @@
+"""SSI behaviour on the paper's anomaly examples.
+
+* Figure 1 (simple write skew): snapshot isolation lets the invariant
+  break; SERIALIZABLE aborts one transaction.
+* Figure 2 (batch processing, three transactions incl. a read-only
+  one): snapshot isolation violates the report invariant; SERIALIZABLE
+  aborts the pivot, and the safe-retry rules make the retried
+  transaction succeed.
+* Single rw-antidependencies are tolerated (the concurrency advantage
+  over S2PL/OCC, section 3.3).
+* The commit-ordering and read-only optimizations suppress false
+  positives (sections 3.3.1, 4.1).
+"""
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure
+
+SER = IsolationLevel.SERIALIZABLE
+RR = IsolationLevel.REPEATABLE_READ
+
+
+def doctors_db(**ssi_kwargs):
+    db = Database(EngineConfig(ssi=SSIConfig(**ssi_kwargs)))
+    db.create_table("doctors", ["name", "oncall"], key="name")
+    s = db.session()
+    s.insert("doctors", {"name": "alice", "oncall": True})
+    s.insert("doctors", {"name": "bob", "oncall": True})
+    return db
+
+
+def take_off_call(session, me):
+    """One doctors transaction body: IF oncall >= 2 THEN take me off."""
+    rows = session.select("doctors", Eq("oncall", True))
+    if len(rows) >= 2:
+        session.update("doctors", Eq("name", me), {"oncall": False})
+
+
+def oncall_count(db):
+    return len(db.session().select("doctors", Eq("oncall", True)))
+
+
+class TestWriteSkewFigure1:
+    def test_snapshot_isolation_allows_write_skew(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        take_off_call(s1, "alice")
+        take_off_call(s2, "bob")
+        s1.commit()
+        s2.commit()
+        # The invariant "at least one doctor on call" is broken.
+        assert oncall_count(db) == 0
+
+    def test_serializable_aborts_one_transaction(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        take_off_call(s1, "alice")
+        take_off_call(s2, "bob")
+        s1.commit()  # first committer wins; pivot s2 is doomed
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+        assert oncall_count(db) == 1  # invariant preserved
+
+    def test_safe_retry_of_the_victim_succeeds(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        take_off_call(s1, "alice")
+        take_off_call(s2, "bob")
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+        # Immediate retry: not concurrent with s1 anymore, so it must
+        # succeed (and correctly observe only one doctor on call).
+        s2.begin(SER)
+        take_off_call(s2, "bob")
+        s2.commit()
+        assert oncall_count(db) == 1
+
+    def test_doomed_transaction_fails_at_next_statement(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        take_off_call(s1, "alice")
+        take_off_call(s2, "bob")
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.select("doctors")  # DOOMED flag fires before commit
+        s2.rollback()
+
+    def test_sequential_execution_never_aborts(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        take_off_call(s1, "alice")
+        s1.commit()
+        s2.begin(SER)
+        take_off_call(s2, "bob")
+        s2.commit()
+        assert oncall_count(db) == 1
+
+
+def receipts_db(**ssi_kwargs):
+    db = Database(EngineConfig(ssi=SSIConfig(**ssi_kwargs)))
+    db.create_table("control", ["id", "batch"], key="id")
+    db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+    db.create_index("receipts", "batch")
+    s = db.session()
+    s.insert("control", {"id": 0, "batch": 1})
+    s.insert("receipts", {"rid": 0, "batch": 0, "amount": 5})
+    return db
+
+
+def read_batch(session):
+    return session.select("control", Eq("id", 0))[0]["batch"]
+
+
+def report_total(session, batch):
+    rows = session.select("receipts", Eq("batch", batch))
+    return sum(r["amount"] for r in rows)
+
+
+class TestBatchProcessingFigure2:
+    def _interleave(self, db, *, t1_isolation, expect_t2_insert_fails):
+        """The Figure 2 interleaving: T2 reads the batch number; T3
+        closes the batch and commits; T1 reports the closed batch and
+        commits; T2 then inserts a receipt into the closed batch."""
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t2.begin(t1_isolation)
+        x2 = read_batch(t2)  # T2: current batch (1)
+        t3.begin(t1_isolation)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        t1.begin(t1_isolation)
+        x1 = read_batch(t1)  # sees 2
+        total_before = report_total(t1, x1 - 1)  # report for batch 1
+        t1.commit()
+        if expect_t2_insert_fails:
+            with pytest.raises(SerializationFailure):
+                t2.insert("receipts",
+                          {"rid": 1, "batch": x2, "amount": 10})
+                t2.commit()
+            t2.rollback()
+            return total_before, total_before
+        t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+        t2.commit()
+        final = report_total(db.session(), 1)
+        return total_before, final
+
+    def test_snapshot_isolation_violates_report_invariant(self):
+        db = receipts_db()
+        before, after = self._interleave(db, t1_isolation=RR,
+                                         expect_t2_insert_fails=False)
+        # The report showed 0 for batch 1, but a receipt later appeared
+        # in the closed batch: silent violation under SI.
+        assert before == 0
+        assert after == 10
+
+    def test_serializable_aborts_the_pivot(self):
+        db = receipts_db()
+        before, after = self._interleave(db, t1_isolation=SER,
+                                         expect_t2_insert_fails=True)
+        assert before == after == 0
+
+    def test_retried_new_receipt_gets_new_batch_number(self):
+        db = receipts_db()
+        self._interleave(db, t1_isolation=SER, expect_t2_insert_fails=True)
+        # Retry NEW-RECEIPT: it now reads batch 2 and its receipt goes
+        # there, preserving the invariant for batch 1's report.
+        t2 = db.session()
+        t2.begin(SER)
+        x = read_batch(t2)
+        assert x == 2
+        t2.insert("receipts", {"rid": 1, "batch": x, "amount": 10})
+        t2.commit()
+        assert report_total(db.session(), 1) == 0
+
+    def test_without_read_only_t1_execution_is_allowed(self):
+        """Example 2 minus T1 is serializable as <T2, T3>; SSI must
+        allow it (single rw-antidependency, section 3.3)."""
+        db = receipts_db()
+        t2, t3 = db.session(), db.session()
+        t2.begin(SER)
+        x2 = read_batch(t2)
+        t3.begin(SER)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+        t2.commit()  # no dangerous structure: just T2 -rw-> T3
+
+    def test_read_only_opt_spares_late_snapshot_report(self):
+        """If T1's snapshot predates T3's commit, Theorem 3 says the
+        structure is a false positive; with the read-only optimization
+        nothing aborts."""
+        db = receipts_db()
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t2.begin(SER)
+        x2 = read_batch(t2)
+        t1.begin(SER, read_only=True)  # snapshot BEFORE T3 commits
+        x1 = read_batch(t1)
+        t3.begin(SER)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        report_total(t1, x1 - 1)
+        t1.commit()
+        t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+        t2.commit()  # allowed: T3 did not commit before T1's snapshot
+
+    def test_no_read_only_opt_aborts_late_snapshot_report(self):
+        """Same interleaving with the optimization disabled: the
+        dangerous structure fires even though it is a false positive."""
+        db = receipts_db(read_only_opt=False)
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t2.begin(SER)
+        x2 = read_batch(t2)
+        t1.begin(SER, read_only=True)
+        x1 = read_batch(t1)
+        t3.begin(SER)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        report_total(t1, x1 - 1)
+        t1.commit()
+        with pytest.raises(SerializationFailure):
+            t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+            t2.commit()
+
+
+class TestCommitOrderingOptimization:
+    def _dangerous_but_t3_not_first(self, db):
+        """Build T1 -rw-> T2 -rw-> T3 where T1 commits before T3:
+        Theorem 1 says no anomaly is possible, so with the
+        commit-ordering optimization nothing aborts.
+
+        Three separate single-row tables keep page-granularity SIREAD
+        locks from adding edges beyond the intended structure.
+        """
+        for name in ("ta", "tb", "tc"):
+            db.create_table(name, ["k", "v"], key="k")
+            db.session().insert(name, {"k": 0, "v": 0})
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t1.begin(SER)
+        t2.begin(SER)
+        t3.begin(SER)
+        # T1 reads ta (which T2 will write): T1 -rw-> T2.
+        t1.select("ta", Eq("k", 0))
+        t2.update("ta", Eq("k", 0), {"v": 1})
+        # T2 reads tb (which T3 will write): T2 -rw-> T3.
+        t2.select("tb", Eq("k", 0))
+        t3.update("tb", Eq("k", 0), {"v": 1})
+        # T1 writes something of its own and commits FIRST.
+        t1.update("tc", Eq("k", 0), {"v": 1})
+        t1.commit()
+        t3.commit()
+        t2.commit()
+
+    def test_commit_ordering_avoids_false_positive(self):
+        db = Database(EngineConfig(ssi=SSIConfig(commit_ordering_opt=True)))
+        self._dangerous_but_t3_not_first(db)  # must not raise
+
+    def test_without_commit_ordering_false_positive_aborts(self):
+        db = Database(EngineConfig(ssi=SSIConfig(commit_ordering_opt=False,
+                                                 read_only_opt=False)))
+        with pytest.raises(SerializationFailure):
+            self._dangerous_but_t3_not_first(db)
+
+
+class TestFlagsTrackingAblation:
+    def test_flags_mode_still_prevents_write_skew(self):
+        db = doctors_db(conflict_tracking="flags")
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        take_off_call(s1, "alice")
+        with pytest.raises(SerializationFailure):
+            take_off_call(s2, "bob")
+            s1.commit()
+            s2.commit()
+        assert oncall_count(db) >= 1
+
+    def test_flags_mode_has_more_false_positives(self):
+        # The T3-not-first scenario is aborted in flags mode (it cannot
+        # apply the commit-ordering optimization)...
+        db = Database(EngineConfig(ssi=SSIConfig(conflict_tracking="flags")))
+        with pytest.raises(SerializationFailure):
+            TestCommitOrderingOptimization._dangerous_but_t3_not_first(
+                TestCommitOrderingOptimization(), db)
+
+
+class TestPhantoms:
+    def test_predicate_read_vs_insert_write_skew(self):
+        """Write skew through phantoms: two transactions count rows in
+        ranges and insert into each other's range. B+-tree page SIREAD
+        locks must catch this."""
+        db = Database(EngineConfig())
+        db.create_table("vals", ["k", "grp"], key="k")
+        db.create_index("vals", "grp")
+        s = db.session()
+        for i in range(8):
+            s.insert("vals", {"k": i, "grp": "a" if i % 2 else "b"})
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        n_a = len(s1.select("vals", Eq("grp", "a")))
+        n_b = len(s2.select("vals", Eq("grp", "b")))
+        s1.insert("vals", {"k": 100 + n_a, "grp": "b"})
+        s2.insert("vals", {"k": 200 + n_b, "grp": "a"})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+
+    def test_empty_range_gap_lock_catches_phantom(self):
+        """Scanning an EMPTY key range must still conflict with a later
+        insert into it (gap locking on the leaf page)."""
+        db = Database(EngineConfig())
+        db.create_table("vals", ["k", "v"], key="k")
+        s = db.session()
+        for i in (1, 2, 50, 51):
+            s.insert("vals", {"k": i, "v": 0})
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        from repro.engine import Between
+        assert s1.select("vals", Between("k", 10, 20)) == []
+        # s1 writes something based on the emptiness; s2 inserts into
+        # the gap and reads something s1 wrote -> cycle.
+        s2.select("vals", Eq("k", 50))
+        s1.update("vals", Eq("k", 50), {"v": 1})
+        s2.insert("vals", {"k": 15, "v": 1})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()

@@ -1,0 +1,295 @@
+"""Direct unit tests for the SSI manager's conflict tracking and
+resolution machinery (paper sections 3.3, 4, 5.3-5.4, 6)."""
+
+import pytest
+
+from repro.config import SSIConfig
+from repro.errors import SerializationFailure
+from repro.mvcc.clog import CommitLog
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.visibility import VisibilityResult
+from repro.ssi.manager import SSIManager
+from repro.ssi.sxact import INFINITE_SEQ
+from repro.storage.tuple import HeapTuple, TID
+
+
+def make_manager(**kw):
+    clog = CommitLog()
+    manager = SSIManager(SSIConfig(**kw), clog)
+    return manager, clog
+
+
+def begin(manager, clog, xid, **kw):
+    clog.register(xid)
+    snap = Snapshot(xmin=xid, xmax=xid + 1)
+    return manager.begin(xid, snap, **kw)
+
+
+def tup(tid=TID(0, 0)):
+    return HeapTuple(tid=tid, data={}, xmin=1)
+
+
+class TestEdgeRecording:
+    def test_flag_records_both_directions(self):
+        m, clog = make_manager()
+        r = begin(m, clog, 10)
+        w = begin(m, clog, 11)
+        m._flag_rw_conflict(r, w, actor=w)
+        assert w in r.out_conflicts
+        assert r in w.in_conflicts
+        assert m.stats.conflicts_flagged == 1
+
+    def test_duplicate_edges_deduplicated(self):
+        m, clog = make_manager()
+        r = begin(m, clog, 10)
+        w = begin(m, clog, 11)
+        m._flag_rw_conflict(r, w, actor=w)
+        m._flag_rw_conflict(r, w, actor=w)
+        assert m.stats.conflicts_flagged == 1
+
+    def test_commit_updates_in_neighbors_earliest_out(self):
+        m, clog = make_manager()
+        r = begin(m, clog, 10)
+        w = begin(m, clog, 11)
+        m._flag_rw_conflict(r, w, actor=w)
+        assert r.earliest_out_commit_seq == INFINITE_SEQ
+        m.precommit_check(w)
+        m.commit(w)
+        assert r.earliest_out_commit_seq == w.commit_seq
+
+    def test_abort_removes_edges(self):
+        m, clog = make_manager()
+        r = begin(m, clog, 10)
+        w = begin(m, clog, 11)
+        m._flag_rw_conflict(r, w, actor=w)
+        m.abort(w)
+        assert w not in r.out_conflicts
+        assert not w.in_conflicts
+
+
+class TestDangerousStructures:
+    def _triple(self, m, clog):
+        t1 = begin(m, clog, 10)
+        t2 = begin(m, clog, 11)
+        t3 = begin(m, clog, 12)
+        return t1, t2, t3
+
+    def test_pivot_doomed_when_t3_commits_first(self):
+        m, clog = make_manager()
+        t1, t2, t3 = self._triple(m, clog)
+        t2.wrote_data = True
+        t3.wrote_data = True
+        m._flag_rw_conflict(t2, t3, actor=t3)  # T2 -> T3
+        m.precommit_check(t3)
+        m.commit(t3)                            # T3 commits first
+        m._flag_rw_conflict(t1, t2, actor=t1)  # T1 -> T2: completes it
+        assert t2.doomed
+        with pytest.raises(SerializationFailure):
+            m.precommit_check(t2)
+
+    def test_no_failure_if_t1_committed_before_t3(self):
+        m, clog = make_manager()
+        t1, t2, t3 = self._triple(m, clog)
+        t1.wrote_data = True
+        m._flag_rw_conflict(t1, t2, actor=t2)
+        m._flag_rw_conflict(t2, t3, actor=t3)
+        m.precommit_check(t1)
+        m.commit(t1)                            # T1 commits first
+        m.precommit_check(t3)                   # T3 commits later: safe
+        m.commit(t3)
+        assert not t2.doomed
+        m.precommit_check(t2)
+        m.commit(t2)
+
+    def test_without_commit_ordering_opt_structure_always_fires(self):
+        m, clog = make_manager(commit_ordering_opt=False,
+                               read_only_opt=False)
+        t1, t2, t3 = self._triple(m, clog)
+        m._flag_rw_conflict(t1, t2, actor=t1)
+        # Second edge makes T2 a pivot; without the optimization the
+        # structure fires immediately even though nothing committed.
+        with pytest.raises(SerializationFailure):
+            m._flag_rw_conflict(t2, t3, actor=t2)
+
+    def test_actor_victim_raises_immediately(self):
+        m, clog = make_manager()
+        t1, t2, t3 = self._triple(m, clog)
+        m._flag_rw_conflict(t2, t3, actor=t3)
+        m.precommit_check(t3)
+        m.commit(t3)
+        # The pivot itself performs the completing action: it dies now.
+        with pytest.raises(SerializationFailure):
+            m._flag_rw_conflict(t1, t2, actor=t2)
+
+    def test_read_only_t1_spared_when_t3_commits_after_snapshot(self):
+        m, clog = make_manager()
+        t2 = begin(m, clog, 11)
+        t3 = begin(m, clog, 12)
+        t1 = begin(m, clog, 10, read_only=True)  # snapshot now
+        t3.wrote_data = True
+        m._flag_rw_conflict(t2, t3, actor=t3)
+        m.precommit_check(t3)
+        m.commit(t3)  # commits AFTER t1's snapshot
+        m._flag_rw_conflict(t1, t2, actor=t1)
+        assert not t2.doomed  # Theorem 3: false positive
+
+    def test_read_only_t1_not_spared_when_t3_predates_snapshot(self):
+        m, clog = make_manager()
+        t2 = begin(m, clog, 11)
+        t3 = begin(m, clog, 12)
+        t3.wrote_data = True
+        m._flag_rw_conflict(t2, t3, actor=t3)
+        m.precommit_check(t3)
+        m.commit(t3)
+        t1 = begin(m, clog, 10, read_only=True)  # snapshot AFTER t3
+        m._flag_rw_conflict(t1, t2, actor=t1)
+        assert t2.doomed
+
+    def test_two_transaction_cycle(self):
+        m, clog = make_manager()
+        a = begin(m, clog, 10)
+        b = begin(m, clog, 11)
+        m._flag_rw_conflict(a, b, actor=b)
+        m._flag_rw_conflict(b, a, actor=a)
+        m.precommit_check(a)
+        m.commit(a)  # first committer; pivot b must die
+        assert b.doomed
+
+    def test_doomed_flag_cleared_on_abort(self):
+        m, clog = make_manager()
+        a = begin(m, clog, 10)
+        a.doomed = True
+        m.abort(a)
+        assert a.aborted and not a.doomed
+
+
+class TestPreparedInteraction:
+    def test_prepared_pivot_cannot_be_victim(self):
+        m, clog = make_manager()
+        t1 = begin(m, clog, 10)
+        t2 = begin(m, clog, 11)
+        t3 = begin(m, clog, 12)
+        m._flag_rw_conflict(t2, t3, actor=t3)
+        m.precommit_check(t3)
+        m.commit(t3)
+        m.prepare(t2)  # pivot-to-be is now unabortable
+        with pytest.raises(SerializationFailure):
+            m._flag_rw_conflict(t1, t2, actor=t1)
+        assert not t2.doomed
+
+    def test_precommit_aborts_self_when_pivot_prepared(self):
+        m, clog = make_manager()
+        t1 = begin(m, clog, 10)
+        pivot = begin(m, clog, 11)
+        me = begin(m, clog, 12)
+        m._flag_rw_conflict(t1, pivot, actor=t1)
+        m._flag_rw_conflict(pivot, me, actor=pivot)
+        m.prepare(pivot)
+        # `me` commits first (T3) but cannot doom the prepared pivot,
+        # so T1 is doomed instead (the only abortable participant).
+        m.precommit_check(me)
+        assert t1.doomed and not pivot.doomed
+
+    def test_recovered_prepared_is_conservative(self):
+        m, clog = make_manager()
+        clog.register(50)
+        sx = m.register_recovered_prepared(50, Snapshot(50, 51))
+        assert sx.prepared
+        assert sx.summary_in_max_seq is not None
+        assert sx.summary_conflict_out
+        assert sx.earliest_out_commit_seq == 0.0
+
+
+class TestCleanup:
+    def test_no_concurrent_transactions_frees_everything(self):
+        m, clog = make_manager()
+        a = begin(m, clog, 10)
+        tuple_ = tup()
+        m.on_read_tuple(a, 1, tuple_, VisibilityResult(True))
+        m.precommit_check(a)
+        m.commit(a)
+        assert m.committed_retained() == []
+        assert m.lockmgr.lock_count == 0
+        assert m.sxact_for_xid(10) is None
+
+    def test_concurrent_active_retains_committed(self):
+        m, clog = make_manager()
+        pin = begin(m, clog, 9)
+        a = begin(m, clog, 10)
+        m.on_read_tuple(a, 1, tup(), VisibilityResult(True))
+        m.precommit_check(a)
+        m.commit(a)
+        assert a in m.committed_retained()
+        assert not a.locks_released
+        m.commit(pin)
+        assert m.committed_retained() == []
+
+    def test_summarization_triggers_at_capacity(self):
+        m, clog = make_manager(max_committed_sxacts=1)
+        pin = begin(m, clog, 5)  # keeps everyone "needed"
+        xacts = []
+        for xid in (10, 11, 12):
+            a = begin(m, clog, xid)
+            m.on_read_tuple(a, 1, tup(TID(0, xid)), VisibilityResult(True))
+            m.precommit_check(a)
+            m.commit(a)
+            xacts.append(a)
+        assert len(m.committed_retained()) == 1
+        assert m.stats.summarized == 2
+        table = m.old_serxid_table()
+        assert 10 in table and 11 in table
+        assert m.lockmgr.summary_targets()
+        m.commit(pin)
+
+    def test_summarize_sets_neighbor_markers(self):
+        m, clog = make_manager(max_committed_sxacts=0)
+        pin = begin(m, clog, 5)
+        reader = begin(m, clog, 10)
+        writer = begin(m, clog, 11)
+        victim = begin(m, clog, 12)
+        m._flag_rw_conflict(reader, victim, actor=victim)  # reader -> victim
+        m._flag_rw_conflict(victim, writer, actor=victim)  # victim -> writer
+        m.precommit_check(victim)
+        m.commit(victim)  # capacity 0: summarized immediately
+        assert victim not in reader.out_conflicts
+        assert reader.summary_conflict_out
+        assert reader.earliest_out_commit_seq == victim.commit_seq
+        assert victim not in writer.in_conflicts
+        assert writer.summary_in_max_seq == victim.commit_seq
+
+
+class TestSafeSnapshotBookkeeping:
+    def test_watch_lists_symmetric(self):
+        m, clog = make_manager()
+        w = begin(m, clog, 10)
+        ro = begin(m, clog, 11, read_only=True)
+        assert w in ro.possible_unsafe_conflicts
+        assert ro in w.watching_ros
+
+    def test_ro_ignores_other_read_only_transactions(self):
+        m, clog = make_manager()
+        other_ro = begin(m, clog, 10, read_only=True)
+        ro = begin(m, clog, 11, read_only=True)
+        assert ro.ro_safe  # a read-only txn cannot endanger a snapshot
+
+    def test_safe_transition_releases_ssi_state(self):
+        m, clog = make_manager()
+        w = begin(m, clog, 10)
+        ro = begin(m, clog, 11, read_only=True)
+        m.on_read_tuple(ro, 1, tup(), VisibilityResult(True))
+        m._flag_rw_conflict(ro, w, actor=ro)
+        m.precommit_check(w)
+        m.commit(w)  # no dangerous out-conflict: ro becomes safe
+        assert ro.ro_safe
+        assert not ro.out_conflicts
+        assert m.lockmgr.targets_held(ro) == set()
+
+    def test_stats_counters(self):
+        m, clog = make_manager()
+        a = begin(m, clog, 10)
+        m.precommit_check(a)
+        m.commit(a)
+        b = begin(m, clog, 11)
+        m.abort(b)
+        assert m.stats.committed == 1
+        assert m.stats.aborted == 1

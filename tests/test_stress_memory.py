@@ -1,0 +1,197 @@
+"""Failure-injection / stress tests for the memory-bounding claims of
+paper section 6: the system must keep accepting transactions under a
+long-running transaction and tiny capacity limits, degrading to higher
+false-positive rates, never to errors or unbounded state."""
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import RetryableError
+from repro.sim import Client, Scheduler, ops
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def small_db(**ssi_kwargs):
+    cfg = EngineConfig(ssi=SSIConfig(**ssi_kwargs))
+    db = Database(cfg)
+    db.create_table("t", ["k", "v"], key="k")
+    s = db.session()
+    s.begin()
+    for k in range(64):
+        s.insert("t", {"k": k, "v": 0})
+    s.commit()
+    return db
+
+
+class TestLongRunningTransaction:
+    def test_pg_dump_scenario_stays_bounded(self):
+        """A long read-only transaction (the pg_dump case, section 4.3)
+        runs concurrently with heavy write traffic under a tiny
+        committed-transaction budget. The retained state must stay at
+        the configured bound and everything must keep committing."""
+        db = small_db(max_committed_sxacts=4)
+        dump = db.session()
+        dump.begin(SER, read_only=True)
+        dump.select("t", Eq("k", 0))
+        writers = db.session()
+        for i in range(60):
+            writers.begin(SER)
+            writers.update("t", Eq("k", i % 64), lambda r: {"v": r["v"] + 1})
+            writers.commit()
+            assert len(db.ssi.committed_retained()) <= 4
+        # The dump transaction is still healthy and consistent.
+        assert dump.select("t", Eq("k", 0))[0]["v"] == 0
+        dump.commit()
+        assert db.ssi.stats.summarized > 0
+
+    def test_declared_read_only_dump_frees_writer_state(self):
+        """Because the long transaction is declared READ ONLY, the
+        read-only-active optimization (section 6.1) lets committed
+        writers drop their SIREAD locks even while it runs."""
+        db = small_db()
+        dump = db.session()
+        dump.begin(SER, read_only=True)
+        dump.select("t", Eq("k", 0))
+        w = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 1))
+        w.update("t", Eq("k", 2), {"v": 1})
+        sx = w.txn.sxact
+        w.commit()
+        assert sx.locks_released
+        dump.commit()
+
+    def test_undeclared_long_reader_retains_writer_state(self):
+        db = small_db()
+        dump = db.session()
+        dump.begin(SER)  # NOT declared read-only
+        dump.select("t", Eq("k", 0))
+        w = db.session()
+        w.begin(SER)
+        w.select("t", Eq("k", 1))
+        w.update("t", Eq("k", 2), {"v": 1})
+        sx = w.txn.sxact
+        w.commit()
+        assert not sx.locks_released  # must be kept: dump might write
+        dump.commit()
+
+
+class TestGracefulDegradationUnderLoad:
+    @pytest.mark.parametrize("cap", [0, 2, 8])
+    def test_concurrent_load_with_tiny_summary_budget(self, cap):
+        """Concurrent clients under aggressive summarization: no
+        crashes, no capacity errors, no stalls -- just (possibly) more
+        aborts. And the anomaly guarantee must hold throughout, which
+        the property suite checks; here we check liveness + bounds."""
+        cfg = EngineConfig(ssi=SSIConfig(max_committed_sxacts=cap,
+                                         max_pred_locks_per_page=2,
+                                         max_pred_locks_per_relation=4))
+        db = Database(cfg)
+        db.create_table("t", ["k", "v"], key="k")
+        setup = db.session()
+        setup.begin()
+        for k in range(32):
+            setup.insert("t", {"k": k, "v": 0})
+        setup.commit()
+        scheduler = Scheduler(db, seed=cap)
+        for cid in range(5):
+            rng = random.Random(cap * 100 + cid)
+
+            def source(rng=rng):
+                a, b = rng.randrange(32), rng.randrange(32)
+
+                def program(a=a, b=b):
+                    yield ops.begin(SER)
+                    yield ops.select("t", Eq("k", a))
+                    yield ops.update("t", Eq("k", b),
+                                     lambda r: {"v": r["v"] + 1})
+                    yield ops.commit()
+
+                return ("rw", program)
+
+            scheduler.add_client(Client(cid, db.session(), source))
+        result = scheduler.run(max_ticks=4000)
+        assert result.commits > 50
+        assert len(db.ssi.committed_retained()) <= max(cap, 0) + 1
+        # Bounded lock table at all times.
+        assert (db.ssi.lockmgr.peak_lock_count
+                <= db.config.ssi.max_predicate_locks)
+
+    def test_tighter_budgets_cannot_reduce_aborts(self):
+        """Precision is statistically monotone in the budget:
+        summarizing more aggressively may only add false positives.
+        (Per-run counts are chaotic -- each abort changes the whole
+        interleaving -- so compare aggregates over several seeds with
+        a small tolerance.)"""
+        totals = {}
+        for cap in (0, 64):
+            failures = 0
+            for seed in (9, 10, 11, 12):
+                cfg = EngineConfig(ssi=SSIConfig(max_committed_sxacts=cap))
+                db = Database(cfg)
+                db.create_table("t", ["k", "v"], key="k")
+                setup = db.session()
+                setup.begin()
+                for k in range(32):
+                    setup.insert("t", {"k": k, "v": 0})
+                setup.commit()
+                scheduler = Scheduler(db, seed=seed)
+                for cid in range(5):
+                    rng = random.Random(17 + cid)
+
+                    def source(rng=rng):
+                        a, b = rng.randrange(32), rng.randrange(32)
+
+                        def program(a=a, b=b):
+                            yield ops.begin(SER)
+                            yield ops.select("t", Eq("k", a))
+                            yield ops.update("t", Eq("k", b),
+                                             lambda r: {"v": r["v"] + 1})
+                            yield ops.commit()
+
+                        return ("rw", program)
+
+                    scheduler.add_client(Client(cid, db.session(), source))
+                result = scheduler.run(max_ticks=4000)
+                failures += result.serialization_failures
+            totals[cap] = failures
+        assert totals[0] >= totals[64] * 0.9
+
+
+class TestVacuumUnderSSI:
+    def test_vacuum_with_active_siread_locks_is_safe(self):
+        """VACUUM removing dead tuples whose TIDs carry SIREAD locks
+        must not break conflict detection: physical tid targets stay
+        valid (possibly aliasing re-used slots -- a false positive,
+        never a miss)."""
+        db = small_db()
+        reader = db.session()
+        reader.begin(SER)
+        reader.select("t", Eq("k", 0))
+        w = db.session()
+        for i in range(5):
+            w.update("t", Eq("k", 1), {"v": i})
+        db.vacuum("t")
+        # Reader still detects conflicts on what it actually read.
+        w2 = db.session()
+        w2.begin(SER)
+        w2.update("t", Eq("k", 0), {"v": 99})
+        assert reader.txn.sxact in w2.txn.sxact.in_conflicts
+        w2.rollback()
+        reader.commit()
+
+    def test_vacuum_reclaims_after_long_txn_ends(self):
+        db = small_db()
+        reader = db.session()
+        reader.begin(SER)
+        reader.select("t", Eq("k", 0))
+        w = db.session()
+        for i in range(6):
+            w.update("t", Eq("k", 1), {"v": i})
+        assert db.vacuum("t") == 0  # reader's snapshot pins versions
+        reader.commit()
+        assert db.vacuum("t") == 6

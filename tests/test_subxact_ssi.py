@@ -1,0 +1,135 @@
+"""Savepoints / subtransactions interacting with SSI (paper
+section 7.3): SIREAD locks survive subtransaction rollback, and the
+own-write SIREAD-drop optimization is disabled inside subtransactions
+because the write lock could be rolled back while the read stands."""
+
+import pytest
+
+from repro.config import EngineConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure
+from repro.ssi.targets import tuple_target
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+def held_tuple_targets(db, session):
+    return {t for t in db.ssi.lockmgr.targets_held(session.txn.sxact)
+            if t[0] == "t"}
+
+
+class TestOwnWriteDrop:
+    def test_top_level_write_drops_tuple_siread(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.select("t", Eq("k", 0))
+        before = held_tuple_targets(db, s)
+        assert before
+        s.update("t", Eq("k", 0), {"v": 1})
+        after = held_tuple_targets(db, s)
+        # The read lock on the old version is subsumed by the write
+        # lock in the tuple header (section 7.3).
+        assert not (before & after)
+        s.rollback()
+
+    def test_write_inside_subxact_keeps_siread(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.select("t", Eq("k", 0))
+        before = held_tuple_targets(db, s)
+        s.savepoint("sp")
+        s.update("t", Eq("k", 0), {"v": 1})
+        after = held_tuple_targets(db, s)
+        assert before & after, "SIREAD dropped inside a subtransaction"
+        s.rollback()
+
+    def test_optimization_can_be_disabled(self):
+        db = Database(EngineConfig(
+            ssi=SSIConfig(own_write_drops_siread=False)))
+        db.create_table("t", ["k", "v"], key="k")
+        db.session().insert("t", {"k": 0, "v": 0})
+        s = db.session()
+        s.begin(SER)
+        s.select("t", Eq("k", 0))
+        before = held_tuple_targets(db, s)
+        s.update("t", Eq("k", 0), {"v": 1})
+        assert before <= held_tuple_targets(db, s)
+        s.rollback()
+
+    def test_subxact_rollback_leaves_read_protected(self, db):
+        """The section 7.3 hazard, end to end: read a tuple, update it
+        inside a savepoint, roll the savepoint back. The write lock is
+        gone, so a concurrent writer can take the tuple -- but the
+        surviving SIREAD lock must still flag the rw-antidependency and
+        the dangerous structure must still abort someone."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s1.select("t", Eq("k", 0))       # the protected read
+        s1.savepoint("sp")
+        s1.update("t", Eq("k", 0), {"v": 1})
+        s1.rollback_to_savepoint("sp")   # write lock released
+        s2.begin(SER)
+        s2.select("t", Eq("k", 1))
+        s2.update("t", Eq("k", 0), {"v": 2})  # takes the tuple freely
+        s1.update("t", Eq("k", 1), {"v": 2})  # completes the cycle
+        s2.commit()
+        with pytest.raises(SerializationFailure):
+            s1.commit()
+
+
+class TestSubxactReads:
+    def test_siread_from_aborted_subxact_survives(self, db):
+        """Data read inside a rolled-back subtransaction "may have been
+        reported to the user or otherwise externalized": its SIREAD
+        locks belong to the top level and survive the rollback."""
+        s = db.session()
+        s.begin(SER)
+        s.savepoint("sp")
+        s.select("t", Eq("k", 2))
+        s.rollback_to_savepoint("sp")
+        assert any(t == tuple_target(db.relation("t").oid,
+                                     _tid_of(db, 2))
+                   for t in held_tuple_targets(db, s))
+        # And it still drives conflict detection:
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 2), {"v": 9})
+        assert s.txn.sxact in w.txn.sxact.in_conflicts
+        w.rollback()
+        s.commit()
+
+    def test_subxact_write_skew_detected(self, db):
+        """Write skew where each side's write happens inside a
+        (released) savepoint: detection must be unaffected."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        s1.select("t", Eq("k", 0))
+        s2.select("t", Eq("k", 1))
+        s1.savepoint("a")
+        s1.update("t", Eq("k", 1), {"v": 1})
+        s1.release_savepoint("a")
+        s2.savepoint("b")
+        s2.update("t", Eq("k", 0), {"v": 1})
+        s2.release_savepoint("b")
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.commit()
+
+
+def _tid_of(db, key):
+    rel = db.relation("t")
+    for tup in rel.heap.scan():
+        if tup.data.get("k") == key and tup.xmax == 0:
+            return tup.tid
+    raise AssertionError(f"live tuple k={key} not found")

@@ -1,0 +1,184 @@
+"""Two-phase commit and its SSI interactions (paper section 7.1)."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import InvalidTransactionStateError, SerializationFailure
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestBasicTwoPhase:
+    def test_prepare_then_commit(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("t", {"k": 10, "v": 1})
+        s.prepare_transaction("tx1")
+        # Invisible until COMMIT PREPARED.
+        assert db.session().select("t", Eq("k", 10)) == []
+        db.commit_prepared("tx1")
+        assert len(db.session().select("t", Eq("k", 10))) == 1
+
+    def test_prepare_then_rollback(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("t", {"k": 10, "v": 1})
+        s.prepare_transaction("tx1")
+        db.rollback_prepared("tx1")
+        assert db.session().select("t", Eq("k", 10)) == []
+
+    def test_session_detaches_after_prepare(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("t", {"k": 10, "v": 1})
+        s.prepare_transaction("tx1")
+        assert not s.in_transaction()
+        s.begin(SER)  # session is free for new work
+        s.rollback()
+        db.rollback_prepared("tx1")
+
+    def test_duplicate_gid_rejected(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s1.insert("t", {"k": 10, "v": 1})
+        s1.prepare_transaction("dup")
+        s2.begin(SER)
+        s2.insert("t", {"k": 11, "v": 1})
+        with pytest.raises(InvalidTransactionStateError):
+            s2.prepare_transaction("dup")
+        db.rollback_prepared("dup")
+
+    def test_unknown_gid(self, db):
+        with pytest.raises(InvalidTransactionStateError):
+            db.commit_prepared("nope")
+
+    def test_prepared_transaction_still_blocks_writers(self, db):
+        from repro.errors import WouldBlock
+        s = db.session()
+        s.begin(SER)
+        s.update("t", Eq("k", 0), {"v": 1})
+        s.prepare_transaction("tx1")
+        w = db.session()
+        w.begin(IsolationLevel.REPEATABLE_READ)
+        with pytest.raises(WouldBlock):
+            w.update("t", Eq("k", 0), {"v": 2})
+        db.commit_prepared("tx1")
+        with pytest.raises(SerializationFailure):
+            w.resume()
+        w.rollback()
+
+
+class TestSSIInteraction:
+    def test_precommit_check_runs_at_prepare(self, db):
+        """A pivot with a committed T3 must fail at PREPARE, not later:
+        after PREPARE it could never be aborted."""
+        s1, s2 = db.session(), db.session()
+        s1.begin(SER)
+        s2.begin(SER)
+        s1.select("t", Eq("k", 0))
+        s2.select("t", Eq("k", 1))
+        s1.update("t", Eq("k", 1), {"v": 1})
+        s2.update("t", Eq("k", 0), {"v": 1})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.prepare_transaction("bad")
+        assert db.prepared_gids() == []
+
+    def test_prepared_pivot_forces_active_reader_abort(self, db):
+        """Section 7.1: dangerous structure Tactive -> Tprepared ->
+        Tcommitted can only be resolved by aborting Tactive, and safe
+        retry cannot be guaranteed."""
+        db.create_table("u", ["k", "v"], key="k")
+        db.session().insert("u", {"k": 0, "v": 0})
+        active, pivot, committed = db.session(), db.session(), db.session()
+        pivot.begin(SER)
+        pivot.select("t", Eq("k", 1))           # pivot reads k=1
+        committed.begin(SER)
+        committed.update("t", Eq("k", 1), {"v": 9})
+        committed.commit()                       # pivot -rw-> committed
+        pivot.update("u", Eq("k", 0), {"v": 9})  # pivot writes u
+        pivot.prepare_transaction("pp")          # now unabortable
+        active.begin(SER)
+        # Snapshot taken before the prepared txn commits: reading u
+        # sees the old version -> active -rw-> pivot completes the
+        # structure; the only abortable participant is `active`.
+        with pytest.raises(SerializationFailure):
+            active.select("u", Eq("k", 0))
+        active.rollback()
+        db.commit_prepared("pp")
+
+    def test_crash_recovery_preserves_prepared_siread_locks(self, db):
+        """After a crash, a prepared transaction's SIREAD locks are
+        recovered from disk and keep detecting conflicts."""
+        s = db.session()
+        s.begin(SER)
+        s.select("t", Eq("k", 1))                 # SIREAD on k=1
+        s.update("t", Eq("k", 2), {"v": 1})
+        s.prepare_transaction("pp")
+        db.simulate_crash_recovery()
+        assert db.prepared_gids() == ["pp"]
+        recovered = db._prepared["pp"].sxact
+        # The SIREAD locks survived (restored from the 2PC state file).
+        assert any(t[0] in ("t", "p", "r", "ip", "ir")
+                   for t in db.ssi.lockmgr.targets_held(recovered))
+        # A writer touching what the prepared transaction read gains an
+        # in-conflict edge from it.
+        w = db.session()
+        w.begin(SER)
+        w.update("t", Eq("k", 1), {"v": 5})
+        assert recovered in w.txn.sxact.in_conflicts
+        w.rollback()
+        db.commit_prepared("pp")
+
+    def test_recovered_prepared_pivot_is_conservatively_dangerous(self, db):
+        """Post-recovery the prepared transaction is assumed to have
+        conflicts both in and out (section 7.1), so any reader that
+        gains an edge into it completes a dangerous structure and must
+        abort."""
+        s = db.session()
+        s.begin(SER)
+        s.update("t", Eq("k", 2), {"v": 1})
+        s.prepare_transaction("pp")
+        db.simulate_crash_recovery()
+        r = db.session()
+        r.begin(SER)
+        # r's snapshot predates the prepared commit: reading k=2 sees
+        # the old version -> r -rw-> prepared, whose assumed conflict
+        # out "committed first" makes the structure fire; the prepared
+        # pivot cannot be the victim, so r aborts.
+        with pytest.raises(SerializationFailure):
+            r.select("t", Eq("k", 2))
+        r.rollback()
+        db.commit_prepared("pp")
+        assert db.session().select("t", Eq("k", 2))[0]["v"] == 1
+
+    def test_crash_aborts_unprepared_transactions(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.insert("t", {"k": 50, "v": 1})
+        db.simulate_crash_recovery()
+        assert db.session().select("t", Eq("k", 50)) == []
+
+    def test_recovery_assumes_conflicts_in_and_out(self, db):
+        s = db.session()
+        s.begin(SER)
+        s.update("t", Eq("k", 2), {"v": 1})
+        s.prepare_transaction("pp")
+        db.simulate_crash_recovery()
+        gid_txn = db._prepared["pp"]
+        sx = gid_txn.sxact
+        assert sx.summary_in_max_seq is not None
+        assert sx.summary_conflict_out
+        assert sx.earliest_out_commit_seq == 0.0
+        db.rollback_prepared("pp")

@@ -1,0 +1,166 @@
+"""The offline serializability checker (repro.verify) against known
+histories, including the paper's Figure 3 serialization graphs."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure
+from repro.verify import build_graph, check_serializable
+
+RC = IsolationLevel.READ_COMMITTED
+RR = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+
+
+def recording_db():
+    db = Database(EngineConfig(record_history=True))
+    db.create_table("doctors", ["name", "oncall"], key="name")
+    s = db.session()
+    s.insert("doctors", {"name": "alice", "oncall": True})
+    s.insert("doctors", {"name": "bob", "oncall": True})
+    return db
+
+
+def run_write_skew(db, isolation):
+    s1, s2 = db.session(), db.session()
+    s1.begin(isolation)
+    s2.begin(isolation)
+    xids = (s1.txn.xid, s2.txn.xid)
+    for s, name in ((s1, "alice"), (s2, "bob")):
+        rows = s.select("doctors", Eq("oncall", True))
+        if len(rows) >= 2:
+            s.update("doctors", Eq("name", name), {"oncall": False})
+    outcomes = []
+    for s in (s1, s2):
+        try:
+            s.commit()
+            outcomes.append("committed")
+        except SerializationFailure:
+            outcomes.append("aborted")
+    return xids, outcomes
+
+
+class TestWriteSkewGraphs:
+    def test_si_write_skew_history_has_cycle(self):
+        db = recording_db()
+        (x1, x2), outcomes = run_write_skew(db, RR)
+        assert outcomes == ["committed", "committed"]
+        result = check_serializable(db.recorder)
+        assert not result.serializable
+        assert set(result.cycle) >= {x1, x2}
+        # Figure 3a: the cycle is two rw-antidependencies.
+        graph = result.graph
+        assert "rw" in graph.edge_kinds(x1, x2)
+        assert "rw" in graph.edge_kinds(x2, x1)
+
+    def test_ssi_write_skew_history_is_serializable(self):
+        db = recording_db()
+        _, outcomes = run_write_skew(db, SER)
+        assert outcomes == ["committed", "aborted"]
+        result = check_serializable(db.recorder)
+        assert result.serializable
+        assert result.serial_order is not None
+
+    def test_serial_execution_is_serializable(self):
+        db = recording_db()
+        s = db.session()
+        for name in ("alice", "bob"):
+            s.begin(RR)
+            rows = s.select("doctors", Eq("oncall", True))
+            if len(rows) >= 2:
+                s.update("doctors", Eq("name", name), {"oncall": False})
+            s.commit()
+        assert check_serializable(db.recorder).serializable
+
+
+class TestBatchProcessingGraph:
+    def test_figure2_graph_shape(self):
+        """The SI run of the Figure 2 interleaving must produce the
+        Figure 3b graph: T1 -rw-> T2 -rw-> T3 -wr-> T1."""
+        db = Database(EngineConfig(record_history=True))
+        db.create_table("control", ["id", "batch"], key="id")
+        db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+        s = db.session()
+        s.insert("control", {"id": 0, "batch": 1})
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t2.begin(RR)
+        xid2 = t2.txn.xid
+        x2 = t2.select("control", Eq("id", 0))[0]["batch"]
+        t3.begin(RR)
+        xid3 = t3.txn.xid
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        t1.begin(RR)
+        xid1 = t1.txn.xid
+        x1 = t1.select("control", Eq("id", 0))[0]["batch"]
+        t1.select("receipts", Eq("batch", x1 - 1))
+        t1.commit()
+        t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+        t2.commit()
+        result = check_serializable(db.recorder)
+        assert not result.serializable
+        graph = result.graph
+        assert "rw" in graph.edge_kinds(xid1, xid2)  # report missed receipt
+        assert "rw" in graph.edge_kinds(xid2, xid3)  # read old batch number
+        assert "wr" in graph.edge_kinds(xid3, xid1)  # report saw increment
+
+    def test_figure2_under_ssi_stays_acyclic(self):
+        db = Database(EngineConfig(record_history=True))
+        db.create_table("control", ["id", "batch"], key="id")
+        db.create_table("receipts", ["rid", "batch", "amount"], key="rid")
+        s = db.session()
+        s.insert("control", {"id": 0, "batch": 1})
+        t1, t2, t3 = db.session(), db.session(), db.session()
+        t2.begin(SER)
+        x2 = t2.select("control", Eq("id", 0))[0]["batch"]
+        t3.begin(SER)
+        t3.update("control", Eq("id", 0), lambda r: {"batch": r["batch"] + 1})
+        t3.commit()
+        t1.begin(SER)
+        x1 = t1.select("control", Eq("id", 0))[0]["batch"]
+        t1.select("receipts", Eq("batch", x1 - 1))
+        t1.commit()
+        with pytest.raises(SerializationFailure):
+            t2.insert("receipts", {"rid": 1, "batch": x2, "amount": 10})
+            t2.commit()
+        if t2.txn is not None:
+            t2.rollback()
+        assert check_serializable(db.recorder).serializable
+
+
+class TestGraphEdges:
+    def test_wr_and_ww_edges(self):
+        db = Database(EngineConfig(record_history=True))
+        db.create_table("t", ["k", "v"], key="k")
+        a, b, c = db.session(), db.session(), db.session()
+        a.begin(RR)
+        xa = a.txn.xid
+        a.insert("t", {"k": 1, "v": 0})
+        a.commit()
+        b.begin(RR)
+        xb = b.txn.xid
+        b.update("t", Eq("k", 1), {"v": 1})  # ww after a
+        b.commit()
+        c.begin(RR)
+        xc = c.txn.xid
+        assert c.select("t", Eq("k", 1))[0]["v"] == 1  # wr from b
+        c.commit()
+        graph = build_graph(db.recorder)
+        assert "ww" in graph.edge_kinds(xa, xb)
+        assert "wr" in graph.edge_kinds(xb, xc)
+        order = graph.serial_order()
+        assert order.index(xa) < order.index(xb) < order.index(xc)
+
+    def test_aborted_transactions_excluded(self):
+        db = Database(EngineConfig(record_history=True))
+        db.create_table("t", ["k", "v"], key="k")
+        s = db.session()
+        s.insert("t", {"k": 1, "v": 0})
+        bad = db.session()
+        bad.begin(RR)
+        bad_xid = bad.txn.xid
+        bad.update("t", Eq("k", 1), {"v": 99})
+        bad.rollback()
+        graph = build_graph(db.recorder)
+        assert bad_xid not in graph.graph.nodes

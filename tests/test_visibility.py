@@ -1,0 +1,150 @@
+"""Unit tests for MVCC tuple visibility (HeapTupleSatisfiesMVCC rules),
+including the SSI-relevant classification of concurrent writers."""
+
+import pytest
+
+from repro.mvcc import CommitLog, Snapshot, tuple_visibility
+from repro.mvcc.visibility import TxnView, tuple_is_dead
+from repro.storage import TID, HeapTuple
+
+
+def make_tuple(xmin, cmin=0, xmax=0, cmax=0, lock_only=False):
+    return HeapTuple(tid=TID(0, 0), data={"k": 1}, xmin=xmin, cmin=cmin,
+                     xmax=xmax, cmax=cmax, xmax_lock_only=lock_only)
+
+
+@pytest.fixture
+def clog():
+    log = CommitLog()
+    for xid in range(3, 30):
+        log.register(xid)
+    return log
+
+
+def view(*xids, cid=1):
+    return TxnView(xids=frozenset(xids), curcid=cid)
+
+
+class TestCreatorVisibility:
+    def test_committed_before_snapshot_visible(self, clog):
+        clog.set_committed([5])
+        snap = Snapshot(xmin=6, xmax=10)
+        res = tuple_visibility(make_tuple(5), snap, view(9), clog)
+        assert res.visible
+
+    def test_in_progress_creator_invisible_and_concurrent(self, clog):
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(7), snap, view(9), clog)
+        assert not res.visible
+        assert res.creator_concurrent
+        assert res.creator_xid == 7
+
+    def test_committed_after_snapshot_invisible_and_concurrent(self, clog):
+        clog.set_committed([7])
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(7), snap, view(9), clog)
+        assert not res.visible
+        assert res.creator_concurrent
+
+    def test_aborted_creator_invisible_not_concurrent(self, clog):
+        clog.set_aborted([7])
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(7), snap, view(9), clog)
+        assert not res.visible
+        assert not res.creator_concurrent  # dead, not a conflict
+
+    def test_own_insert_from_earlier_command_visible(self, clog):
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({9}))
+        res = tuple_visibility(make_tuple(9, cmin=0), snap, view(9, cid=1), clog)
+        assert res.visible
+
+    def test_own_insert_from_current_command_invisible(self, clog):
+        # Halloween protection: a command cannot see its own inserts.
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({9}))
+        res = tuple_visibility(make_tuple(9, cmin=1), snap, view(9, cid=1), clog)
+        assert not res.visible
+
+    def test_own_aborted_subxact_insert_invisible(self, clog):
+        clog.set_aborted([8])  # subxact 8 rolled back
+        snap = Snapshot(xmin=5, xmax=10, xip=frozenset({9}))
+        res = tuple_visibility(make_tuple(8, cmin=0), snap, view(9), clog)
+        assert not res.visible
+
+
+class TestDeleterVisibility:
+    def test_deleted_by_committed_visible_txn_invisible(self, clog):
+        clog.set_committed([5, 6])
+        snap = Snapshot(xmin=7, xmax=10)
+        res = tuple_visibility(make_tuple(5, xmax=6), snap, view(9), clog)
+        assert not res.visible
+        assert not res.deleter_concurrent
+
+    def test_deleted_by_in_progress_txn_still_visible_concurrent(self, clog):
+        clog.set_committed([5])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(5, xmax=7), snap, view(9), clog)
+        assert res.visible
+        assert res.deleter_concurrent
+        assert res.deleter_xid == 7
+
+    def test_deleted_by_txn_committed_after_snapshot_visible(self, clog):
+        clog.set_committed([5, 7])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(5, xmax=7), snap, view(9), clog)
+        assert res.visible
+        assert res.deleter_concurrent
+
+    def test_deleter_aborted_visible(self, clog):
+        clog.set_committed([5])
+        clog.set_aborted([7])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(5, xmax=7), snap, view(9), clog)
+        assert res.visible
+        assert not res.deleter_concurrent
+
+    def test_lock_only_xmax_does_not_delete(self, clog):
+        # SELECT FOR UPDATE stores the locker in xmax without deleting.
+        clog.set_committed([5])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({7}))
+        res = tuple_visibility(make_tuple(5, xmax=7, lock_only=True),
+                               snap, view(9), clog)
+        assert res.visible
+        assert not res.deleter_concurrent
+
+    def test_own_delete_earlier_command_invisible(self, clog):
+        clog.set_committed([5])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({9}))
+        res = tuple_visibility(make_tuple(5, xmax=9, cmax=0), snap,
+                               view(9, cid=1), clog)
+        assert not res.visible
+
+    def test_own_delete_current_command_still_visible(self, clog):
+        clog.set_committed([5])
+        snap = Snapshot(xmin=6, xmax=10, xip=frozenset({9}))
+        res = tuple_visibility(make_tuple(5, xmax=9, cmax=1), snap,
+                               view(9, cid=1), clog)
+        assert res.visible
+
+
+class TestDeadness:
+    def test_aborted_creator_is_dead(self, clog):
+        clog.set_aborted([5])
+        assert tuple_is_dead(make_tuple(5), horizon_xmin=3, clog=clog)
+
+    def test_live_tuple_not_dead(self, clog):
+        clog.set_committed([5])
+        assert not tuple_is_dead(make_tuple(5), horizon_xmin=100, clog=clog)
+
+    def test_deleted_before_horizon_dead(self, clog):
+        clog.set_committed([5, 6])
+        assert tuple_is_dead(make_tuple(5, xmax=6), horizon_xmin=7, clog=clog)
+
+    def test_deleted_after_horizon_not_dead(self, clog):
+        clog.set_committed([5, 6])
+        assert not tuple_is_dead(make_tuple(5, xmax=6), horizon_xmin=6,
+                                 clog=clog)
+
+    def test_lock_only_xmax_not_dead(self, clog):
+        clog.set_committed([5, 6])
+        assert not tuple_is_dead(make_tuple(5, xmax=6, lock_only=True),
+                                 horizon_xmin=10, clog=clog)

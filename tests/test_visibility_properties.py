@@ -1,0 +1,115 @@
+"""Property-based test: tuple visibility against an independent
+reference model.
+
+Hypothesis generates arbitrary tuple headers, commit-log states, and
+snapshots; the production visibility code must agree with a
+brute-force reference implementation of the MVCC rules, and the
+SSI-relevant classification flags must be internally consistent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mvcc.clog import CommitLog, XidStatus
+from repro.mvcc.snapshot import Snapshot
+from repro.mvcc.visibility import TxnView, tuple_visibility
+from repro.storage.tuple import HeapTuple, TID
+
+MY_XID = 50
+XIDS = list(range(3, 12)) + [MY_XID]
+
+statuses = st.sampled_from([XidStatus.IN_PROGRESS, XidStatus.COMMITTED,
+                            XidStatus.ABORTED])
+
+
+@st.composite
+def scenarios(draw):
+    clog = CommitLog()
+    status = {}
+    for xid in XIDS:
+        clog.register(xid)
+        state = draw(statuses)
+        status[xid] = state
+        if state is XidStatus.COMMITTED:
+            clog.set_committed([xid])
+        elif state is XidStatus.ABORTED:
+            clog.set_aborted([xid])
+    # My transaction is in progress by definition.
+    status[MY_XID] = XidStatus.IN_PROGRESS
+    clog._status[MY_XID] = XidStatus.IN_PROGRESS
+
+    xmin = draw(st.sampled_from(XIDS))
+    has_xmax = draw(st.booleans())
+    xmax = draw(st.sampled_from(XIDS)) if has_xmax else 0
+    lock_only = draw(st.booleans()) if has_xmax else False
+    cmin = draw(st.integers(0, 3))
+    cmax = draw(st.integers(0, 3))
+    curcid = draw(st.integers(0, 3))
+
+    # Snapshot: choose a set of xids regarded in-progress at snapshot
+    # time; xmax bound above every xid.
+    xip = frozenset(x for x in XIDS
+                    if draw(st.booleans()) or x == MY_XID)
+    snapshot = Snapshot(xmin=min(XIDS), xmax=max(XIDS) + 1, xip=xip)
+    tup = HeapTuple(tid=TID(0, 0), data={}, xmin=xmin, cmin=cmin,
+                    xmax=xmax, cmax=cmax, xmax_lock_only=lock_only)
+    return clog, status, snapshot, tup, curcid
+
+
+def reference_visible(clog, status, snapshot, tup, curcid) -> bool:
+    """Brute-force restatement of the MVCC visibility rules."""
+    def creator_visible() -> bool:
+        if status[tup.xmin] is XidStatus.ABORTED:
+            return False
+        if tup.xmin == MY_XID:
+            return tup.cmin < curcid
+        return (status[tup.xmin] is XidStatus.COMMITTED
+                and tup.xmin not in snapshot.xip)
+
+    def deleter_hides() -> bool:
+        if tup.xmax == 0 or tup.xmax_lock_only:
+            return False
+        if status[tup.xmax] is XidStatus.ABORTED:
+            return False
+        if tup.xmax == MY_XID:
+            return tup.cmax < curcid
+        return (status[tup.xmax] is XidStatus.COMMITTED
+                and tup.xmax not in snapshot.xip)
+
+    return creator_visible() and not deleter_hides()
+
+
+@settings(max_examples=300, deadline=None)
+@given(scenarios())
+def test_matches_reference_model(scenario):
+    clog, status, snapshot, tup, curcid = scenario
+    view = TxnView(xids=frozenset({MY_XID}), curcid=curcid)
+    result = tuple_visibility(tup, snapshot, view, clog)
+    assert result.visible == reference_visible(clog, status, snapshot,
+                                               tup, curcid)
+
+
+@settings(max_examples=300, deadline=None)
+@given(scenarios())
+def test_classification_flags_consistent(scenario):
+    clog, status, snapshot, tup, curcid = scenario
+    view = TxnView(xids=frozenset({MY_XID}), curcid=curcid)
+    result = tuple_visibility(tup, snapshot, view, clog)
+    # creator_concurrent only on invisible tuples with a live foreign
+    # creator outside the snapshot.
+    if result.creator_concurrent:
+        assert not result.visible
+        assert tup.xmin != MY_XID
+        assert status[tup.xmin] is not XidStatus.ABORTED
+        assert (tup.xmin in snapshot.xip
+                or status[tup.xmin] is XidStatus.IN_PROGRESS)
+        assert result.creator_xid == tup.xmin
+    # deleter_concurrent only on visible tuples with a real (non-lock)
+    # foreign deleter outside the snapshot.
+    if result.deleter_concurrent:
+        assert result.visible
+        assert tup.xmax not in (0, MY_XID)
+        assert not tup.xmax_lock_only
+        assert status[tup.xmax] is not XidStatus.ABORTED
+        assert result.deleter_xid == tup.xmax
+    # The two flags never coincide.
+    assert not (result.creator_concurrent and result.deleter_concurrent)

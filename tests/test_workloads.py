@@ -1,0 +1,187 @@
+"""Unit tests for the benchmark workloads."""
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.workloads import (DBT2PP, DoctorsWorkload, ReceiptsWorkload,
+                             RubisBidding, SIBench, run_workload)
+from repro.workloads.dbt2pp import customer_key, district_key, order_key
+
+SER = IsolationLevel.SERIALIZABLE
+RR = IsolationLevel.REPEATABLE_READ
+
+
+class TestSIBench:
+    def test_setup_loads_table(self):
+        db = Database(EngineConfig())
+        SIBench(table_size=30).setup(db, random.Random(1))
+        assert len(db.session().select("sibench")) == 30
+
+    def test_mix_contains_both_types(self):
+        result = run_workload(SIBench(table_size=20), isolation=RR,
+                              n_clients=3, max_ticks=2000, seed=2)
+        assert result.by_type.get("update", 0) > 0
+        assert result.by_type.get("query", 0) > 0
+
+    def test_update_fraction_respected(self):
+        wl = SIBench(table_size=20, update_fraction=0.0)
+        result = run_workload(wl, isolation=RR, n_clients=2,
+                              max_ticks=1500, seed=2)
+        assert result.by_type.get("update", 0) == 0
+
+    def test_queries_get_safe_snapshots_under_ssi(self):
+        db = Database(EngineConfig())
+        result = run_workload(SIBench(table_size=20), isolation=SER,
+                              n_clients=3, max_ticks=2500, seed=2, db=db)
+        assert result.commits > 0
+        assert db.ssi.stats.safe_snapshots > 0
+
+
+class TestDBT2PP:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        db = Database(EngineConfig())
+        wl = DBT2PP(warehouses=1, districts=2, customers_per_district=5,
+                    items=20)
+        wl.setup(db, random.Random(3))
+        return db, wl
+
+    def test_schema_loaded(self, loaded):
+        db, wl = loaded
+        s = db.session()
+        assert len(s.select("warehouse")) == 1
+        assert len(s.select("district")) == 2
+        assert len(s.select("customer")) == 10
+        assert len(s.select("item")) == 20
+        assert len(s.select("stock")) == 20
+        # Preloaded order history exists.
+        assert len(s.select("orders")) == 2 * wl.initial_orders
+        assert len(s.select("new_order")) > 0
+
+    def test_key_flattening_is_injective(self):
+        # Injective within each table's keyspace (tables are separate
+        # namespaces, so cross-table collisions are fine).
+        districts, customers, orders = set(), set(), set()
+        for w in range(3):
+            for d in range(10):
+                assert district_key(w, d) not in districts
+                districts.add(district_key(w, d))
+                for c in range(20):
+                    assert customer_key(w, d, c) not in customers
+                    customers.add(customer_key(w, d, c))
+                for o in range(1, 30):
+                    assert order_key(w, d, o) not in orders
+                    orders.add(order_key(w, d, o))
+
+    def test_new_order_advances_district_counter(self, loaded):
+        db, wl = loaded
+        s = db.session()
+        before = s.select("district",
+                          Eq("d_key", district_key(0, 0)))[0]["d_next_o_id"]
+        program = wl._txn_new_order(random.Random(5), RR, 0, 0, 1)
+        _drive(db, program)
+        after = s.select("district",
+                         Eq("d_key", district_key(0, 0)))[0]["d_next_o_id"]
+        assert after == before + 1
+        ok = order_key(0, 0, before)
+        assert len(s.select("orders", Eq("o_key", ok))) == 1
+        assert len(s.select("order_line", Eq("o_key", ok))) >= 1
+
+    def test_payment_moves_balance(self, loaded):
+        db, wl = loaded
+        s = db.session()
+        ck = customer_key(0, 1, 2)
+        before = s.select("customer", Eq("c_key", ck))[0]["c_balance"]
+        program = wl._txn_payment(random.Random(5), RR, 0, 1, 2)
+        _drive(db, program)
+        after = s.select("customer", Eq("c_key", ck))[0]["c_balance"]
+        assert after < before
+
+    def test_delivery_consumes_new_order(self, loaded):
+        db, wl = loaded
+        s = db.session()
+        pending_before = len(s.select("new_order"))
+        program = wl._txn_delivery(random.Random(5), RR, 0, 0, 0)
+        _drive(db, program)
+        assert len(s.select("new_order")) == pending_before - 1
+
+    def test_credit_check_sets_status(self, loaded):
+        db, wl = loaded
+        program = wl._txn_credit_check(random.Random(5), RR, 0, 0, 1)
+        _drive(db, program)
+        s = db.session()
+        status = s.select("customer",
+                          Eq("c_key", customer_key(0, 0, 1)))[0]["c_credit"]
+        assert status in ("GC", "BC")
+
+    def test_read_only_fraction_extremes(self):
+        wl0 = DBT2PP(warehouses=1, districts=2, customers_per_district=5,
+                     items=20, read_only_fraction=1.0)
+        result = run_workload(wl0, isolation=RR, n_clients=2,
+                              max_ticks=2000, seed=4)
+        assert set(result.by_type) <= {"order_status", "stock_level"}
+
+
+class TestRubis:
+    def test_mix_is_read_heavy(self):
+        result = run_workload(RubisBidding(), isolation=RR, n_clients=3,
+                              max_ticks=4000, seed=6)
+        ro = sum(count for name, count in result.by_type.items()
+                 if name.startswith(("view", "search")))
+        rw = result.commits - ro
+        assert ro > rw
+
+    def test_bids_accumulate(self):
+        db = Database(EngineConfig())
+        run_workload(RubisBidding(read_only_fraction=0.0),
+                     isolation=RR, n_clients=3, max_ticks=3000, seed=6,
+                     db=db)
+        assert len(db.session().select("bids")) > 0
+
+
+class TestAnomalyWorkloads:
+    def test_receipts_detects_si_violations_on_some_seed(self):
+        found = False
+        for seed in range(8):
+            db = Database(EngineConfig())
+            wl = ReceiptsWorkload()
+            run_workload(wl, isolation=RR, n_clients=5, max_ticks=4000,
+                         seed=seed, db=db)
+            if wl.violations(db):
+                found = True
+                break
+        assert found
+
+    def test_receipts_never_violates_under_ssi(self):
+        for seed in range(4):
+            db = Database(EngineConfig())
+            wl = ReceiptsWorkload()
+            run_workload(wl, isolation=SER, n_clients=5, max_ticks=4000,
+                         seed=seed, db=db)
+            assert wl.violations(db) == []
+
+    def test_doctors_invariant_under_ssi(self):
+        for seed in range(6):
+            db = Database(EngineConfig())
+            wl = DoctorsWorkload(n_doctors=3, transactions_per_client=3)
+            run_workload(wl, isolation=SER, n_clients=4,
+                         max_ticks=20_000, seed=seed, db=db)
+            assert wl.invariant_holds(db)
+
+
+def _drive(db, program_factory):
+    """Run one transaction program directly against a session."""
+    session = db.session()
+    gen = program_factory()
+    result = None
+    try:
+        while True:
+            op = gen.send(result)
+            result = getattr(session, op.method)(*op.args, **op.kwargs)
+    except StopIteration:
+        pass
+    if session.in_transaction():
+        session.commit()

@@ -1,0 +1,198 @@
+"""First-updater-wins write conflicts, tuple-lock waits, deadlock
+detection, and SELECT FOR UPDATE (paper sections 2.1, 5.1)."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import DeadlockDetected, SerializationFailure, WouldBlock
+
+RC = IsolationLevel.READ_COMMITTED
+RR = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig())
+    database.create_table("t", ["k", "v"], key="k")
+    s = database.session()
+    for k in range(4):
+        s.insert("t", {"k": k, "v": 0})
+    return database
+
+
+class TestFirstUpdaterWins:
+    def test_second_updater_blocks_then_fails_under_si(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 1), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), {"v": 2})
+        s1.commit()
+        with pytest.raises(SerializationFailure) as exc:
+            s2.resume()
+        assert "concurrent update" in str(exc.value)
+        s2.rollback()
+
+    def test_second_updater_proceeds_if_first_aborts(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 1), {"v": 1})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), {"v": 2})
+        s1.rollback()
+        assert s2.resume() == 1
+        s2.commit()
+        assert db.session().select("t", Eq("k", 1))[0]["v"] == 2
+
+    def test_committed_first_updater_fails_second_immediately(self, db):
+        # The first updater already committed before the second tries:
+        # no wait, immediate serialization failure under RR.
+        s1, s2 = db.session(), db.session()
+        s2.begin(RR)
+        s2.select("t", Eq("k", 1))  # take snapshot before s1's commit
+        s1.update("t", Eq("k", 1), {"v": 1})
+        with pytest.raises(SerializationFailure):
+            s2.update("t", Eq("k", 1), {"v": 2})
+        s2.rollback()
+
+    def test_read_committed_follows_update_chain(self, db):
+        # READ COMMITTED re-checks the newest version (EvalPlanQual)
+        # instead of failing.
+        s1, s2 = db.session(), db.session()
+        s1.begin(RC)
+        s2.begin(RC)
+        s1.update("t", Eq("k", 1), {"v": 10})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), lambda r: {"v": r["v"] + 100})
+        s1.commit()
+        assert s2.resume() == 1
+        s2.commit()
+        # 0 -> 10 (s1), then 10 -> 110 (s2): no lost update.
+        assert db.session().select("t", Eq("k", 1))[0]["v"] == 110
+
+    def test_read_committed_epq_requeues_predicate(self, db):
+        # s1 moves the row out of s2's predicate; s2 must skip it.
+        s1, s2 = db.session(), db.session()
+        s1.begin(RC)
+        s2.begin(RC)
+        s1.update("t", Eq("k", 1), {"v": 99})
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("v", 0), lambda r: {"v": r["v"] - 1})
+        s1.commit()
+        s2.resume()
+        s2.commit()
+        # Row k=1 ended at 99 (not 98): it no longer matched v=0.
+        assert db.session().select("t", Eq("k", 1))[0]["v"] == 99
+
+    def test_delete_vs_update_conflict(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.delete("t", Eq("k", 1))
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), {"v": 5})
+        s1.commit()
+        with pytest.raises(SerializationFailure):
+            s2.resume()
+        s2.rollback()
+
+    def test_rc_update_of_deleted_row_skips(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RC)
+        s2.begin(RC)
+        s1.delete("t", Eq("k", 1))
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), {"v": 5})
+        s1.commit()
+        assert s2.resume() == 0  # row gone, skipped
+        s2.commit()
+
+
+class TestWriteWriteDeadlock:
+    def test_deadlock_detected_and_victimized(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.update("t", Eq("k", 1), {"v": 1})
+        s2.update("t", Eq("k", 2), {"v": 2})
+        with pytest.raises(WouldBlock):
+            s1.update("t", Eq("k", 2), {"v": 1})
+        with pytest.raises(DeadlockDetected):
+            s2.update("t", Eq("k", 1), {"v": 2})
+        s2.rollback()
+        # s1's wait resolves once the victim rolls back.
+        assert s1.resume() == 1
+        s1.commit()
+
+
+class TestSelectForUpdate:
+    def test_for_update_blocks_writers(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        rows = s1.select_for_update("t", Eq("k", 1))
+        assert rows == [{"k": 1, "v": 0}]
+        with pytest.raises(WouldBlock):
+            s2.update("t", Eq("k", 1), {"v": 2})
+        s1.commit()
+        # s1 only locked (did not modify), so s2 may proceed even
+        # under snapshot isolation.
+        assert s2.resume() == 1
+        s2.commit()
+
+    def test_for_update_then_own_update(self, db):
+        s = db.session()
+        s.begin(RR)
+        s.select_for_update("t", Eq("k", 1))
+        assert s.update("t", Eq("k", 1), {"v": 7}) == 1
+        s.commit()
+        assert db.session().select("t", Eq("k", 1))[0]["v"] == 7
+
+    def test_for_update_does_not_delete(self, db):
+        s = db.session()
+        s.begin(RR)
+        s.select_for_update("t", Eq("k", 1))
+        s.commit()
+        assert len(db.session().select("t", Eq("k", 1))) == 1
+
+    def test_two_for_updates_conflict(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.select_for_update("t", Eq("k", 1))
+        with pytest.raises(WouldBlock):
+            s2.select_for_update("t", Eq("k", 1))
+        s1.commit()
+        assert s2.resume() == [{"k": 1, "v": 0}]
+        s2.commit()
+
+
+class TestUniqueInsertRace:
+    def test_insert_waits_for_inprogress_duplicate(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.insert("t", {"k": 100, "v": 1})
+        with pytest.raises(WouldBlock):
+            s2.insert("t", {"k": 100, "v": 2})
+        s1.commit()
+        from repro.errors import UniqueViolationError
+        with pytest.raises(UniqueViolationError):
+            s2.resume()
+        s2.rollback()
+
+    def test_insert_proceeds_if_duplicate_inserter_aborts(self, db):
+        s1, s2 = db.session(), db.session()
+        s1.begin(RR)
+        s2.begin(RR)
+        s1.insert("t", {"k": 100, "v": 1})
+        with pytest.raises(WouldBlock):
+            s2.insert("t", {"k": 100, "v": 2})
+        s1.rollback()
+        s2.resume()
+        s2.commit()
+        assert db.session().select("t", Eq("k", 100))[0]["v"] == 2
