@@ -16,10 +16,15 @@ from typing import Dict, List, Optional, Sequence
 import pytest
 
 from repro.config import EngineConfig, SSIConfig
+from repro.engine.database import Database
 from repro.engine.isolation import IsolationLevel
 from repro.workloads.base import Workload, run_workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Per-series metric deltas collected by run_series, printed in the
+#: terminal summary: {(test nodeid-ish label, series): MetricsSnapshot}.
+_METRIC_DELTAS: Dict[tuple, object] = {}
 
 
 def _config(series: str, disk_bound: bool = False) -> EngineConfig:
@@ -47,23 +52,48 @@ SERIES_ISOLATION = {
 
 def run_series(workload_factory, series: Sequence[str], *,
                n_clients: int = 4, max_ticks: float = 8000.0, seed: int = 7,
-               disk_bound: bool = False) -> Dict[str, object]:
+               disk_bound: bool = False,
+               label: Optional[str] = None) -> Dict[str, object]:
     """Run one workload under each concurrency-control series.
 
     ``workload_factory`` builds a fresh Workload per run (workloads
-    carry counters). Returns {series name: SimResult}.
+    carry counters). Returns {series name: SimResult}. Each run's
+    metric delta (repro.obs registry snapshot, setup included) is
+    stashed on the SimResult as ``.metrics`` and echoed in the pytest
+    terminal summary.
     """
     results = {}
     for name in series:
-        results[name] = run_workload(
-            workload_factory(),
+        workload = workload_factory()
+        db = Database(_config(name, disk_bound=disk_bound))
+        before = db.obs.metrics.snapshot()
+        result = run_workload(
+            workload,
             isolation=SERIES_ISOLATION[name],
             n_clients=n_clients,
             max_ticks=max_ticks,
             seed=seed,
-            config=_config(name, disk_bound=disk_bound),
+            db=db,
         )
+        delta = db.obs.metrics.snapshot().diff(before).nonzero()
+        result.metrics = delta
+        _METRIC_DELTAS[(label or type(workload).__name__, name)] = delta
+        results[name] = result
     return results
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    """Print each benchmark run's engine/SSI metric deltas (the
+    pg_stat-style counters backing the figures) after the test summary."""
+    if not _METRIC_DELTAS:
+        return
+    terminalreporter.section("benchmark metric deltas")
+    for (label, series), delta in _METRIC_DELTAS.items():
+        terminalreporter.write_line(f"{label} [{series}]")
+        for key, value in delta.items():
+            if isinstance(value, dict):
+                value = f"count={value['count']} sum={value['sum']:.3g}"
+            terminalreporter.write_line(f"    {key} = {value}")
 
 
 def normalized(results: Dict[str, object],

@@ -2,19 +2,24 @@
 
 Replays the paper's motivating example (section 2.1.1) step by step at
 every isolation level, printing what each transaction sees and what
-the serializability checker says about the resulting history.
+the serializability checker says about the resulting history.  The
+SERIALIZABLE run records a structured trace (repro.obs) and prints the
+post-mortem for the failure: the T1 -rw-> pivot -rw-> T3 dangerous
+structure SSI detected, edge by edge.
 
 Run:  python examples/doctors_write_skew.py
 """
 
-from repro.config import EngineConfig
+from repro.config import EngineConfig, ObsConfig
 from repro.engine import Database, Eq, IsolationLevel
 from repro.errors import DeadlockDetected, SerializationFailure, WouldBlock
+from repro.obs import explain_failure
 from repro.verify import check_serializable
 
 
 def fresh_db():
-    db = Database(EngineConfig(record_history=True))
+    db = Database(EngineConfig(record_history=True,
+                               obs=ObsConfig(enabled=True, trace=True)))
     db.create_table("doctors", ["name", "oncall"], key="name")
     s = db.session()
     s.insert("doctors", {"name": "alice", "oncall": True})
@@ -27,6 +32,7 @@ def figure1_interleaving(db, isolation):
     different doctor off call -- the exact interleaving of Figure 1."""
     t1, t2 = db.session(), db.session()
     log = []
+    failure = None
 
     def step(label, fn):
         try:
@@ -72,12 +78,22 @@ def figure1_interleaving(db, isolation):
                 log.append("  blocked transaction resumed and committed")
             except (SerializationFailure, DeadlockDetected) as exc:
                 log.append(f"  blocked transaction: {type(exc).__name__}")
+                if isinstance(exc, SerializationFailure):
+                    failure = exc
                 session.rollback()
-    except SerializationFailure:
+    except SerializationFailure as exc:
+        failure = exc
         for session in (t1, t2):
             if session.in_transaction():
                 session.rollback()
-    return log
+    return log, failure
+
+
+def print_postmortem(db, failure) -> None:
+    print("  --- post-mortem (repro.obs) ---")
+    report = explain_failure(db, failure)
+    for line in report.render().splitlines():
+        print(f"  {line}")
 
 
 def main() -> None:
@@ -86,7 +102,8 @@ def main() -> None:
                       IsolationLevel.S2PL):
         db = fresh_db()
         print(f"\n=== {isolation.value.upper()} ===")
-        for line in figure1_interleaving(db, isolation):
+        log, failure = figure1_interleaving(db, isolation)
+        for line in log:
             print(line)
         on_call = [r["name"] for r in
                    db.session().select("doctors", Eq("oncall", True))]
@@ -96,6 +113,8 @@ def main() -> None:
               f"{'HELD' if on_call else 'VIOLATED'}")
         print(f"  history serializable: {verdict.serializable}"
               + (f" (cycle: {verdict.cycle})" if verdict.cycle else ""))
+        if failure is not None:
+            print_postmortem(db, failure)
 
 
 if __name__ == "__main__":

@@ -68,6 +68,29 @@ class SSIConfig:
 
 
 @dataclass
+class ObsConfig:
+    """Observability toggles (the repro.obs subsystem).
+
+    Metrics counters are always on -- the engine's own stat blocks
+    live on the registry and cost one bound-attribute increment each.
+    Everything with additional per-event overhead (structured event
+    tracing, lock-wait timing) sits behind ``enabled`` and costs a
+    single ``is not None`` test when off.
+    """
+
+    #: Master switch for tracing and timing instrumentation.
+    enabled: bool = False
+    #: Structured event tracing into a bounded ring buffer (only when
+    #: ``enabled``); see repro.obs.trace for the event catalog.
+    trace: bool = True
+    #: Ring-buffer capacity (events retained; older events fall off).
+    trace_capacity: int = 8192
+    #: Record wall-clock lock-wait durations into the
+    #: ``locks.wait_ns`` histogram (only when ``enabled``).
+    lock_wait_timing: bool = True
+
+
+@dataclass
 class CostModel:
     """Simulated-time charges, standing in for wall-clock measurement.
 
@@ -126,6 +149,8 @@ class EngineConfig:
 
     ssi: SSIConfig = field(default_factory=SSIConfig)
     cost: CostModel = field(default_factory=CostModel)
+    #: Observability (metrics always on; tracing behind obs.enabled).
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Tuples per heap page; small pages make page-granularity locking
     #: and promotion meaningful at laptop scale.
     heap_page_size: int = 32

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.config import EngineConfig
@@ -18,6 +17,7 @@ from repro.locks.modes import LockMode
 from repro.mvcc.clog import CommitLog
 from repro.mvcc.snapshot import Snapshot
 from repro.mvcc.xid import XidAllocator
+from repro.obs import Observability, StatsView, install_counter_properties
 from repro.replication.wal import CommitRecord
 from repro.ssi.manager import SSIManager
 from repro.storage.buffer import BufferManager
@@ -25,21 +25,20 @@ from repro.storage.relation import Relation
 from repro.waits import SafeSnapshotWait
 
 
-@dataclass
-class EngineStats:
-    """Operational counters (benchmark inputs)."""
+class EngineStats(StatsView):
+    """Operational counters (benchmark inputs).
 
-    begins: int = 0
-    commits: int = 0
-    aborts: int = 0
-    statements: int = 0
-    tuples_read: int = 0
-    tuples_written: int = 0
-    serialization_failures: int = 0
-    deadlocks: int = 0
-    update_conflicts: int = 0
-    snapshots_taken: int = 0
-    deferrable_retries: int = 0
+    A thin attribute view over ``engine.*`` registry counters
+    (repro.obs): the attribute API is unchanged, but snapshots/diffs
+    and the benchmark reporter see the same numbers."""
+
+    _PREFIX = "engine."
+    _FIELDS = ("begins", "commits", "aborts", "statements", "tuples_read",
+               "tuples_written", "serialization_failures", "deadlocks",
+               "update_conflicts", "snapshots_taken", "deferrable_retries")
+
+
+install_counter_properties(EngineStats)
 
 
 class Database:
@@ -53,12 +52,13 @@ class Database:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
+        self.obs = Observability(self.config.obs)
         self.clog = CommitLog()
         self.xids = XidAllocator()
-        self.lockmgr = LockManager()
-        self.ssi = SSIManager(self.config.ssi, self.clog)
-        self.buffer = BufferManager(self.config.buffer_pages)
-        self.stats = EngineStats()
+        self.lockmgr = LockManager(obs=self.obs)
+        self.ssi = SSIManager(self.config.ssi, self.clog, obs=self.obs)
+        self.buffer = BufferManager(self.config.buffer_pages, obs=self.obs)
+        self.stats = EngineStats(self.obs.metrics)
         self.executor = Executor(self)
         self._relations: Dict[str, Relation] = {}
         self._next_oid = 1
@@ -74,6 +74,25 @@ class Database:
         if self.config.record_history:
             from repro.verify.history import HistoryRecorder
             self.recorder = HistoryRecorder()
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Derived metrics, evaluated lazily at snapshot time (so they
+        cost nothing on the hot path). The lambdas read ``self.ssi``
+        etc. at call time, surviving simulate_crash_recovery's manager
+        replacement."""
+        m = self.obs.metrics
+        m.gauge("sireads.live").set_function(
+            lambda: self.ssi.lockmgr.lock_count)
+        m.gauge("sireads.peak").set_function(
+            lambda: self.ssi.lockmgr.peak_lock_count)
+        m.gauge("pages.touched").set_function(
+            lambda: self.buffer.hits + self.buffer.misses)
+        m.gauge("pages.missed").set_function(lambda: self.buffer.misses)
+        m.gauge("locks.deadlocks").set_function(
+            lambda: self.lockmgr.deadlocks_detected)
+        m.gauge("wal.records").set_function(lambda: len(self.wal))
+        m.gauge("txns.active").set_function(lambda: len(self._active))
 
     # ------------------------------------------------------------------
     # catalog / DDL
@@ -191,6 +210,13 @@ class Database:
                               deferrable=deferrable)
             self._active[xid] = txn
             self.stats.begins += 1
+            if self.obs.tracer is not None:
+                self.obs.tracer.emit("txn.begin", xid,
+                                     isolation=isolation.value,
+                                     read_only=read_only,
+                                     deferrable=deferrable)
+                self.obs.tracer.emit("txn.snapshot", xid,
+                                     xmin=snapshot.xmin, xmax=snapshot.xmax)
             if self.recorder is not None:
                 self.recorder.on_begin(xid, snapshot, isolation)
             if isolation.uses_ssi:
@@ -235,10 +261,20 @@ class Database:
         self._active.pop(txn.xid, None)
         self.lockmgr.release_all(txn.xid)
         self.stats.commits += 1
+        if self.obs.tracer is not None:
+            self.obs.tracer.emit(
+                "txn.commit", txn.xid,
+                commit_seq=(txn.sxact.commit_seq
+                            if txn.sxact is not None else None))
         if txn.wal_changes or not txn.read_only:
+            marker = self._snapshot_now_safe()
             self.wal.append(CommitRecord(
                 xid=txn.xid, changes=list(txn.wal_changes),
-                safe_snapshot_marker=self._snapshot_now_safe()))
+                safe_snapshot_marker=marker))
+            if self.obs.tracer is not None:
+                self.obs.tracer.emit("wal.ship", txn.xid,
+                                     changes=len(txn.wal_changes),
+                                     safe_snapshot_marker=marker)
         if self.recorder is not None:
             self.recorder.on_commit(txn.xid)
 
@@ -254,6 +290,8 @@ class Database:
             self._prepared.pop(txn.gid, None)
         self.lockmgr.release_all(txn.xid)
         self.stats.aborts += 1
+        if self.obs.tracer is not None:
+            self.obs.tracer.emit("txn.abort", txn.xid)
         if self.recorder is not None:
             self.recorder.on_abort(txn.xid)
 
@@ -322,8 +360,8 @@ class Database:
         for txn in list(self._active.values()):
             if txn.status is not TxnStatus.PREPARED:
                 self.abort_txn(txn)
-        self.lockmgr = LockManager()
-        self.ssi = SSIManager(self.config.ssi, self.clog)
+        self.lockmgr = LockManager(obs=self.obs)
+        self.ssi = SSIManager(self.config.ssi, self.clog, obs=self.obs)
         for txn in self._active.values():  # prepared survivors
             self.lockmgr.acquire(txn.xid, ("xid", txn.xid),
                                  LockMode.EXCLUSIVE)
@@ -387,6 +425,15 @@ class Database:
     def ssi_summary(self):
         from repro.engine import introspection
         return introspection.ssi_summary(self)
+
+    def stat_ssi(self):
+        from repro.engine import introspection
+        return introspection.stat_ssi(self)
+
+    def trace_events(self, kind: Optional[str] = None,
+                     xid: Optional[int] = None):
+        from repro.engine import introspection
+        return introspection.trace_events(self, kind=kind, xid=xid)
 
     # ------------------------------------------------------------------
     # recorder hooks

@@ -29,8 +29,9 @@ from repro import s2pl
 from repro.engine.isolation import IsolationLevel
 from repro.engine.predicate import AlwaysTrue, Predicate
 from repro.engine.transaction import Transaction
-from repro.errors import (ReadOnlyTransactionError, SerializationFailure,
-                          UndefinedColumnError, UniqueViolationError)
+from repro.errors import (AbortCause, ReadOnlyTransactionError,
+                          SerializationFailure, UndefinedColumnError,
+                          UniqueViolationError)
 from repro.locks.modes import LockMode
 from repro.mvcc.visibility import tuple_visibility
 from repro.mvcc.xid import INVALID_XID
@@ -467,9 +468,16 @@ class Executor:
             # this row first.
             if txn.isolation is not IsolationLevel.READ_COMMITTED:
                 db.stats.update_conflicts += 1
+                db.obs.metrics.counter(
+                    "ssi.aborts", cause=AbortCause.UPDATE_CONFLICT.value).inc()
+                if db.obs.tracer is not None:
+                    db.obs.tracer.emit("abort.raise", txn.xid,
+                                       cause=AbortCause.UPDATE_CONFLICT.value,
+                                       writer_xid=top)
                 raise SerializationFailure(
                     "could not serialize access due to concurrent update",
-                    reason="concurrent update")
+                    reason="concurrent update",
+                    cause=AbortCause.UPDATE_CONFLICT)
             if cur.next_tid is None:
                 return None  # row deleted; skip
             nxt = rel.heap.fetch(cur.next_tid)

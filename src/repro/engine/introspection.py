@@ -8,7 +8,7 @@ the SSI-specific ``pg_stat_ssi``-style counters.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.engine.transaction import TxnStatus
 
@@ -36,14 +36,10 @@ def stat_activity(db) -> List[Dict[str, Any]]:
 def lock_status(db) -> List[Dict[str, Any]]:
     """Heavyweight locks: granted holds and queued waiters (pg_locks)."""
     rows = []
-    for tag, entry in db.lockmgr._table.items():
-        for (owner, mode), count in entry.granted.items():
-            if count > 0:
-                rows.append({"tag": tag, "mode": mode.value,
-                             "owner_xid": owner, "granted": True})
-        for request in entry.queue:
-            rows.append({"tag": tag, "mode": request.mode.value,
-                         "owner_xid": request.owner, "granted": False})
+    for lock in db.lockmgr.iter_locks():
+        rows.append({"tag": lock["tag"], "mode": lock["mode"].value,
+                     "owner_xid": lock["owner_xid"],
+                     "granted": lock["granted"]})
     rows.sort(key=lambda r: (str(r["tag"]), r["owner_xid"]))
     return rows
 
@@ -51,13 +47,15 @@ def lock_status(db) -> List[Dict[str, Any]]:
 def siread_locks(db) -> List[Dict[str, Any]]:
     """SIREAD predicate locks by target (pg_locks mode=SIReadLock)."""
     rows = []
-    for target, holders in db.ssi.lockmgr._locks.items():
-        for holder in holders:
-            rows.append({"target": target, "holder_xid": holder.xid,
+    for lock in db.ssi.lockmgr.iter_locks():
+        holder = lock["holder"]
+        if holder is not None:
+            rows.append({"target": lock["target"], "holder_xid": holder.xid,
                          "holder_committed": holder.committed})
-    for target, seq in db.ssi.lockmgr.summary_targets().items():
-        rows.append({"target": target, "holder_xid": None,
-                     "holder_committed": True, "summary_commit_seq": seq})
+        else:
+            rows.append({"target": lock["target"], "holder_xid": None,
+                         "holder_committed": True,
+                         "summary_commit_seq": lock["summary_commit_seq"]})
     rows.sort(key=lambda r: str(r["target"]))
     return rows
 
@@ -83,3 +81,21 @@ def ssi_summary(db) -> Dict[str, Any]:
         "safe_snapshots": ssi.stats.safe_snapshots,
         "unsafe_snapshots": ssi.stats.unsafe_snapshots,
     }
+
+
+def stat_ssi(db) -> Dict[str, Any]:
+    """The full metrics registry, flattened (pg_stat_ssi-style).
+
+    Keys are ``name{label=value,...}`` strings; values are counter and
+    gauge readings plus histogram summaries at this instant. Use
+    ``db.obs.metrics.snapshot()`` directly for diffable snapshots."""
+    return dict(db.obs.metrics.snapshot())
+
+
+def trace_events(db, kind: Optional[str] = None,
+                 xid: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Structured trace events as dicts, optionally filtered by event
+    kind and/or transaction xid (events mentioning the xid in any
+    ``*_xid`` payload field match too). Empty unless tracing is on
+    (``ObsConfig(enabled=True, trace=True)``)."""
+    return [ev.to_dict() for ev in db.obs.trace_events(kind, xid)]

@@ -365,6 +365,11 @@ class Session:
         (autocommit transactions roll back immediately)."""
         if isinstance(exc, RetryableError):
             self.db.stats.serialization_failures += 1
+            if self.db.obs.tracer is not None:
+                self.db.obs.tracer.emit(
+                    "stmt.fail", self.txn.xid if self.txn else None,
+                    session=self.session_id, error=type(exc).__name__,
+                    sqlstate=getattr(exc, "sqlstate", None))
         txn = self.txn
         if txn is None:
             return

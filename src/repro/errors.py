@@ -8,7 +8,34 @@ a retry, deadlocks, read-only violations, capacity errors).
 
 from __future__ import annotations
 
+import enum
 from typing import Optional
+
+
+class AbortCause(enum.Enum):
+    """Why a serialization failure fired (the abort-cause taxonomy the
+    observability layer counts under ``ssi.aborts{cause=...}``).
+
+    The taxonomy mirrors where PostgreSQL's SSI can cancel a
+    transaction (paper sections 3.3.1, 4.1, 5.4 and 7.1):
+
+    * ``PIVOT`` -- the acting transaction is itself the pivot T2 of a
+      confirmed dangerous structure and is aborted on the spot;
+    * ``UNABORTABLE`` -- a structure was confirmed but every other
+      participant has already committed or prepared, so the acting
+      transaction dies instead (safe-retry fallback / section 7.1);
+    * ``DOOMED_AT_OP`` -- another session's conflict resolution marked
+      this transaction DOOMED and it noticed at its next operation;
+    * ``DOOMED_AT_COMMIT`` -- as above, noticed at COMMIT/PREPARE;
+    * ``UPDATE_CONFLICT`` -- snapshot isolation's first-updater-wins
+      write/write conflict (not an SSI dangerous structure).
+    """
+
+    PIVOT = "pivot"
+    UNABORTABLE = "unabortable"
+    DOOMED_AT_OP = "doomed_at_op"
+    DOOMED_AT_COMMIT = "doomed_at_commit"
+    UPDATE_CONFLICT = "update_conflict"
 
 
 class ReproError(Exception):
@@ -83,10 +110,32 @@ class SerializationFailure(RetryableError):
     sqlstate = "40001"
 
     def __init__(self, message: str, *, pivot_xid: Optional[int] = None,
-                 reason: str = "dangerous structure") -> None:
+                 reason: str = "dangerous structure",
+                 cause: Optional[AbortCause] = None,
+                 t1_xid: Optional[int] = None,
+                 t3_xid: Optional[int] = None,
+                 t3_commit_seq: Optional[float] = None,
+                 rule: Optional[str] = None) -> None:
         super().__init__(message)
         self.pivot_xid = pivot_xid
         self.reason = reason
+        #: Structured abort cause (:class:`AbortCause`) so tests and the
+        #: post-mortem explainer can assert on cause rather than
+        #: regex-matching the message text.
+        self.cause = cause
+        #: The dangerous structure T1 -rw-> T2(pivot) -rw-> T3 behind
+        #: this failure, when known. ``t1_xid`` is None when T1 was a
+        #: summarized committed transaction (section 6.2); ``t3_xid``
+        #: is None when only T3's commit sequence number survived.
+        self.t1_xid = t1_xid
+        self.t3_xid = t3_xid
+        self.t3_commit_seq = t3_commit_seq
+        #: Which commit-ordering rule confirmed the structure:
+        #: "commit_order" (section 3.3.1: T3 committed first),
+        #: "ro_snapshot" (Theorem 3: read-only T1, T3 committed before
+        #: T1's snapshot), "basic" (optimizations disabled), or
+        #: "flags" (two-bit ablation mode).
+        self.rule = rule
 
 
 class DeadlockDetected(RetryableError):

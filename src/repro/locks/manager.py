@@ -18,8 +18,9 @@ yield to the scheduler until ``request.granted`` becomes true.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockDetected
 from repro.locks.modes import LockMode, modes_conflict
@@ -37,6 +38,8 @@ class LockRequest:
     mode: LockMode
     granted: bool = False
     cancelled: bool = False
+    #: Monotonic enqueue time, set only when lock-wait timing is on.
+    enqueued_ns: Optional[int] = None
 
     @property
     def ready(self) -> bool:
@@ -75,7 +78,7 @@ class _LockEntry:
 class LockManager:
     """The shared lock table."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self._table: Dict[LockTag, _LockEntry] = {}
         #: locks held per owner, for fast release_all.
         self._held: Dict[int, Dict[LockTag, Set[LockMode]]] = {}
@@ -83,6 +86,12 @@ class LockManager:
         self.work_units = 0
         #: Deadlocks detected (benchmark statistic, cf. RUBiS/Figure 6).
         self.deadlocks_detected = 0
+        #: Observability handle (repro.obs); None disables all tracing
+        #: and wait timing at the cost of one ``is not None`` test.
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self._wait_hist = (obs.metrics.histogram("locks.wait_ns")
+                           if self._obs is not None
+                           and obs.config.lock_wait_timing else None)
 
     # -- acquisition ---------------------------------------------------------
     def acquire(self, owner: int, tag: LockTag,
@@ -119,8 +128,16 @@ class LockManager:
             entry.queue.remove(request)
             request.cancelled = True
             self.deadlocks_detected += 1
+            if self._obs is not None:
+                self._obs.emit("lock.deadlock", owner, tag=tag,
+                               mode=mode.value)
             raise DeadlockDetected(
                 f"deadlock detected while waiting for {request.describe()}")
+        if self._obs is not None:
+            if self._wait_hist is not None:
+                request.enqueued_ns = time.monotonic_ns()
+            self._obs.emit("lock.wait", owner, tag=tag, mode=mode.value,
+                           blockers=sorted(blockers))
         return request
 
     def holds(self, owner: int, tag: LockTag, mode: LockMode) -> bool:
@@ -174,6 +191,9 @@ class LockManager:
             for req in pending:
                 entry.queue.remove(req)
                 req.cancelled = True
+                if self._obs is not None:
+                    self._obs.emit("lock.cancel", owner, tag=req.tag,
+                                   mode=req.mode.value)
             if pending:
                 self._wake_queue(entry)
                 self._maybe_gc(tag, entry)
@@ -188,6 +208,13 @@ class LockManager:
             self._grant(entry, req.owner, req.tag, req.mode)
             req.granted = True
             self.work_units += 1
+            if self._obs is not None:
+                wait_ns = (time.monotonic_ns() - req.enqueued_ns
+                           if req.enqueued_ns is not None else None)
+                if wait_ns is not None and self._wait_hist is not None:
+                    self._wait_hist.observe(wait_ns)
+                self._obs.emit("lock.grant", req.owner, tag=req.tag,
+                               mode=req.mode.value, wait_ns=wait_ns)
 
     def _maybe_gc(self, tag: LockTag, entry: _LockEntry) -> None:
         if not entry.granted and not entry.queue:
@@ -227,6 +254,20 @@ class LockManager:
         return False
 
     # -- introspection ----------------------------------------------------------
+    def iter_locks(self) -> Iterator[Dict[str, object]]:
+        """Public iteration over the lock table: one dict per granted
+        hold and per queued waiter (the pg_locks row shape). Replaces
+        reaching into the private ``_table``."""
+        for tag, entry in self._table.items():
+            for (owner, mode), count in entry.granted.items():
+                if count > 0:
+                    yield {"tag": tag, "mode": mode, "owner_xid": owner,
+                           "granted": True, "hold_count": count}
+            for request in entry.queue:
+                yield {"tag": tag, "mode": request.mode,
+                       "owner_xid": request.owner, "granted": False,
+                       "hold_count": 0}
+
     def locks_held(self, owner: int) -> Dict[LockTag, Set[LockMode]]:
         return {tag: set(modes)
                 for tag, modes in self._held.get(owner, {}).items()}

@@ -1,0 +1,83 @@
+"""repro.obs — unified observability: metrics, tracing, post-mortems.
+
+The paper's evaluation (section 8) and memory-mitigation story
+(section 6) both depend on *observing* the SSI machinery: counting
+aborts by cause, separating true dangerous structures from false
+positives, and watching SIREAD lock footprint under pressure.
+PostgreSQL shipped this as ``pg_stat_*`` counters and DBA views; this
+package is the engine-wide equivalent:
+
+* :mod:`repro.obs.metrics` -- a registry of named counters, gauges and
+  histograms with labels, plus snapshot/diff/reset for per-phase
+  benchmark deltas.  Always on: the legacy ``SSIStats``/``EngineStats``
+  blocks are thin views over it.
+* :mod:`repro.obs.trace` -- a ring-buffered structured event tracer
+  (transaction lifecycle, rw-conflict edges, dangerous-structure
+  checks, dooms, lock waits, WAL shipping) with per-xid filtering and
+  JSONL export.  Off by default; enabled via
+  ``EngineConfig.obs = ObsConfig(enabled=True)``.
+* :mod:`repro.obs.postmortem` -- reconstructs the
+  ``T1 -rw-> T2 -rw-> T3`` structure behind any SerializationFailure
+  and renders a report naming the pivot, the conflicting targets and
+  the rule that fired.
+
+Instrumentation sites throughout the engine hold an
+:class:`Observability` handle; when tracing is disabled the per-event
+cost is a single ``is not None`` test.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               MetricsSnapshot, StatsView, format_key,
+                               install_counter_properties)
+from repro.obs.postmortem import (PostMortem, RWEdge, describe_target,
+                                  explain_failure)
+from repro.obs.trace import TraceEvent, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import ObsConfig
+
+
+class Observability:
+    """One engine's observability handle: a metrics registry (always
+    live) plus an optional tracer.
+
+    The metrics registry must exist even with observability "disabled"
+    because the engine's own stat blocks live on it; the ``enabled``
+    toggle gates everything with per-event hot-path cost beyond a
+    counter increment (tracing, lock-wait timing)."""
+
+    __slots__ = ("config", "enabled", "metrics", "tracer")
+
+    def __init__(self, config: Optional["ObsConfig"] = None) -> None:
+        if config is None:
+            from repro.config import ObsConfig
+            config = ObsConfig()
+        self.config = config
+        self.enabled = config.enabled
+        self.metrics = MetricsRegistry()
+        self.tracer: Optional[Tracer] = (
+            Tracer(capacity=config.trace_capacity)
+            if config.enabled and config.trace else None)
+
+    def emit(self, kind: str, xid: Optional[int] = None, **data) -> None:
+        """Trace an event if tracing is on (hot paths should guard with
+        ``if obs.tracer is not None`` and call ``obs.tracer.emit``
+        directly instead of paying this extra call)."""
+        if self.tracer is not None:
+            self.tracer.emit(kind, xid, **data)
+
+    def trace_events(self, kind: Optional[str] = None,
+                     xid: Optional[int] = None):
+        return [] if self.tracer is None else self.tracer.events(kind, xid)
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsSnapshot",
+    "StatsView", "format_key", "install_counter_properties",
+    "Observability", "PostMortem", "RWEdge", "describe_target",
+    "explain_failure", "TraceEvent", "Tracer",
+]

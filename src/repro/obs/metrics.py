@@ -1,0 +1,255 @@
+"""Metrics registry: named counters, gauges, and histograms with labels.
+
+The registry is the permanent home of every operational counter in the
+engine (the role ``pg_stat_*`` plays for PostgreSQL, whose counters the
+paper's evaluation section relies on to count aborts and watch SIREAD
+footprint).  Design constraints:
+
+* **hot-path cost is one bound-method call**: callers fetch the metric
+  point object once (``c = registry.counter("ssi.aborts", cause="pivot")``)
+  and then only ever call ``c.inc()``, which is a plain attribute
+  increment -- no dict lookup, no label hashing per event;
+* ``snapshot()`` / ``MetricsSnapshot.diff()`` / ``reset()`` let
+  benchmarks report per-phase deltas;
+* ``reset()`` zeroes values *in place* so bound points stay valid;
+* legacy stat blocks (``SSIStats``, ``EngineStats``) are thin attribute
+  views over registry counters (:class:`StatsView`), so code written
+  against ``stats.commits += 1`` keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets: half-decade steps covering ~1us..10s in ns.
+DEFAULT_BUCKETS = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10)
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_key(name: str, labels: LabelSet) -> str:
+    """Render ``name{k=v,...}`` (the key format snapshots use)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter point. ``value`` is directly settable so the
+    thin attribute views can support ``stats.field += 1`` and tests can
+    zero individual counters."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def read(self):
+        return self.value
+
+    def zero(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Point-in-time value. Either set explicitly (``set``) or backed by
+    a callback (``set_function``) evaluated lazily at snapshot time --
+    the zero-hot-path-overhead option for values the engine already
+    tracks (live SIREAD count, buffer misses, WAL length)."""
+
+    __slots__ = ("name", "labels", "value", "fn")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.fn = fn
+
+    def read(self):
+        return self.fn() if self.fn is not None else self.value
+
+    def zero(self) -> None:
+        if self.fn is None:
+            self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style buckets plus count/sum)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def read(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"count": self.count, "sum": self.sum}
+        buckets = {}
+        for bound, n in zip(self.buckets, self.counts):
+            buckets[bound] = n
+        buckets[float("inf")] = self.counts[-1]
+        out["buckets"] = buckets
+        return out
+
+    def zero(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+
+class MetricsSnapshot(dict):
+    """``{formatted key: value}`` at one instant; histograms appear as
+    ``{"count": ..., "sum": ..., "buckets": {...}}`` dicts."""
+
+    def diff(self, before: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Per-phase delta: self - before. Counter and histogram values
+        subtract; keys absent from ``before`` count from zero; gauges
+        (any non-accumulating value) also subtract, which reads as "net
+        change over the phase"."""
+        out = MetricsSnapshot()
+        for key, after in self.items():
+            prev = before.get(key)
+            if isinstance(after, dict):
+                prev = prev or {"count": 0, "sum": 0.0, "buckets": {}}
+                out[key] = {
+                    "count": after["count"] - prev["count"],
+                    "sum": after["sum"] - prev.get("sum", 0.0),
+                    "buckets": {b: n - prev.get("buckets", {}).get(b, 0)
+                                for b, n in after.get("buckets", {}).items()},
+                }
+            else:
+                out[key] = after - (prev or 0)
+        return out
+
+    def nonzero(self) -> "MetricsSnapshot":
+        out = MetricsSnapshot()
+        for key, value in self.items():
+            if isinstance(value, dict):
+                if value.get("count"):
+                    out[key] = value
+            elif value:
+                out[key] = value
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric points keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+
+    # -- point accessors (call once, keep the returned object) ----------
+    def _get(self, cls, name: str, labels: Dict[str, object], **kw):
+        key = (name, _labelset(labels))
+        point = self._metrics.get(key)
+        if point is None:
+            point = cls(name, key[1], **kw)
+            self._metrics[key] = point
+        elif not isinstance(point, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{type(point).__name__}")
+        return point
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- bulk operations -------------------------------------------------
+    def points(self) -> List[object]:
+        return list(self._metrics.values())
+
+    def snapshot(self) -> MetricsSnapshot:
+        snap = MetricsSnapshot()
+        for (name, labels), point in sorted(self._metrics.items()):
+            snap[format_key(name, labels)] = point.read()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every point in place (bound references stay valid).
+        Callback gauges are left alone: they mirror external state."""
+        for point in self._metrics.values():
+            point.zero()
+
+
+class StatsView:
+    """Base for legacy stat blocks re-homed onto the registry.
+
+    Subclasses list their counter fields in ``_FIELDS`` and a metric
+    name prefix in ``_PREFIX``; :func:`install_counter_properties` then
+    attaches a read/write property per field, so the public attribute
+    API (``stats.commits``, ``stats.commits += 1``) is preserved while
+    the values live in registry counters (``engine.commits``).
+    """
+
+    _PREFIX = ""
+    _FIELDS: Tuple[str, ...] = ()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {f: self.registry.counter(self._PREFIX + f)
+                          for f in self._FIELDS}
+
+    def raw(self, field: str) -> Counter:
+        """The bound Counter behind ``field`` (hot-path increments)."""
+        return self._counters[field]
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f: c.value for f, c in self._counters.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{f}={c.value}" for f, c in self._counters.items())
+        return f"{type(self).__name__}({inner})"
+
+
+def install_counter_properties(cls) -> None:
+    """Attach one read/write property per ``_FIELDS`` entry to a
+    StatsView subclass (kept out of the class body so subclasses stay
+    declarative)."""
+    for field in cls._FIELDS:
+        def getter(self, _f=field):
+            return self._counters[_f].value
+
+        def setter(self, value, _f=field):
+            self._counters[_f].value = value
+
+        setattr(cls, field, property(getter, setter))

@@ -1,0 +1,215 @@
+"""Abort post-mortems: reconstruct *why* a transaction failed.
+
+Given a :class:`~repro.errors.SerializationFailure` (now carrying
+structured fields) plus the trace buffer and whatever sxact state is
+still retained, rebuild the dangerous structure
+``T1 -rw-> T2 -rw-> T3`` behind the abort and render a human-readable
+report naming the pivot, the conflicting predicate-lock targets
+(relation / page / tuple / index key), and which commit-ordering rule
+fired.  This answers, after the fact, the question the paper's
+evaluation had to answer with ``pg_stat``-style counters and ad-hoc
+logging: was this abort a true anomaly or a false positive, and which
+reads and writes produced it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AbortCause, SerializationFailure
+
+_RULE_TEXT = {
+    "commit_order": ("commit-ordering rule (section 3.3.1): T3 was the "
+                     "first of the three to commit"),
+    "ro_snapshot": ("read-only rule (Theorem 3 / section 4.1): T1 is read-"
+                    "only and T3 committed before T1 took its snapshot"),
+    "basic": "basic SSI rule: pivot with both in- and out-edges "
+             "(commit-ordering optimization disabled)",
+    "flags": "flag-tracking ablation: both conflict bits set on the pivot",
+}
+
+_CAUSE_TEXT = {
+    AbortCause.PIVOT: "aborted on the spot as the pivot of a dangerous "
+                      "structure",
+    AbortCause.UNABORTABLE: "had to abort itself: every other participant "
+                            "already committed or prepared",
+    AbortCause.DOOMED_AT_OP: "was marked DOOMED by another session and "
+                             "failed at its next operation",
+    AbortCause.DOOMED_AT_COMMIT: "was marked DOOMED by another session and "
+                                 "failed at commit",
+    AbortCause.UPDATE_CONFLICT: "lost a first-updater-wins write/write "
+                                "conflict (snapshot isolation rule, not a "
+                                "dangerous structure)",
+}
+
+
+@dataclass
+class RWEdge:
+    """One rw-antidependency edge reader -rw-> writer, with the
+    predicate-lock target that witnessed it (when traced)."""
+
+    reader_xid: int
+    writer_xid: int
+    site: Optional[tuple] = None
+    site_desc: str = "unknown target"
+    trace_seq: Optional[int] = None
+
+    def describe(self) -> str:
+        where = f" on {self.site_desc}" if self.site is not None else ""
+        ref = f"  [trace #{self.trace_seq}]" if self.trace_seq else ""
+        return (f"T{{{self.reader_xid}}} -rw-> T{{{self.writer_xid}}}"
+                f"{where}{ref}")
+
+
+@dataclass
+class PostMortem:
+    """Everything recoverable about one serialization failure."""
+
+    cause: Optional[AbortCause]
+    rule: Optional[str]
+    pivot_xid: Optional[int]
+    t1_xid: Optional[int]
+    t3_xid: Optional[int]
+    t3_commit_seq: Optional[float]
+    message: str
+    #: Edges into the pivot (T1 -rw-> pivot) seen in the trace.
+    in_edges: List[RWEdge] = field(default_factory=list)
+    #: Edges out of the pivot (pivot -rw-> T3) seen in the trace.
+    out_edges: List[RWEdge] = field(default_factory=list)
+    #: Trace events involving the pivot, oldest first (dicts).
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- derived ---------------------------------------------------------
+    @property
+    def structure(self) -> str:
+        t1 = f"T{{{self.t1_xid}}}" if self.t1_xid is not None else "T1(summary)"
+        t3 = (f"T{{{self.t3_xid}}}" if self.t3_xid is not None
+              else f"T3(commit_seq={self.t3_commit_seq})")
+        pivot = (f"T{{{self.pivot_xid}}}" if self.pivot_xid is not None
+                 else "T2(?)")
+        return f"{t1} -rw-> {pivot} -rw-> {t3}"
+
+    def render(self) -> str:
+        lines = ["serialization failure post-mortem",
+                 "=" * 33]
+        cause_val = self.cause.value if self.cause else "unknown"
+        lines.append(f"cause: {cause_val}")
+        if self.cause in _CAUSE_TEXT and self.pivot_xid is not None:
+            lines.append(f"  transaction {self.pivot_xid} "
+                         f"{_CAUSE_TEXT[self.cause]}")
+        if self.cause is not AbortCause.UPDATE_CONFLICT:
+            lines.append(f"dangerous structure: {self.structure}")
+            if self.pivot_xid is not None:
+                lines.append(f"  pivot: transaction {self.pivot_xid}")
+            if self.t1_xid == self.t3_xid and self.t1_xid is not None:
+                lines.append("  (T1 and T3 are the same transaction: a "
+                             "two-transaction write-skew cycle)")
+            if self.rule:
+                lines.append(f"rule fired: "
+                             f"{_RULE_TEXT.get(self.rule, self.rule)}")
+            if self.in_edges:
+                lines.append("rw-antidependencies into the pivot:")
+                for edge in self.in_edges:
+                    lines.append(f"  {edge.describe()}")
+            if self.out_edges:
+                lines.append("rw-antidependencies out of the pivot:")
+                for edge in self.out_edges:
+                    lines.append(f"  {edge.describe()}")
+            if not self.in_edges and not self.out_edges:
+                lines.append("(no rw-conflict trace events retained: "
+                             "enable ObsConfig.trace or raise "
+                             "trace_capacity for edge-level detail)")
+        lines.append(f"error: {self.message}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _oid_names(db) -> Dict[int, str]:
+    """Map relation and index oids to human-readable names."""
+    names: Dict[int, str] = {}
+    if db is None:
+        return names
+    for name, rel in db.relations().items():
+        names[rel.oid] = name
+        for index in rel.indexes.values():
+            names[index.oid] = index.name
+    return names
+
+
+def describe_target(target: Optional[tuple],
+                    names: Optional[Dict[int, str]] = None) -> str:
+    """Render a predicate-lock target (repro.ssi.targets) readably."""
+    if target is None:
+        return "unknown target"
+    names = names or {}
+    target = tuple(target)
+    kind = target[0]
+    oid = target[1] if len(target) > 1 else None
+    name = names.get(oid, f"oid {oid}")
+    if kind == "r":
+        return f"relation {name}"
+    if kind == "p":
+        return f"page {target[2]} of {name}"
+    if kind == "t":
+        return f"tuple ({target[2]},{target[3]}) of {name}"
+    if kind == "ir":
+        return f"index {name}"
+    if kind == "ip":
+        return f"index page {target[2]} of {name}"
+    if kind == "ik":
+        return f"index key {target[2]!r} of {name}"
+    if kind == "ik+":
+        return f"+infinity gap of index {name}"
+    return repr(target)
+
+
+def explain_failure(db, exc: SerializationFailure) -> PostMortem:
+    """Build a :class:`PostMortem` for ``exc`` from the database's
+    trace buffer and retained SSI state.
+
+    Works with tracing disabled too -- the structured error fields
+    alone name the structure -- but edge sites and the timeline need
+    ``ObsConfig(enabled=True, trace=True)``.
+    """
+    pm = PostMortem(
+        cause=getattr(exc, "cause", None),
+        rule=getattr(exc, "rule", None),
+        pivot_xid=getattr(exc, "pivot_xid", None),
+        t1_xid=getattr(exc, "t1_xid", None),
+        t3_xid=getattr(exc, "t3_xid", None),
+        t3_commit_seq=getattr(exc, "t3_commit_seq", None),
+        message=str(exc),
+    )
+    tracer = getattr(getattr(db, "obs", None), "tracer", None)
+    if tracer is None or pm.pivot_xid is None:
+        return pm
+    names = _oid_names(db)
+    seen = set()
+    for ev in tracer.events(kind="rw.conflict"):
+        reader = ev.data.get("reader_xid")
+        writer = ev.data.get("writer_xid")
+        if pm.pivot_xid not in (reader, writer):
+            continue
+        site = ev.data.get("site")
+        key = (reader, writer, site)
+        if key in seen:
+            continue
+        seen.add(key)
+        edge = RWEdge(reader_xid=reader, writer_xid=writer, site=site,
+                      site_desc=describe_target(site, names),
+                      trace_seq=ev.seq)
+        if writer == pm.pivot_xid:
+            pm.in_edges.append(edge)
+        else:
+            pm.out_edges.append(edge)
+    # Resolve T3 by commit sequence if only the number survived.
+    if pm.t3_xid is None and pm.t3_commit_seq is not None:
+        for ev in tracer.events(kind="txn.commit"):
+            if ev.data.get("commit_seq") == pm.t3_commit_seq:
+                pm.t3_xid = ev.xid
+                break
+    pm.timeline = [ev.to_dict() for ev in tracer.events(xid=pm.pivot_xid)]
+    return pm

@@ -23,3 +23,9 @@ class CommitRecord:
     xid: int
     changes: List[Change] = field(default_factory=list)
     safe_snapshot_marker: bool = False
+
+    def to_event(self) -> Dict[str, Any]:
+        """Payload shape shared with the ``wal.ship`` trace event
+        (repro.obs.trace), so log-stream dumps and traces line up."""
+        return {"xid": self.xid, "changes": len(self.changes),
+                "safe_snapshot_marker": self.safe_snapshot_marker}

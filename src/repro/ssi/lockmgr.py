@@ -333,6 +333,19 @@ class SIReadLockManager:
         return len(stale)
 
     # -- introspection ----------------------------------------------------------
+    def iter_locks(self):
+        """Public iteration over live SIREAD locks: (target, holder)
+        pairs for real holders, then (target, None, commit_seq) triples
+        rendered as dicts for the summarized dummy holder. Replaces
+        reaching into the private ``_locks``."""
+        for target, holders in self._locks.items():
+            for holder in holders:
+                yield {"target": target, "holder": holder,
+                       "summary_commit_seq": None}
+        for target, seq in self._summary.items():
+            yield {"target": target, "holder": None,
+                   "summary_commit_seq": seq}
+
     def targets_held(self, sx: SerializableXact) -> Set[Target]:
         return set(self._held.get(sx, ()))
 

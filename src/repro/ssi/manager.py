@@ -22,45 +22,49 @@ Implements sections 3-6 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.config import SSIConfig
-from repro.errors import SerializationFailure
+from repro.errors import AbortCause, SerializationFailure
 from repro.mvcc.clog import CommitLog
 from repro.mvcc.snapshot import Snapshot
 from repro.mvcc.visibility import VisibilityResult
+from repro.obs import Observability, StatsView, install_counter_properties
 from repro.ssi.lockmgr import SIReadLockManager
-from repro.ssi.sxact import INFINITE_SEQ, SerializableXact, SummaryPseudoXact
+from repro.ssi.sxact import (INFINITE_SEQ, DoomInfo, SerializableXact,
+                             SummaryPseudoXact)
 from repro.ssi.targets import (heap_write_targets, index_inf_target,
                                index_insert_targets, index_key_target,
-                               index_rel_target)
+                               index_rel_target, tuple_target)
 from repro.storage.tuple import TID
 
 Participant = Union[SerializableXact, SummaryPseudoXact]
 
 
-@dataclass
-class SSIStats:
-    """Counters exposed for benchmarks and tests."""
+class SSIStats(StatsView):
+    """Counters exposed for benchmarks and tests.
 
-    conflicts_flagged: int = 0
-    dangerous_structures: int = 0
-    doomed: int = 0
-    immediate_aborts: int = 0
-    safe_snapshots: int = 0
-    unsafe_snapshots: int = 0
-    summarized: int = 0
-    committed: int = 0
-    aborted: int = 0
+    A thin attribute view over ``ssi.*`` registry counters (repro.obs):
+    the attribute API is unchanged, but snapshots/diffs and the
+    benchmark reporter see the same numbers."""
+
+    _PREFIX = "ssi."
+    _FIELDS = ("conflicts_flagged", "dangerous_structures", "doomed",
+               "immediate_aborts", "safe_snapshots", "unsafe_snapshots",
+               "summarized", "committed", "aborted")
+
+
+install_counter_properties(SSIStats)
 
 
 class SSIManager:
     """Shared SSI state for one database instance."""
 
-    def __init__(self, config: SSIConfig, clog: CommitLog) -> None:
+    def __init__(self, config: SSIConfig, clog: CommitLog,
+                 obs: Optional[Observability] = None) -> None:
         self.config = config
         self.clog = clog
+        self.obs = obs if obs is not None else Observability()
         self.lockmgr = SIReadLockManager(config)
         #: Every live sxact, keyed by each of its xids (top + subs).
         self._by_xid: Dict[int, SerializableXact] = {}
@@ -75,7 +79,12 @@ class SSIManager:
         self._old_serxid: Dict[int, Tuple[float, Optional[float]]] = {}
         self._commit_counter = 0
         self._own_work = 0
-        self.stats = SSIStats()
+        self.stats = SSIStats(self.obs.metrics)
+        self._tracer = self.obs.tracer
+        #: ssi.aborts{cause=...}: serialization failures by cause.
+        self._abort_counters = {
+            cause: self.obs.metrics.counter("ssi.aborts", cause=cause.value)
+            for cause in AbortCause}
 
     # ------------------------------------------------------------------
     # properties
@@ -149,15 +158,57 @@ class SSIManager:
     # ------------------------------------------------------------------
     # doom handling
     # ------------------------------------------------------------------
-    def ensure_not_doomed(self, sx: SerializableXact) -> None:
+    def ensure_not_doomed(self, sx: SerializableXact,
+                          at: str = "statement") -> None:
         """Fail fast if another session's conflict resolution marked us
-        for death (the deferred abort of section 5.4)."""
+        for death (the deferred abort of section 5.4). ``at`` records
+        whether the doom was noticed mid-statement or at commit, which
+        the abort-cause taxonomy distinguishes."""
         if sx.doomed:
-            self.stats.immediate_aborts += 1
-            raise SerializationFailure(
+            cause = (AbortCause.DOOMED_AT_COMMIT if at == "commit"
+                     else AbortCause.DOOMED_AT_OP)
+            info = sx.doom_info
+            self._raise_failure(
                 "could not serialize access due to read/write dependencies "
                 "among transactions (canceled on conflict identified by "
-                "another transaction)", pivot_xid=sx.xid, reason="doomed")
+                "another transaction)", cause=cause, reason="doomed",
+                pivot_xid=(info.pivot_xid if info else sx.xid),
+                t1_xid=(info.t1_xid if info else None),
+                t3_xid=(info.t3_xid if info else None),
+                t3_commit_seq=(info.t3_seq if info else None),
+                rule=(info.rule if info else None))
+
+    def _raise_failure(self, message: str, *, cause: AbortCause,
+                       reason: str, pivot_xid: Optional[int] = None,
+                       t1_xid: Optional[int] = None,
+                       t3_xid: Optional[int] = None,
+                       t3_commit_seq: Optional[float] = None,
+                       rule: Optional[str] = None) -> None:
+        """Raise a structured SerializationFailure, counting it under
+        ``ssi.aborts{cause=...}`` and tracing it."""
+        self.stats.immediate_aborts += 1
+        self._abort_counters[cause].inc()
+        if self._tracer is not None:
+            self._tracer.emit("abort.raise", pivot_xid, cause=cause.value,
+                              rule=rule, t1_xid=t1_xid, t3_xid=t3_xid)
+        raise SerializationFailure(
+            message, pivot_xid=pivot_xid, reason=reason, cause=cause,
+            t1_xid=t1_xid, t3_xid=t3_xid, t3_commit_seq=t3_commit_seq,
+            rule=rule)
+
+    def _xid_for_commit_seq(self, seq: Optional[float]) -> Optional[int]:
+        """Best-effort reverse lookup of a committed transaction by its
+        commit sequence number (the node may already be freed or
+        summarized; precision here is only for error reporting)."""
+        if seq is None or seq == INFINITE_SEQ:
+            return None
+        for sx in self._committed:
+            if sx.cseq == seq:
+                return sx.xid
+        for xid, (cseq, _eo) in self._old_serxid.items():
+            if cseq == seq:
+                return xid
+        return None
 
     # ------------------------------------------------------------------
     # conflict detection: reads (MVCC-based, write happened first)
@@ -175,10 +226,19 @@ class SSIManager:
         if sx is None or sx.ro_safe:
             return
         self.ensure_not_doomed(sx)
+        site = None
+        if self._tracer is not None:
+            site = tuple_target(rel_oid, tup.tid)
+            self._tracer.emit("read.tuple", sx.xid, site=site,
+                              visible=vis.visible)
         if vis.creator_concurrent:
-            self._conflict_out_to_xid(sx, vis.creator_xid)
+            self._conflict_out_to_xid(sx, vis.creator_xid,
+                                      site=site or tuple_target(rel_oid,
+                                                                tup.tid))
         if vis.deleter_concurrent:
-            self._conflict_out_to_xid(sx, vis.deleter_xid)
+            self._conflict_out_to_xid(sx, vis.deleter_xid,
+                                      site=site or tuple_target(rel_oid,
+                                                                tup.tid))
         if vis.visible:
             self.lockmgr.acquire_tuple(sx, rel_oid, tup.tid)
 
@@ -188,6 +248,8 @@ class SSIManager:
         if sx is None or sx.ro_safe:
             return
         self.ensure_not_doomed(sx)
+        if self._tracer is not None:
+            self._tracer.emit("scan.rel", sx.xid, rel_oid=rel_oid)
         self.lockmgr.acquire_relation(sx, rel_oid)
 
     def on_index_page_read(self, sx: Optional[SerializableXact],
@@ -224,14 +286,15 @@ class SSIManager:
         self.lockmgr.acquire_index_relation(sx, index_oid)
 
     def _conflict_out_to_xid(self, reader: SerializableXact,
-                             writer_xid: int) -> None:
+                             writer_xid: int,
+                             site: Optional[Tuple] = None) -> None:
         """The reader saw MVCC evidence of a concurrent writer."""
         top = self.clog.top_level_of(writer_xid)
         writer = self._by_xid.get(top)
         if writer is reader:
             return
         if writer is not None and not writer.aborted:
-            self._flag_rw_conflict(reader, writer, actor=reader)
+            self._flag_rw_conflict(reader, writer, actor=reader, site=site)
             return
         entry = self._old_serxid.get(top)
         if entry is None:
@@ -268,9 +331,13 @@ class SSIManager:
             return
         self.ensure_not_doomed(sx)
         sx.wrote_data = True
+        if self._tracer is not None:
+            self._tracer.emit("write.tuple", sx.xid,
+                              site=tuple_target(rel_oid, tid))
         holders, summary_seq = self.lockmgr.holders_of(
             heap_write_targets(rel_oid, tid))
-        self._flag_holders(sx, holders, summary_seq)
+        self._flag_holders(sx, holders, summary_seq,
+                           site=tuple_target(rel_oid, tid))
         if (self.config.own_write_drops_siread and not in_subxact):
             # Section 7.3: our write lock subsumes our SIREAD lock --
             # but not inside a subtransaction, whose write lock could
@@ -311,15 +378,16 @@ class SSIManager:
             targets = index_insert_targets(index_oid,
                                            insert_result.leaf_pages)
         holders, summary_seq = self.lockmgr.holders_of(targets)
-        self._flag_holders(sx, holders, summary_seq)
+        self._flag_holders(sx, holders, summary_seq, site=targets[-1])
 
     def _flag_holders(self, writer: SerializableXact,
                       holders: Set[SerializableXact],
-                      summary_seq: Optional[float]) -> None:
+                      summary_seq: Optional[float],
+                      site: Optional[Tuple] = None) -> None:
         for holder in holders:
             if holder is writer or holder.aborted:
                 continue
-            self._flag_rw_conflict(holder, writer, actor=writer)
+            self._flag_rw_conflict(holder, writer, actor=writer, site=site)
         if summary_seq is not None:
             # A summarized committed transaction read this data:
             # T_committed -> writer. Keep it as a conservative summary
@@ -336,16 +404,26 @@ class SSIManager:
     # ------------------------------------------------------------------
     def _flag_rw_conflict(self, reader: SerializableXact,
                           writer: SerializableXact,
-                          actor: SerializableXact) -> None:
+                          actor: SerializableXact,
+                          site: Optional[Tuple] = None) -> None:
         """Record the edge reader -rw-> writer and look for dangerous
-        structures it completes."""
+        structures it completes. ``site`` is the predicate-lock target
+        that witnessed the conflict (trace/post-mortem detail only)."""
         if self.config.conflict_tracking == "flags":
+            if self._tracer is not None:
+                self._tracer.emit("rw.conflict", actor.xid,
+                                  reader_xid=reader.xid,
+                                  writer_xid=writer.xid, site=site)
             self._flag_rw_conflict_flags_mode(reader, writer, actor)
             return
         if writer in reader.out_conflicts:
             return
         self._own_work += 1
         self.stats.conflicts_flagged += 1
+        if self._tracer is not None:
+            self._tracer.emit("rw.conflict", actor.xid,
+                              reader_xid=reader.xid, writer_xid=writer.xid,
+                              site=site)
         reader.out_conflicts.add(writer)
         writer.in_conflicts.add(reader)
         if writer.committed:
@@ -379,7 +457,10 @@ class SSIManager:
             if pivot.flag_conflict_in and pivot.flag_conflict_out:
                 self.stats.dangerous_structures += 1
                 other = reader if pivot is writer else writer
-                self._choose_victim(other, pivot, actor)
+                self._choose_victim(other, pivot, actor,
+                                    DoomInfo(t1_xid=None, pivot_xid=pivot.xid,
+                                             t3_xid=None, t3_seq=None,
+                                             rule="flags"))
                 return
 
     def _check_pivot_pair(self, t1: Participant, t2: SerializableXact,
@@ -422,6 +503,7 @@ class SSIManager:
         optimization disabled).
         """
         self._own_work += 1
+        rule = "basic"
         if self.config.commit_ordering_opt:
             # Theorem 1 refinement (section 3.3.1): no anomaly unless
             # T3 committed first. Equal seq covers the T1 == T3
@@ -430,16 +512,29 @@ class SSIManager:
                 return
             if t1.cseq < t3_seq or t2.cseq < t3_seq:
                 return
+            rule = "commit_order"
         if self.config.read_only_opt and t1.is_effectively_read_only():
             # Theorem 3: a read-only T1 is dangerous only if T3
             # committed before T1 took its snapshot.
             if not t3_seq <= t1.snapshot_seq:
                 return
+            rule = "ro_snapshot"
         self.stats.dangerous_structures += 1
-        self._choose_victim(t1, t2, actor)
+        info = DoomInfo(
+            t1_xid=getattr(t1, "xid", None),
+            pivot_xid=getattr(t2, "xid", None),
+            t3_xid=self._xid_for_commit_seq(t3_seq),
+            t3_seq=(t3_seq if t3_seq != INFINITE_SEQ else None),
+            rule=rule)
+        if self._tracer is not None:
+            self._tracer.emit("danger.check", actor.xid,
+                              t1_xid=info.t1_xid, pivot_xid=info.pivot_xid,
+                              t3_xid=info.t3_xid, t3_seq=info.t3_seq,
+                              rule=rule)
+        self._choose_victim(t1, t2, actor, info)
 
     def _choose_victim(self, t1: Participant, t2: Participant,
-                       actor: SerializableXact) -> None:
+                       actor: SerializableXact, info: DoomInfo) -> None:
         """Safe-retry victim selection (section 5.4): prefer the pivot
         T2; never abort committed or prepared transactions; if nothing
         else is abortable, the acting transaction must die."""
@@ -448,25 +543,36 @@ class SSIManager:
                 continue
             if victim.committed or victim.prepared or victim.aborted:
                 continue
-            self._doom(victim, actor)
+            self._doom(victim, actor, info)
             return
-        self.stats.immediate_aborts += 1
-        raise SerializationFailure(
+        self._raise_failure(
             "could not serialize access due to read/write dependencies "
             "among transactions (all other participants already "
-            "committed or prepared)", pivot_xid=actor.xid,
-            reason="pivot unabortable")
+            "committed or prepared)", cause=AbortCause.UNABORTABLE,
+            reason="pivot unabortable",
+            pivot_xid=(info.pivot_xid if info.pivot_xid is not None
+                       else actor.xid),
+            t1_xid=info.t1_xid, t3_xid=info.t3_xid,
+            t3_commit_seq=info.t3_seq, rule=info.rule)
 
-    def _doom(self, victim: SerializableXact,
-              actor: SerializableXact) -> None:
+    def _doom(self, victim: SerializableXact, actor: SerializableXact,
+              info: DoomInfo) -> None:
         if victim is actor:
-            self.stats.immediate_aborts += 1
-            raise SerializationFailure(
+            self._raise_failure(
                 "could not serialize access due to read/write dependencies "
-                "among transactions (pivot)", pivot_xid=victim.xid,
-                reason="pivot")
+                "among transactions (pivot)", cause=AbortCause.PIVOT,
+                reason="pivot",
+                pivot_xid=(info.pivot_xid if info.pivot_xid is not None
+                           else victim.xid),
+                t1_xid=info.t1_xid, t3_xid=info.t3_xid,
+                t3_commit_seq=info.t3_seq, rule=info.rule)
         victim.doomed = True
+        victim.doom_info = info
         self.stats.doomed += 1
+        if self._tracer is not None:
+            self._tracer.emit("doom", victim.xid, by_xid=actor.xid,
+                              t1_xid=info.t1_xid, pivot_xid=info.pivot_xid,
+                              t3_xid=info.t3_xid, rule=info.rule)
 
     # ------------------------------------------------------------------
     # commit / prepare / abort
@@ -481,7 +587,7 @@ class SSIManager:
         prepared it cannot be aborted, and the committing transaction
         itself dies instead (section 7.1).
         """
-        self.ensure_not_doomed(sx)
+        self.ensure_not_doomed(sx, at="commit")
         if self.config.conflict_tracking == "flags":
             return  # flags mode resolves everything at edge time
         for pivot in list(sx.in_conflicts):
@@ -507,7 +613,19 @@ class SSIManager:
                         # positive (Theorem 3).
                         continue
                 self.stats.dangerous_structures += 1
-                self._choose_victim(t1, pivot, actor=sx)
+                # The committing sx is the T3 of this structure: it is
+                # about to be the first of the three to commit.
+                info = DoomInfo(
+                    t1_xid=getattr(t1, "xid", None),
+                    pivot_xid=pivot.xid, t3_xid=sx.xid, t3_seq=None,
+                    rule=("commit_order" if self.config.commit_ordering_opt
+                          else "basic"))
+                if self._tracer is not None:
+                    self._tracer.emit("danger.check", sx.xid,
+                                      t1_xid=info.t1_xid,
+                                      pivot_xid=pivot.xid, t3_xid=sx.xid,
+                                      rule=info.rule)
+                self._choose_victim(t1, pivot, actor=sx, info=info)
                 break  # pivot resolved (doomed); next pivot
 
     def prepare(self, sx: SerializableXact) -> None:
@@ -585,6 +703,8 @@ class SSIManager:
         ro.ro_safe = True
         ro.possible_unsafe_conflicts.clear()
         self.stats.safe_snapshots += 1
+        if self._tracer is not None:
+            self._tracer.emit("ro.safe", ro.xid)
         self.lockmgr.release_all(ro)
         for writer in list(ro.out_conflicts):
             writer.in_conflicts.discard(ro)
@@ -593,6 +713,8 @@ class SSIManager:
     def _mark_ro_unsafe(self, ro: SerializableXact) -> None:
         ro.ro_unsafe = True
         self.stats.unsafe_snapshots += 1
+        if self._tracer is not None:
+            self._tracer.emit("ro.unsafe", ro.xid)
         for writer in ro.possible_unsafe_conflicts:
             writer.watching_ros.discard(ro)
         ro.possible_unsafe_conflicts.clear()
@@ -658,6 +780,8 @@ class SSIManager:
         markers; precision lost here can only add false positives,
         never miss an anomaly."""
         self.stats.summarized += 1
+        if self._tracer is not None:
+            self._tracer.emit("summarize", sx.xid, commit_seq=sx.cseq)
         eo = sx.earliest_out_commit_seq
         entry = (sx.cseq, eo if eo < INFINITE_SEQ else None)
         for xid in sx.all_xids():

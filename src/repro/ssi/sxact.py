@@ -11,12 +11,26 @@ via SSIConfig.conflict_tracking = "flags".
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import NamedTuple, Optional, Set
 
 from repro.mvcc.snapshot import Snapshot
 
 #: Commit sequence number stand-in for "not committed".
 INFINITE_SEQ = float("inf")
+
+
+class DoomInfo(NamedTuple):
+    """The dangerous structure that doomed a transaction, retained so
+    the eventual SerializationFailure (raised at the victim's next
+    operation or commit) can carry structured fields and the
+    post-mortem explainer (repro.obs.postmortem) can name the
+    participants after the fact."""
+
+    t1_xid: Optional[int]       # None when T1 was a summarized xact
+    pivot_xid: Optional[int]
+    t3_xid: Optional[int]       # None when only T3's seq survived
+    t3_seq: Optional[float]
+    rule: Optional[str]         # commit_order | ro_snapshot | basic | flags
 
 
 class SerializableXact:
@@ -29,7 +43,7 @@ class SerializableXact:
         "summary_conflict_out", "commit_seq", "prepared", "committed",
         "aborted", "doomed", "wrote_data", "ro_safe", "ro_unsafe",
         "possible_unsafe_conflicts", "watching_ros", "flag_conflict_in",
-        "flag_conflict_out", "locks_released", "sub_xids",
+        "flag_conflict_out", "locks_released", "sub_xids", "doom_info",
     )
 
     def __init__(self, xid: int, snapshot: Snapshot, snapshot_seq: int,
@@ -69,6 +83,8 @@ class SerializableXact:
         #: transaction must fail at its next operation or commit
         #: (PostgreSQL's SXACT_FLAG_DOOMED; safe-retry rules 5.4).
         self.doomed = False
+        #: Why we were doomed (DoomInfo), for the structured error.
+        self.doom_info: Optional[DoomInfo] = None
         self.wrote_data = False
 
         # -- read-only / safe snapshot state (section 4.2) -------------

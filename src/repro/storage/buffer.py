@@ -20,11 +20,15 @@ class BufferManager:
     """LRU page cache. ``capacity=None`` means everything fits
     (the paper's tmpfs configuration)."""
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(self, capacity: Optional[int] = None, obs=None) -> None:
         self.capacity = capacity
         self._lru: "OrderedDict[PageKey, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Tracer (repro.obs), or None: touch() is the hottest loop in
+        #: the engine, so the only overhead tolerated when tracing is
+        #: off is one ``is not None`` test on the miss path.
+        self._tracer = obs.tracer if obs is not None else None
 
     def touch(self, rel_oid: int, page_no: int) -> bool:
         """Access a page; returns True on a miss (I/O charged)."""
@@ -36,6 +40,9 @@ class BufferManager:
                 return False
             self._lru[key] = None
             self.misses += 1
+            if self._tracer is not None:
+                self._tracer.emit("buf.miss", None, rel_oid=rel_oid,
+                                  page_no=page_no)
             return True
         if key in self._lru:
             self._lru.move_to_end(key)
@@ -45,6 +52,9 @@ class BufferManager:
         if len(self._lru) > self.capacity:
             self._lru.popitem(last=False)
         self.misses += 1
+        if self._tracer is not None:
+            self._tracer.emit("buf.miss", None, rel_oid=rel_oid,
+                              page_no=page_no)
         return True
 
     def reset_stats(self) -> None:

@@ -1,0 +1,220 @@
+"""Abort-cause taxonomy: every way SSI kills a transaction.
+
+Each SerializationFailure now carries structured fields (AbortCause
+enum, the T1/pivot/T3 xids of the dangerous structure, and which
+commit-ordering rule confirmed it) and increments the matching
+``ssi.aborts{cause=...}`` registry counter. One test per cause:
+
+* PIVOT -- the acting transaction completes a dangerous structure it
+  is the pivot of (commit-ordering rule, section 3.3.1);
+* rule == "ro_snapshot" -- a read-only T1 is only dangerous when T3
+  committed before its snapshot (Theorem 3, section 4.1);
+* DOOMED_AT_OP -- marked doomed by another session's commit, noticed
+  at the next statement (safe-retry rules, section 5.4);
+* DOOMED_AT_COMMIT -- same, noticed at COMMIT;
+* UPDATE_CONFLICT -- first-updater-wins under snapshot semantics.
+
+Plus the post-mortem explainer reconstructing the write-skew structure
+from the trace.
+"""
+
+import pytest
+
+from repro.config import EngineConfig, ObsConfig, SSIConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import AbortCause, SerializationFailure
+from repro.obs import explain_failure
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def doctors_db(obs: bool = False, **ssi_kwargs) -> Database:
+    cfg = EngineConfig(ssi=SSIConfig(**ssi_kwargs))
+    if obs:
+        cfg.obs = ObsConfig(enabled=True, trace=True)
+    db = Database(cfg)
+    db.create_table("doctors", ["name", "oncall"], key="name")
+    s = db.session()
+    s.insert("doctors", {"name": "alice", "oncall": True})
+    s.insert("doctors", {"name": "bob", "oncall": True})
+    return db
+
+
+def abort_count(db: Database, cause: AbortCause) -> int:
+    return db.obs.metrics.counter("ssi.aborts", cause=cause.value).value
+
+
+def write_skew(db: Database):
+    """Run the Figure 1 interleaving up to (and including) s1's commit,
+    which dooms s2. Returns (s1_xid, s2, s2_xid)."""
+    s1, s2 = db.session(), db.session()
+    s1.begin(SER)
+    s2.begin(SER)
+    s1.select("doctors", Eq("oncall", True))
+    s2.select("doctors", Eq("oncall", True))
+    s1.update("doctors", Eq("name", "alice"), {"oncall": False})
+    s2.update("doctors", Eq("name", "bob"), {"oncall": False})
+    x1, x2 = s1.txn.xid, s2.txn.xid
+    assert s1.commit()
+    return x1, s2, x2
+
+
+class TestPivotAbort:
+    def test_pivot_commit_order_rule(self):
+        """T2 completes the structure itself after T3 already committed:
+        aborted on the spot as the pivot, rule = commit_order."""
+        db = doctors_db()
+        s1, s2, s3 = db.session(), db.session(), db.session()
+        s2.begin(SER)
+        s2.select("doctors", Eq("name", "bob"))        # T2 reads bob
+        s3.begin(SER)
+        x3 = s3.txn.xid
+        s3.update("doctors", Eq("name", "bob"), {"oncall": False})
+        assert s3.commit()                             # T3 commits first
+        s1.begin(SER)
+        x1 = s1.txn.xid
+        s1.select("doctors", Eq("name", "alice"))      # T1 reads alice
+        s2txn = s2.txn
+        with pytest.raises(SerializationFailure) as ei:
+            # T2's write flags T1 -rw-> T2, completing T1 -> T2 -> T3
+            # with T3 committed first: T2 is the pivot and the actor.
+            s2.update("doctors", Eq("name", "alice"), {"oncall": False})
+        exc = ei.value
+        assert exc.cause is AbortCause.PIVOT
+        assert exc.rule == "commit_order"
+        assert exc.pivot_xid == s2txn.xid
+        assert exc.t1_xid == x1
+        assert exc.t3_xid == x3
+        assert abort_count(db, AbortCause.PIVOT) == 1
+        s2.rollback()
+        s1.commit()
+
+    def test_read_only_theorem3_rule(self):
+        """A declared READ ONLY T1 only participates when T3 committed
+        before T1's snapshot (Theorem 3): rule = ro_snapshot."""
+        db = doctors_db()
+        s1, s2, s3 = db.session(), db.session(), db.session()
+        s2.begin(SER)
+        s2.select("doctors", Eq("name", "alice"))      # pivot reads alice
+        s2.update("doctors", Eq("name", "bob"), {"oncall": False})
+        x2 = s2.txn.xid
+        s3.begin(SER)
+        x3 = s3.txn.xid
+        s3.update("doctors", Eq("name", "alice"), {"oncall": False})
+        assert s3.commit()                             # T3 commits first
+        s1.begin(SER, read_only=True)                  # snapshot after T3
+        x1 = s1.txn.xid
+        assert s2.commit()                             # pivot commits second
+        with pytest.raises(SerializationFailure) as ei:
+            # T1 reads bob under a snapshot that misses T2's write:
+            # T1 -rw-> T2 -rw-> T3 with T3 < T1's snapshot, and both
+            # other participants committed, so T1 itself must die.
+            s1.select("doctors", Eq("name", "bob"))
+        exc = ei.value
+        assert exc.rule == "ro_snapshot"
+        assert exc.pivot_xid == x2
+        assert exc.t1_xid == x1
+        # T3's node may already be freed (best-effort xid lookup), but
+        # its commit sequence number always survives.
+        assert exc.t3_xid in (x3, None)
+        assert exc.t3_commit_seq is not None
+        assert exc.cause in (AbortCause.PIVOT, AbortCause.UNABORTABLE)
+        s1.rollback()
+
+    def test_read_only_snapshot_before_t3_is_safe(self):
+        """Same shape, but T1's snapshot predates T3's commit: Theorem 3
+        says no anomaly is possible and nothing aborts."""
+        db = doctors_db()
+        s1, s2, s3 = db.session(), db.session(), db.session()
+        s2.begin(SER)
+        s2.select("doctors", Eq("name", "alice"))
+        s2.update("doctors", Eq("name", "bob"), {"oncall": False})
+        s1.begin(SER, read_only=True)                  # snapshot BEFORE T3
+        s3.begin(SER)
+        s3.update("doctors", Eq("name", "alice"), {"oncall": False})
+        assert s3.commit()
+        assert s2.commit()
+        s1.select("doctors", Eq("name", "bob"))        # no failure
+        assert s1.commit()
+        assert abort_count(db, AbortCause.PIVOT) == 0
+        assert abort_count(db, AbortCause.UNABORTABLE) == 0
+
+
+class TestDoomedAborts:
+    def test_doomed_at_next_operation(self):
+        db = doctors_db()
+        x1, s2, x2 = write_skew(db)
+        with pytest.raises(SerializationFailure) as ei:
+            s2.select("doctors", Eq("name", "alice"))
+        exc = ei.value
+        assert exc.cause is AbortCause.DOOMED_AT_OP
+        assert exc.rule == "commit_order"
+        assert exc.pivot_xid == x2
+        assert exc.t3_xid == x1
+        assert abort_count(db, AbortCause.DOOMED_AT_OP) == 1
+        assert abort_count(db, AbortCause.DOOMED_AT_COMMIT) == 0
+        s2.rollback()
+
+    def test_doomed_at_commit(self):
+        db = doctors_db()
+        x1, s2, x2 = write_skew(db)
+        with pytest.raises(SerializationFailure) as ei:
+            s2.commit()
+        exc = ei.value
+        assert exc.cause is AbortCause.DOOMED_AT_COMMIT
+        assert exc.rule == "commit_order"
+        assert exc.pivot_xid == x2
+        assert exc.t1_xid == x1
+        assert exc.t3_xid == x1
+        assert abort_count(db, AbortCause.DOOMED_AT_COMMIT) == 1
+        assert abort_count(db, AbortCause.DOOMED_AT_OP) == 0
+
+
+class TestUpdateConflict:
+    def test_first_updater_wins_cause(self):
+        db = doctors_db()
+        s1, s2 = db.session(), db.session()
+        s1.begin(IsolationLevel.REPEATABLE_READ)
+        s2.begin(IsolationLevel.REPEATABLE_READ)
+        s1.select("doctors", Eq("name", "alice"))
+        s2.select("doctors", Eq("name", "alice"))
+        s1.update("doctors", Eq("name", "alice"), {"oncall": False})
+        assert s1.commit()
+        with pytest.raises(SerializationFailure) as ei:
+            s2.update("doctors", Eq("name", "alice"), {"oncall": True})
+        assert ei.value.cause is AbortCause.UPDATE_CONFLICT
+        assert abort_count(db, AbortCause.UPDATE_CONFLICT) == 1
+        s2.rollback()
+
+
+class TestPostMortem:
+    def test_write_skew_postmortem_names_pivot_and_edges(self):
+        db = doctors_db(obs=True)
+        x1, s2, x2 = write_skew(db)
+        with pytest.raises(SerializationFailure) as ei:
+            s2.commit()
+        report = explain_failure(db, ei.value)
+        assert report.pivot_xid == x2
+        assert report.t3_xid == x1
+        assert report.rule == "commit_order"
+        # Both rw-antidependency edges, recovered from the trace.
+        assert len(report.in_edges) == 1
+        assert len(report.out_edges) == 1
+        assert report.in_edges[0].reader_xid == x1
+        assert report.in_edges[0].writer_xid == x2
+        assert report.out_edges[0].reader_xid == x2
+        assert report.out_edges[0].writer_xid == x1
+        text = report.render()
+        assert f"pivot: transaction {x2}" in text
+        assert "doctors" in text
+        assert "-rw->" in text
+
+    def test_postmortem_without_trace_still_names_structure(self):
+        db = doctors_db()  # metrics only, no tracer
+        x1, s2, x2 = write_skew(db)
+        with pytest.raises(SerializationFailure) as ei:
+            s2.commit()
+        report = explain_failure(db, ei.value)
+        assert report.pivot_xid == x2
+        assert report.in_edges == [] and report.out_edges == []
+        assert "pivot" in report.render()
