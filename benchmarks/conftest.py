@@ -28,12 +28,17 @@ _METRIC_DELTAS: Dict[tuple, object] = {}
 
 
 def _config(series: str, disk_bound: bool = False) -> EngineConfig:
+    # The figure benchmarks compare *simulated* mechanism costs, so the
+    # SIREAD fast paths are pinned off: they skip exactly the per-read
+    # bookkeeping work these series exist to measure (wall-clock effect
+    # of the fast paths is benchmarks/perf/run.py's job instead).
     if series == "SSI (no r/o opt.)":
-        ssi = SSIConfig(read_only_opt=False, safe_snapshots=False)
+        ssi = SSIConfig(read_only_opt=False, safe_snapshots=False,
+                        siread_fast_path=False)
     elif series == "SSI (flags)":
-        ssi = SSIConfig(conflict_tracking="flags")
+        ssi = SSIConfig(conflict_tracking="flags", siread_fast_path=False)
     else:
-        ssi = SSIConfig()
+        ssi = SSIConfig(siread_fast_path=False)
     if disk_bound:
         cfg = EngineConfig.disk_bound(io_miss=10.0, buffer_pages=96, ssi=ssi)
     else:
@@ -94,6 +99,17 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
             if isinstance(value, dict):
                 value = f"count={value['count']} sum={value['sum']:.3g}"
             terminalreporter.write_line(f"    {key} = {value}")
+    fastpath = {(label, series): {k: v for k, v in delta.items()
+                                  if k.startswith("perf.")}
+                for (label, series), delta in _METRIC_DELTAS.items()}
+    if any(fastpath.values()):
+        terminalreporter.section("fast-path counters (perf.*)")
+        for (label, series), counters in fastpath.items():
+            if not counters:
+                continue
+            summary = "  ".join(f"{k.removeprefix('perf.')}={v}"
+                                for k, v in sorted(counters.items()))
+            terminalreporter.write_line(f"{label} [{series}]  {summary}")
 
 
 def normalized(results: Dict[str, object],

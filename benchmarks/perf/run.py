@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Wall-clock microbenchmarks for the performance layer.
+
+Dependency-free (stdlib only): each benchmark runs the same work twice,
+once with every fast path enabled (hint bits, visibility map, FSM,
+SIREAD fast paths -- the defaults) and once with all of them off (the
+seed code paths), under both SI (REPEATABLE READ) and SSI
+(SERIALIZABLE), and reports wall seconds plus the speedup. Results are
+written as JSON to BENCH_PERF.json at the repo root.
+
+Unlike benchmarks/ (which measures *simulated* cost-model ticks), this
+suite measures real Python wall time: the fast paths do not change
+simulated outcomes, they make the interpreter do less work per tuple.
+
+Usage:
+    python benchmarks/perf/run.py [--quick] [-o OUTPUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.config import EngineConfig, PerfConfig, SSIConfig  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.engine.isolation import IsolationLevel  # noqa: E402
+from repro.engine.predicate import Eq  # noqa: E402
+from repro.workloads.base import run_workload  # noqa: E402
+from repro.workloads.dbt2pp import DBT2PP  # noqa: E402
+from repro.workloads.sibench import SIBench  # noqa: E402
+
+ISOLATION = {
+    "SI": IsolationLevel.REPEATABLE_READ,
+    "SSI": IsolationLevel.SERIALIZABLE,
+}
+
+
+def make_config(fast: bool) -> EngineConfig:
+    """All fast paths on (the defaults) or all off (seed behaviour)."""
+    return EngineConfig(
+        perf=PerfConfig(hint_bits=fast, visibility_map=fast, fsm=fast),
+        ssi=SSIConfig(siread_fast_path=fast))
+
+
+def _perf_counters(db: Database) -> dict:
+    """The perf.* fast-path hit counters accumulated by one run."""
+    snap = db.obs.metrics.snapshot().nonzero()
+    return {k: v for k, v in snap.items() if k.startswith("perf.")}
+
+
+# ----------------------------------------------------------------------
+# benchmark 1: CLOG-heavy repeated sequential scan
+# ----------------------------------------------------------------------
+def repeated_seq_scan(isolation: IsolationLevel, fast: bool, *,
+                      rows: int, repeats: int) -> dict:
+    """Load ``rows`` rows, each committed by its own transaction (so
+    every tuple has a distinct xid and the unhinted path pays a commit
+    log lookup per tuple per scan), VACUUM once, then time ``repeats``
+    full sequential scans. The predicate matches nothing and the value
+    column has no index, so each scan walks every tuple."""
+    db = Database(make_config(fast))
+    db.create_table("t", ["k", "v"])
+    session = db.session()
+    for k in range(rows):
+        session.begin(isolation)
+        session.insert("t", {"k": k, "v": k})
+        session.commit()
+    db.vacuum()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        session.begin(isolation)
+        session.select("t", Eq("v", -1))
+        session.commit()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "rows": rows, "repeats": repeats,
+            "tuples_scanned": rows * repeats,
+            "perf_counters": _perf_counters(db)}
+
+
+# ----------------------------------------------------------------------
+# benchmark 2: insert churn (FSM / free-space reuse)
+# ----------------------------------------------------------------------
+def insert_churn(isolation: IsolationLevel, fast: bool, *,
+                 rows: int, churn_rounds: int) -> dict:
+    """Fill a table, delete every other row (leaving free slots spread
+    over every page), VACUUM, then time rounds of re-inserting and
+    re-deleting that half. Every insert must find a page with room
+    among many partially-full pages -- the FSM's job."""
+    db = Database(make_config(fast))
+    db.create_table("t", ["k", "m"])
+    session = db.session()
+    session.begin(isolation)
+    for k in range(rows):
+        session.insert("t", {"k": k, "m": k % 2})
+    session.commit()
+    session.begin(isolation)
+    session.delete("t", Eq("m", 1))
+    session.commit()
+    db.vacuum()
+    start = time.perf_counter()
+    for _ in range(churn_rounds):
+        session.begin(isolation)
+        for k in range(1, rows, 2):
+            session.insert("t", {"k": k, "m": 1})
+        session.commit()
+        session.begin(isolation)
+        session.delete("t", Eq("m", 1))
+        session.commit()
+        db.vacuum()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "rows": rows, "churn_rounds": churn_rounds,
+            "perf_counters": _perf_counters(db)}
+
+
+# ----------------------------------------------------------------------
+# benchmarks 3 & 4: the paper's workloads, wall-clocked
+# ----------------------------------------------------------------------
+def _workload_bench(factory, isolation: IsolationLevel, fast: bool, *,
+                    max_ticks: float, n_clients: int, seed: int = 7) -> dict:
+    db = Database(make_config(fast))
+    start = time.perf_counter()
+    result = run_workload(factory(), isolation=isolation,
+                          n_clients=n_clients, max_ticks=max_ticks,
+                          seed=seed, db=db)
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed,
+            "committed": result.commits,
+            "txns_per_ktick": result.throughput,
+            "perf_counters": _perf_counters(db)}
+
+
+def sibench(isolation: IsolationLevel, fast: bool, *, max_ticks: float,
+            table_size: int) -> dict:
+    return _workload_bench(lambda: SIBench(table_size=table_size),
+                           isolation, fast, max_ticks=max_ticks,
+                           n_clients=4)
+
+
+def dbt2pp(isolation: IsolationLevel, fast: bool, *,
+           max_ticks: float) -> dict:
+    return _workload_bench(lambda: DBT2PP(), isolation, fast,
+                           max_ticks=max_ticks, n_clients=4)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes (CI smoke run)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: BENCH_PERF.json at "
+                             "the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        params = {"scan_rows": 400, "scan_repeats": 30,
+                  "churn_rows": 400, "churn_rounds": 3,
+                  "workload_ticks": 2000.0, "sibench_table": 50}
+    else:
+        params = {"scan_rows": 1500, "scan_repeats": 80,
+                  "churn_rows": 1500, "churn_rounds": 6,
+                  "workload_ticks": 8000.0, "sibench_table": 100}
+
+    benchmarks = {
+        "repeated_seq_scan": lambda iso, fast: repeated_seq_scan(
+            iso, fast, rows=params["scan_rows"],
+            repeats=params["scan_repeats"]),
+        "insert_churn": lambda iso, fast: insert_churn(
+            iso, fast, rows=params["churn_rows"],
+            churn_rounds=params["churn_rounds"]),
+        "sibench": lambda iso, fast: sibench(
+            iso, fast, max_ticks=params["workload_ticks"],
+            table_size=params["sibench_table"]),
+        "dbt2pp": lambda iso, fast: dbt2pp(
+            iso, fast, max_ticks=params["workload_ticks"]),
+    }
+
+    results: dict = {}
+    for name, bench in benchmarks.items():
+        results[name] = {}
+        for series, iso in ISOLATION.items():
+            fast = bench(iso, True)
+            slow = bench(iso, False)
+            entry = {
+                "fast": fast,
+                "slow": slow,
+                "speedup": (slow["seconds"] / fast["seconds"]
+                            if fast["seconds"] else None),
+            }
+            if "txns_per_ktick" in fast:
+                base = slow["txns_per_ktick"]
+                entry["sim_throughput_ratio"] = (
+                    fast["txns_per_ktick"] / base if base else None)
+            results[name][series] = entry
+            print(f"{name:>18} [{series:>3}]  fast {fast['seconds']:8.3f}s  "
+                  f"slow {slow['seconds']:8.3f}s  "
+                  f"speedup {entry['speedup']:.2f}x")
+
+    out = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "params": params,
+            "series": list(ISOLATION),
+        },
+        "benchmarks": results,
+    }
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, os.pardir)
+    path = args.output or os.path.join(repo_root, "BENCH_PERF.json")
+    with open(path, "w") as fh:
+        json.dump(out, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

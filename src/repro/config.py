@@ -66,6 +66,47 @@ class SSIConfig:
     #: benchmark.
     conflict_tracking: str = "full"
 
+    # Read fast paths (performance layer; see DESIGN.md) ----------------
+    #: Skip SIREAD acquisition and rw-conflict bookkeeping for a tuple
+    #: read already covered by a page- or relation-granularity SIREAD
+    #: lock this transaction holds, and memoize the MVCC conflict-out
+    #: check per (reader, writer xid) pair. Both are pure shortcuts:
+    #: the covered acquisition would be a no-op and the repeated
+    #: conflict-out check would hit the existing-edge early return.
+    #: Automatically disabled while event tracing is active so traces
+    #: stay complete.
+    siread_fast_path: bool = True
+
+
+@dataclass
+class PerfConfig:
+    """Storage/MVCC fast-path toggles (the performance layer).
+
+    Each mechanism mirrors a PostgreSQL counterpart (see DESIGN.md,
+    "Performance layer") and is individually toggleable so the
+    ablation benchmarks can quantify it. All default on; with every
+    toggle off the engine takes exactly the seed code paths.
+    """
+
+    #: Infomask hint bits (HEAP_XMIN_COMMITTED & co.): cache the commit
+    #: log's verdict on a tuple's xmin/xmax in the tuple header the
+    #: first time it is looked up, so repeat visibility checks skip the
+    #: CLOG entirely. Bits are only ever set to a *final* status, so
+    #: they can never disagree with the commit log.
+    hint_bits: bool = True
+    #: Per-relation visibility map: one all-visible bit per heap page,
+    #: set by VACUUM when every remaining tuple on the page is visible
+    #: to every current and future snapshot, cleared by any write to
+    #: the page. Scans skip per-tuple visibility checks (and, under a
+    #: covering relation SIREAD lock, per-tuple SSI bookkeeping) on
+    #: all-visible pages.
+    visibility_map: bool = True
+    #: Free-space map: track pages with vacuumed slots in a min-heap so
+    #: Heap inserts find the lowest page with room in O(1) instead of
+    #: scanning. Off, inserts fall back to a linear probe that starts
+    #: at a lowest-page-with-room hint (never a full rescan).
+    fsm: bool = True
+
 
 @dataclass
 class ObsConfig:
@@ -149,6 +190,8 @@ class EngineConfig:
 
     ssi: SSIConfig = field(default_factory=SSIConfig)
     cost: CostModel = field(default_factory=CostModel)
+    #: Storage/MVCC fast paths (hint bits, visibility map, FSM).
+    perf: PerfConfig = field(default_factory=PerfConfig)
     #: Observability (metrics always on; tracing behind obs.enabled).
     obs: ObsConfig = field(default_factory=ObsConfig)
     #: Tuples per heap page; small pages make page-granularity locking

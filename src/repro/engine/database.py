@@ -59,6 +59,11 @@ class Database:
         self.ssi = SSIManager(self.config.ssi, self.clog, obs=self.obs)
         self.buffer = BufferManager(self.config.buffer_pages, obs=self.obs)
         self.stats = EngineStats(self.obs.metrics)
+        #: Performance-layer toggles and counters (config.perf).
+        self.use_hint_bits = self.config.perf.hint_bits
+        self.use_vismap = self.config.perf.visibility_map
+        self.hint_counter = self.obs.metrics.counter("perf.hint_hits")
+        self.vismap_counter = self.obs.metrics.counter("perf.vismap_skips")
         self.executor = Executor(self)
         self._relations: Dict[str, Relation] = {}
         self._next_oid = 1
@@ -112,7 +117,9 @@ class Database:
         if name in self._relations:
             raise DuplicateTableError(f"relation {name!r} already exists")
         rel = Relation(self._alloc_oid(), name, columns,
-                       self.config.heap_page_size)
+                       self.config.heap_page_size,
+                       use_fsm=self.config.perf.fsm,
+                       track_all_visible=self.config.perf.visibility_map)
         self._relations[name] = rel
         if key is not None:
             self.create_index(name, key, name=f"{name}_pkey", unique=True)
@@ -382,7 +389,9 @@ class Database:
         rels = ([self.relation(table)] if table
                 else list(self._relations.values()))
         for rel in rels:
-            removed = rel.heap.vacuum(horizon, self.clog)
+            removed = rel.heap.vacuum(horizon, self.clog,
+                                      use_hints=self.use_hint_bits,
+                                      hint_counter=self.hint_counter)
             removed_total += len(removed)
             for tup in removed:
                 for index in rel.indexes.values():

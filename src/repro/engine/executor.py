@@ -33,7 +33,7 @@ from repro.errors import (AbortCause, ReadOnlyTransactionError,
                           SerializationFailure, UndefinedColumnError,
                           UniqueViolationError)
 from repro.locks.modes import LockMode
-from repro.mvcc.visibility import tuple_visibility
+from repro.mvcc.visibility import ALL_VISIBLE, tuple_visibility
 from repro.mvcc.xid import INVALID_XID
 from repro.storage.relation import Relation
 from repro.storage.tuple import HeapTuple
@@ -110,6 +110,15 @@ class Executor:
         sx = txn.sxact
         out: List[HeapTuple] = []
         yield_pages = max(1, db.config.scan_yield_pages)
+        snapshot = txn.snapshot
+        view = txn.view()
+        clog = db.clog
+        use_hints = db.use_hint_bits
+        hint_counter = db.hint_counter
+        # The visibility-map shortcuts are disabled while a tracer is
+        # installed so per-tuple read events keep appearing in traces.
+        use_vm = db.use_vismap and db.obs.tracer is None
+        vismap = rel.heap.vismap
         index, rng = self._plan_index(rel, pred)
         if index is not None:
             if rng.is_equality:
@@ -138,7 +147,15 @@ class Executor:
                     continue
                 self._touch(rel.oid, tid.page)
                 db.stats.tuples_read += 1
-                vis = tuple_visibility(tup, txn.snapshot, txn.view(), db.clog)
+                if use_vm and vismap.is_all_visible(tid.page):
+                    # All-visible page: no visibility check needed. The
+                    # tuple SIREAD lock is still needed (no coarse lock
+                    # covers an index scan), so SSI still runs.
+                    vis = ALL_VISIBLE
+                    db.vismap_counter.inc()
+                else:
+                    vis = tuple_visibility(tup, snapshot, view, clog,
+                                           use_hints, hint_counter)
                 db.ssi.on_read_tuple(sx, rel.oid, tup, vis)
                 if vis.visible and pred.matches(tup.data):
                     out.append(tup)
@@ -148,10 +165,24 @@ class Executor:
                 if page_no and page_no % yield_pages == 0:
                     yield YIELD
                 self._touch(rel.oid, page.page_no)
+                if use_vm and vismap.is_all_visible(page.page_no):
+                    # All-visible page under a sequential scan: every
+                    # tuple is visible (no MVCC checks), and the
+                    # relation SIREAD lock taken by on_scan_relation
+                    # above already covers every tuple on the page, so
+                    # the per-tuple SSI calls are pure no-ops too.
+                    n = 0
+                    for tup in page.tuples():
+                        n += 1
+                        if pred.matches(tup.data):
+                            out.append(tup)
+                    db.stats.tuples_read += n
+                    db.vismap_counter.inc()
+                    continue
                 for tup in list(page.tuples()):
                     db.stats.tuples_read += 1
-                    vis = tuple_visibility(tup, txn.snapshot, txn.view(),
-                                           db.clog)
+                    vis = tuple_visibility(tup, snapshot, view, clog,
+                                           use_hints, hint_counter)
                     db.ssi.on_read_tuple(sx, rel.oid, tup, vis)
                     if vis.visible and pred.matches(tup.data):
                         out.append(tup)
@@ -444,12 +475,14 @@ class Executor:
             if claimable:
                 if not pred.matches(cur.data):
                     return None  # EvalPlanQual re-check failed
+                rel.heap.vismap.clear(cur.tid.page)
                 cur.set_deleter(txn.current_xid, txn.curcid,
                                 lock_only=lock_only)
                 return cur
             if xmax in txn.all_xids:
                 if effective_lock_only:
                     # Upgrading our own FOR UPDATE lock.
+                    rel.heap.vismap.clear(cur.tid.page)
                     cur.set_deleter(txn.current_xid, txn.curcid,
                                     lock_only=lock_only)
                     return cur
@@ -510,5 +543,6 @@ class Executor:
             if cur.xmax != INVALID_XID and cur.xmax in txn.all_xids \
                     and not cur.xmax_lock_only:
                 return None  # already written by us
+            rel.heap.vismap.clear(cur.tid.page)
             cur.set_deleter(txn.current_xid, txn.curcid, lock_only=lock_only)
             return cur

@@ -15,7 +15,7 @@ from typing import FrozenSet
 from repro.mvcc.clog import CommitLog
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Snapshot:
     """An immutable point-in-time view of the database.
 

@@ -69,6 +69,12 @@ class SIReadLockManager:
         #: locks of summarized committed transactions: target -> newest
         #: holder's commit sequence number.
         self._summary: Dict[Target, float] = {}
+        #: coverage cache for the reader fast path: per holder, the
+        #: relation oids and (rel oid, page) pairs it holds coarse
+        #: (relation/page granularity) heap SIREAD locks on. Kept in
+        #: sync by _add/_remove, so it is exact, not a heuristic.
+        self._cover: Dict[SerializableXact,
+                          Tuple[Set[int], Set[Tuple[int, int]]]] = {}
         #: Work-unit counter consumed by the simulator's cost model.
         self.work_units = 0
         #: High-water mark of the lock table (memory-bounding benches).
@@ -92,10 +98,34 @@ class SIReadLockManager:
     def holds(self, sx: SerializableXact, target: Target) -> bool:
         return target in self._held.get(sx, ())
 
+    def covers_read(self, sx: SerializableXact, rel_oid: int,
+                    page_no: int) -> bool:
+        """Does ``sx`` already hold a relation- or page-granularity
+        SIREAD lock covering ``(rel_oid, page_no)``?
+
+        O(1) via the coverage cache; used by the reader fast path to
+        skip acquire_tuple entirely (which would dedupe-and-return
+        anyway). Deliberately does not touch ``work_units`` -- the whole
+        point is to model the avoided work.
+        """
+        cover = self._cover.get(sx)
+        return cover is not None and (rel_oid in cover[0]
+                                      or (rel_oid, page_no) in cover[1])
+
     def _add(self, sx: SerializableXact, target: Target) -> None:
         self.work_units += 1
         self._locks.setdefault(target, set()).add(sx)
         self._held.setdefault(sx, set()).add(target)
+        kind = target[0]
+        if kind == "r" or kind == "p":
+            cover = self._cover.get(sx)
+            if cover is None:
+                cover = (set(), set())
+                self._cover[sx] = cover
+            if kind == "r":
+                cover[0].add(target[1])
+            else:
+                cover[1].add((target[1], target[2]))
         group = _group_key(target)
         if group is not None:
             self._children.setdefault((sx, group), set()).add(target)
@@ -113,6 +143,16 @@ class SIReadLockManager:
             held.discard(target)
             if not held:
                 self._held.pop(sx, None)
+        kind = target[0]
+        if kind == "r" or kind == "p":
+            cover = self._cover.get(sx)
+            if cover is not None:
+                if kind == "r":
+                    cover[0].discard(target[1])
+                else:
+                    cover[1].discard((target[1], target[2]))
+                if not cover[0] and not cover[1]:
+                    self._cover.pop(sx, None)
         group = _group_key(target)
         if group is not None:
             kids = self._children.get((sx, group))

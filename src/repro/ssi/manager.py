@@ -81,6 +81,14 @@ class SSIManager:
         self._own_work = 0
         self.stats = SSIStats(self.obs.metrics)
         self._tracer = self.obs.tracer
+        #: Reader fast path (SSIConfig.siread_fast_path): disabled while
+        #: a tracer is installed so per-tuple read events keep appearing
+        #: in traces -- the fast path is a pure shortcut either way.
+        self._read_fast_path = (bool(config.siread_fast_path)
+                                and self._tracer is None)
+        self._fastpath_hits = self.obs.metrics.counter(
+            "perf.siread_fastpath_hits")
+        self._memo_hits = self.obs.metrics.counter("perf.conflict_memo_hits")
         #: ssi.aborts{cause=...}: serialization failures by cause.
         self._abort_counters = {
             cause: self.obs.metrics.counter("ssi.aborts", cause=cause.value)
@@ -225,6 +233,17 @@ class SSIManager:
         """
         if sx is None or sx.ro_safe:
             return
+        if (self._read_fast_path and vis.visible
+                and not vis.deleter_concurrent
+                and self.lockmgr.covers_read(sx, rel_oid, tup.tid.page)):
+            # A relation- or page-granularity SIREAD lock we already
+            # hold covers this tuple, and the visibility result carries
+            # no rw-conflict evidence: acquire_tuple would dedupe and
+            # return, and there is no conflict to flag. Skip the whole
+            # call (doom still fails fast, as at any other operation).
+            self.ensure_not_doomed(sx)
+            self._fastpath_hits.inc()
+            return
         self.ensure_not_doomed(sx)
         site = None
         if self._tracer is not None:
@@ -289,6 +308,18 @@ class SSIManager:
                              writer_xid: int,
                              site: Optional[Tuple] = None) -> None:
         """The reader saw MVCC evidence of a concurrent writer."""
+        if self.config.siread_fast_path:
+            # Per-(reader, writer-xid) memo: a repeat sighting of the
+            # same writer xid is a no-op -- a live writer's edge is
+            # already in out_conflicts (the dedupe below), an aborted
+            # writer's evidence vanishes with its tuples, and a
+            # summarized writer's consolidated edge was recorded (and
+            # its pivot checks run) on the first sighting; later commits
+            # re-examine pivots at precommit, not here (section 5.3).
+            if writer_xid in reader.conflict_out_memo:
+                self._memo_hits.inc()
+                return
+            reader.conflict_out_memo.add(writer_xid)
         top = self.clog.top_level_of(writer_xid)
         writer = self._by_xid.get(top)
         if writer is reader:

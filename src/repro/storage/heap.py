@@ -2,20 +2,46 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.mvcc.clog import CommitLog
 from repro.mvcc.visibility import tuple_is_dead
+from repro.mvcc.xid import INVALID_XID
 from repro.storage.page import HeapPage
 from repro.storage.tuple import TID, HeapTuple
+from repro.storage.vismap import VisibilityMap
 
 
 class Heap:
-    """Append-mostly tuple storage with slot reuse after VACUUM."""
+    """Append-mostly tuple storage with slot reuse after VACUUM.
 
-    def __init__(self, page_size: int) -> None:
+    Free space is tracked two ways so ``insert`` never degrades to an
+    O(pages) rescan:
+
+    * with the FSM enabled (default), a min-heap of page numbers that
+      have had a slot vacuumed, popped lazily as pages refill;
+    * with it disabled, a lowest-page-with-room hint that the linear
+      probe starts from (lowered on vacuum, advanced past full pages).
+
+    Both pick the same page -- the lowest-numbered page with room, the
+    original scan order -- so the toggle changes cost, not placement.
+    """
+
+    def __init__(self, page_size: int, *, use_fsm: bool = True,
+                 track_all_visible: bool = True) -> None:
         self.page_size = page_size
         self._pages: List[HeapPage] = []
+        self._use_fsm = use_fsm
+        self._track_vis = track_all_visible
+        #: All-visible page bits (see repro.storage.vismap).
+        self.vismap = VisibilityMap()
+        #: FSM: min-heap + membership set of pages with vacuumed slots.
+        self._free_pages: List[int] = []
+        self._free_set: set = set()
+        #: Non-FSM probe start: no page below this has room (except the
+        #: tail, which is checked separately).
+        self._room_hint = 0
 
     # -- basic access ----------------------------------------------------
     @property
@@ -38,16 +64,35 @@ class Heap:
                         xmin=xid, cmin=cid)
         slot = page.add(tup)
         tup.tid = TID(page.page_no, slot)
+        self.vismap.clear(page.page_no)
         return tup
 
+    def _note_free(self, page_no: int) -> None:
+        """Record that ``page_no`` regained room (a slot was vacuumed)."""
+        if page_no not in self._free_set:
+            self._free_set.add(page_no)
+            heapq.heappush(self._free_pages, page_no)
+        if page_no < self._room_hint:
+            self._room_hint = page_no
+
     def _page_with_room(self) -> HeapPage:
-        # Check the last page first (the common case), then any page
-        # with a vacuumed slot, then extend.
+        # The last page first (the common append case), then the lowest
+        # page with a vacuumed slot, then extend.
         if self._pages and self._pages[-1].has_room():
             return self._pages[-1]
-        for page in self._pages:
-            if page.has_room():
-                return page
+        if self._use_fsm:
+            while self._free_pages:
+                page = self._pages[self._free_pages[0]]
+                if page.has_room():
+                    return page
+                self._free_set.discard(heapq.heappop(self._free_pages))
+        else:
+            n = len(self._pages)
+            while self._room_hint < n:
+                page = self._pages[self._room_hint]
+                if page.has_room():
+                    return page
+                self._room_hint += 1
         page = HeapPage(len(self._pages), self.page_size)
         self._pages.append(page)
         return page
@@ -62,22 +107,49 @@ class Heap:
         yield from self._pages
 
     # -- maintenance ---------------------------------------------------------
-    def vacuum(self, horizon_xmin: int, clog: CommitLog) -> List[HeapTuple]:
+    def vacuum(self, horizon_xmin: int, clog: CommitLog, *,
+               use_hints: bool = False, hint_counter=None) -> List[HeapTuple]:
         """Remove tuple versions no snapshot can see.
 
         Returns the removed tuples (they carry their TID and data) so
         the caller can clean index entries. Tuples are not moved (plain
         VACUUM, not VACUUM FULL), so physical SIREAD lock targets stay
         valid (paper section 5.2.1).
+
+        Also refreshes the visibility map: a page whose every surviving
+        tuple is visible to all current and future snapshots gets its
+        all-visible bit set; any other page has it cleared.
         """
         removed: List[HeapTuple] = []
         for page in self._pages:
             for slot in range(page.capacity):
                 tup = page.get(slot)
-                if tup is not None and tuple_is_dead(tup, horizon_xmin, clog):
+                if tup is not None and tuple_is_dead(
+                        tup, horizon_xmin, clog,
+                        use_hints=use_hints, hint_counter=hint_counter):
                     page.remove(slot)
                     removed.append(tup)
+                    self._note_free(page.page_no)
+            if self._track_vis:
+                if self._page_all_visible(page, horizon_xmin, clog):
+                    self.vismap.set_all_visible(page.page_no)
+                else:
+                    self.vismap.clear(page.page_no)
         return removed
+
+    @staticmethod
+    def _page_all_visible(page: HeapPage, horizon_xmin: int,
+                          clog: CommitLog) -> bool:
+        """Every tuple visible to every current and future snapshot:
+        creator committed below every active snapshot's xmin, and no
+        deleter except an aborted or lock-only one."""
+        for tup in page.tuples():
+            if not (clog.did_commit(tup.xmin) and tup.xmin < horizon_xmin):
+                return False
+            if not (tup.xmax == INVALID_XID or tup.xmax_lock_only
+                    or clog.did_abort(tup.xmax)):
+                return False
+        return True
 
     def rewrite(self, keep) -> "Heap":
         """Physically rewrite the heap (CLUSTER / rewriting ALTER TABLE).
@@ -85,16 +157,22 @@ class Heap:
         ``keep`` is a predicate over tuples selecting versions to copy.
         Tuples move to new TIDs, which is why the engine must promote
         page- and tuple-granularity SIREAD locks on this relation to
-        relation granularity (paper section 5.2.1).
+        relation granularity (paper section 5.2.1). The new heap starts
+        with an empty visibility map (VACUUM rebuilds it).
         """
-        new = Heap(self.page_size)
+        new = Heap(self.page_size, use_fsm=self._use_fsm,
+                   track_all_visible=self._track_vis)
         for tup in self.scan():
             if keep(tup):
                 page = new._page_with_room()
                 moved = HeapTuple(tid=TID(page.page_no, 0), data=tup.data,
                                   xmin=tup.xmin, cmin=tup.cmin,
                                   xmax=tup.xmax, cmax=tup.cmax,
-                                  xmax_lock_only=tup.xmax_lock_only)
+                                  xmax_lock_only=tup.xmax_lock_only,
+                                  xmin_committed=tup.xmin_committed,
+                                  xmin_aborted=tup.xmin_aborted,
+                                  xmax_committed=tup.xmax_committed,
+                                  xmax_aborted=tup.xmax_aborted)
                 slot = page.add(moved)
                 moved.tid = TID(page.page_no, slot)
         return new

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterator, List, Optional
 
 from repro.storage.tuple import HeapTuple
@@ -14,22 +15,31 @@ class HeapPage:
     slots of dead tuples, after which they can host new inserts. Keeping
     pages small (tens of tuples) makes page-granularity SIREAD locks and
     granularity promotion meaningful at laptop scale.
+
+    Freed slots are tracked in a min-heap so ``add`` and ``has_room``
+    are O(1)/O(log n) instead of scanning the slot array; the lowest
+    freed slot is always reused first, preserving the original
+    first-fit placement exactly.
     """
+
+    __slots__ = ("page_no", "capacity", "_slots", "_free")
 
     def __init__(self, page_no: int, capacity: int) -> None:
         self.page_no = page_no
         self.capacity = capacity
         self._slots: List[Optional[HeapTuple]] = []
+        #: Min-heap of vacated slot indexes (each exactly once).
+        self._free: List[int] = []
 
     def has_room(self) -> bool:
-        return len(self._slots) < self.capacity or None in self._slots
+        return bool(self._free) or len(self._slots) < self.capacity
 
     def add(self, tup: HeapTuple) -> int:
-        """Place a tuple in a free slot and return the slot number."""
-        for i, slot in enumerate(self._slots):
-            if slot is None:
-                self._slots[i] = tup
-                return i
+        """Place a tuple in the lowest free slot; return the slot number."""
+        if self._free:
+            slot = heapq.heappop(self._free)
+            self._slots[slot] = tup
+            return slot
         if len(self._slots) >= self.capacity:
             raise ValueError(f"page {self.page_no} is full")
         self._slots.append(tup)
@@ -41,7 +51,9 @@ class HeapPage:
         return None
 
     def remove(self, slot: int) -> None:
-        self._slots[slot] = None
+        if self._slots[slot] is not None:
+            self._slots[slot] = None
+            heapq.heappush(self._free, slot)
 
     def tuples(self) -> Iterator[HeapTuple]:
         for tup in self._slots:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, NamedTuple, Optional
 
 from repro.mvcc.xid import INVALID_XID
@@ -20,7 +20,7 @@ class TID(NamedTuple):
     slot: int
 
 
-@dataclass
+@dataclass(slots=True)
 class HeapTuple:
     """One row version.
 
@@ -29,6 +29,14 @@ class HeapTuple:
     replacing one. ``xmax_lock_only`` marks a FOR UPDATE-style tuple
     lock stored in xmax without deleting the tuple (HEAP_XMAX_LOCK_ONLY).
     ``next_tid`` is the forward ctid chain to the replacing version.
+
+    The four ``*_committed``/``*_aborted`` booleans are infomask hint
+    bits (HEAP_XMIN_COMMITTED & co.): a cache of the commit log's
+    *final* verdict on xmin/xmax, set lazily by visibility checks so
+    repeat scans skip the CLOG. They are advisory only -- a bit is set
+    only once the corresponding status can never change again, so a
+    set bit always agrees with the commit log -- and they are reset
+    whenever xmax is restamped.
     """
 
     tid: TID
@@ -39,11 +47,20 @@ class HeapTuple:
     cmax: int = 0
     xmax_lock_only: bool = False
     next_tid: Optional[TID] = None
+    # -- hint bits (lazily set, CLOG-consistent by construction) --------
+    xmin_committed: bool = False
+    xmin_aborted: bool = False
+    xmax_committed: bool = False
+    xmax_aborted: bool = False
 
     def set_deleter(self, xid: int, cid: int, *, lock_only: bool = False) -> None:
         self.xmax = xid
         self.cmax = cid
         self.xmax_lock_only = lock_only
+        # The new xmax is in progress: any cached verdict on the old
+        # xmax no longer applies.
+        self.xmax_committed = False
+        self.xmax_aborted = False
 
     def clear_deleter(self) -> None:
         """Remove an aborted deleter / released tuple lock."""
@@ -51,3 +68,5 @@ class HeapTuple:
         self.cmax = 0
         self.xmax_lock_only = False
         self.next_tid = None
+        self.xmax_committed = False
+        self.xmax_aborted = False

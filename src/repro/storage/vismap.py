@@ -1,0 +1,45 @@
+"""Per-relation visibility map (PostgreSQL's vm fork).
+
+One all-visible bit per heap page. A set bit asserts that *every*
+tuple on the page is visible to every current and future snapshot:
+its creator committed before the oldest active snapshot's window and
+it has no live or committed deleter. VACUUM is the only setter; every
+write path that touches a page (insert into it, or stamping any
+tuple's xmax) clears its bit first.
+
+Scans use the bit to skip per-tuple visibility checks entirely -- and,
+for a sequential scan whose relation-granularity SIREAD lock already
+covers the page, the per-tuple SSI bookkeeping as well (the analogue
+of an index-only scan's heap-fetch skip).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class VisibilityMap:
+    """All-visible page bits for one heap."""
+
+    __slots__ = ("_all_visible",)
+
+    def __init__(self) -> None:
+        self._all_visible: Set[int] = set()
+
+    def is_all_visible(self, page_no: int) -> bool:
+        return page_no in self._all_visible
+
+    def set_all_visible(self, page_no: int) -> None:
+        self._all_visible.add(page_no)
+
+    def clear(self, page_no: int) -> None:
+        self._all_visible.discard(page_no)
+
+    def clear_all(self) -> None:
+        self._all_visible.clear()
+
+    def all_visible_pages(self) -> Set[int]:
+        return set(self._all_visible)
+
+    def __len__(self) -> int:
+        return len(self._all_visible)
