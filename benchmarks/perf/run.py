@@ -28,6 +28,8 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, os.pardir, "src"))
 
+from repro.analysis import ANALYSIS_VERSION  # noqa: E402
+from repro.analysis.sanitize import ENV_FLAG  # noqa: E402
 from repro.config import EngineConfig, PerfConfig, SSIConfig  # noqa: E402
 from repro.engine.database import Database  # noqa: E402
 from repro.engine.isolation import IsolationLevel  # noqa: E402
@@ -49,6 +51,16 @@ def make_config(fast: bool) -> EngineConfig:
         ssi=SSIConfig(siread_fast_path=fast))
 
 
+def make_db(fast: bool) -> Database:
+    db = Database(make_config(fast))
+    # Sanitizer sweeps are O(heap + lock table) per transaction end and
+    # would silently dominate any wall-clock number.
+    assert db.sanitizers is None, (
+        f"sanitizers are enabled (is {ENV_FLAG} exported?); "
+        f"unset it before benchmarking")
+    return db
+
+
 def _perf_counters(db: Database) -> dict:
     """The perf.* fast-path hit counters accumulated by one run."""
     snap = db.obs.metrics.snapshot().nonzero()
@@ -65,7 +77,7 @@ def repeated_seq_scan(isolation: IsolationLevel, fast: bool, *,
     log lookup per tuple per scan), VACUUM once, then time ``repeats``
     full sequential scans. The predicate matches nothing and the value
     column has no index, so each scan walks every tuple."""
-    db = Database(make_config(fast))
+    db = make_db(fast)
     db.create_table("t", ["k", "v"])
     session = db.session()
     for k in range(rows):
@@ -93,7 +105,7 @@ def insert_churn(isolation: IsolationLevel, fast: bool, *,
     over every page), VACUUM, then time rounds of re-inserting and
     re-deleting that half. Every insert must find a page with room
     among many partially-full pages -- the FSM's job."""
-    db = Database(make_config(fast))
+    db = make_db(fast)
     db.create_table("t", ["k", "m"])
     session = db.session()
     session.begin(isolation)
@@ -124,7 +136,7 @@ def insert_churn(isolation: IsolationLevel, fast: bool, *,
 # ----------------------------------------------------------------------
 def _workload_bench(factory, isolation: IsolationLevel, fast: bool, *,
                     max_ticks: float, n_clients: int, seed: int = 7) -> dict:
-    db = Database(make_config(fast))
+    db = make_db(fast)
     start = time.perf_counter()
     result = run_workload(factory(), isolation=isolation,
                           n_clients=n_clients, max_ticks=max_ticks,
@@ -208,6 +220,8 @@ def main(argv=None) -> int:
     out = {
         "meta": {
             "quick": args.quick,
+            "analysis_version": ANALYSIS_VERSION,
+            "sanitizers": "off (asserted)",
             "python": platform.python_version(),
             "platform": platform.platform(),
             "params": params,

@@ -1,0 +1,114 @@
+"""CLI for the analysis toolchain: ``python -m repro.analysis``.
+
+Subcommands::
+
+    lint [PATH ...]     run the static linter (default: src/repro)
+    rules               print the rule catalog
+    smoke [--ticks T]   sanitizer-enabled SIBENCH smoke run
+
+``lint`` and ``smoke`` exit nonzero on any finding/violation, so both
+can gate CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import ANALYSIS_VERSION
+from repro.analysis.lint import all_rules, lint_paths
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or ["src/repro"]
+    report = lint_paths(paths)
+    if args.json:
+        payload = {
+            "version": ANALYSIS_VERSION,
+            "files_checked": report.files_checked,
+            "findings": [f.to_dict() for f in report.findings],
+            "parse_errors": report.parse_errors,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    print(f"repro.analysis {ANALYSIS_VERSION} — rule catalog\n")
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}")
+        print(f"    {rule.description}")
+        print(f"    fix: {rule.hint}\n")
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Short SIBENCH run with every sanitizer enabled.
+
+    Exercises the real engine under the runtime sanitizers; any
+    invariant breach raises SanitizerViolation and fails the command.
+    """
+    from repro.analysis.sanitize import SanitizerViolation
+    from repro.config import EngineConfig, SanitizerConfig
+    from repro.engine.database import Database
+    from repro.engine.isolation import IsolationLevel
+    from repro.workloads.base import run_workload
+    from repro.workloads.sibench import SIBench
+
+    config = EngineConfig()
+    config.sanitize = SanitizerConfig.all_on()
+    db = Database(config)
+    workload = SIBench(table_size=args.rows)
+    try:
+        result = run_workload(workload,
+                              isolation=IsolationLevel.SERIALIZABLE,
+                              db=db, max_ticks=args.ticks, seed=args.seed)
+    except SanitizerViolation as violation:
+        print("SANITIZER VIOLATION during smoke run:", file=sys.stderr)
+        print(violation.render(), file=sys.stderr)
+        return 1
+    checks = db.sanitizers.stats() if db.sanitizers is not None else {}
+    print(f"smoke ok: SIBENCH under sanitizers "
+          f"(commits={result.commits}, aborts={result.aborts}, "
+          f"checks={checks})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static linter + runtime sanitizers for the repro engine")
+    parser.add_argument("--version", action="version",
+                        version=f"repro.analysis {ANALYSIS_VERSION}")
+    sub = parser.add_subparsers(dest="command")
+
+    lint_p = sub.add_parser("lint", help="run the static invariant linter")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    lint_p.set_defaults(func=_cmd_lint)
+
+    rules_p = sub.add_parser("rules", help="print the rule catalog")
+    rules_p.set_defaults(func=_cmd_rules)
+
+    smoke_p = sub.add_parser(
+        "smoke", help="sanitizer-enabled SIBENCH smoke run")
+    smoke_p.add_argument("--ticks", type=float, default=8_000.0)
+    smoke_p.add_argument("--rows", type=int, default=50)
+    smoke_p.add_argument("--seed", type=int, default=7)
+    smoke_p.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    if not hasattr(args, "func"):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Static invariant linter for the repro engine.
+
+See :mod:`repro.analysis.lint.core` for the pass framework and
+:mod:`repro.analysis.lint.rules` for the repo-specific rule catalog.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.core import (FileContext, Finding, LintReport,
+                                      ProjectIndex, Rule, lint_paths)
+from repro.analysis.lint.rules import all_rules
+
+__all__ = ["FileContext", "Finding", "LintReport", "ProjectIndex", "Rule",
+           "all_rules", "lint_paths"]

@@ -1,0 +1,315 @@
+"""Lint pass framework: files, findings, noqa, and the project index.
+
+The linter is a two-pass stdlib-``ast`` framework:
+
+1. every file on the command line is parsed once into a
+   :class:`FileContext`, and a :class:`ProjectIndex` of cross-file
+   facts (currently: every class's ``__slots__`` declaration) is
+   built, so rules can reason across modules;
+2. each rule visits each file's AST and emits :class:`Finding`\\ s.
+
+Suppression: a finding on line N is dropped when line N carries a
+``# repro: noqa(RULE1,RULE2)`` comment naming the rule (or a bare
+``# repro: noqa`` suppressing every rule). The comment is expected to
+be accompanied by a human rationale; the linter does not enforce that,
+but ``--strict-noqa`` flags bare (rule-less) suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: ``# repro: noqa`` / ``# repro: noqa(CLOG001, DET001)``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\(([^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def render(self, with_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+        if with_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message, "hint": self.hint}
+
+
+@dataclass
+class ClassFacts:
+    """Cross-file facts about one class (for SLOT001)."""
+
+    name: str
+    module: str
+    #: Declared ``__slots__`` names, or None when the class does not
+    #: declare slots (instances get a ``__dict__``).
+    slots: Optional[Set[str]]
+    #: Base-class names as written (terminal identifier of each base).
+    bases: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ProjectIndex:
+    """Facts shared across every linted file."""
+
+    #: class name -> facts. Same-name classes in different modules
+    #: (e.g. two private ``_Node`` helpers) are merged fail-open: their
+    #: slot sets union, so a rule can only under-report on collisions,
+    #: never flag an attribute one of the definitions declares.
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+
+    def record(self, facts: ClassFacts) -> None:
+        prior = self.classes.get(facts.name)
+        if prior is None:
+            self.classes[facts.name] = facts
+            return
+        merged_slots = (None if prior.slots is None or facts.slots is None
+                        else prior.slots | facts.slots)
+        self.classes[facts.name] = ClassFacts(
+            name=facts.name, module=prior.module, slots=merged_slots,
+            bases=list(dict.fromkeys(prior.bases + facts.bases)))
+
+    def slots_closure(self, name: str) -> Optional[Set[str]]:
+        """All attribute names instances of ``name`` may carry, or None
+        when any class on the MRO is unknown or un-slotted (meaning a
+        ``__dict__`` exists and anything goes)."""
+        facts = self.classes.get(name)
+        if facts is None or facts.slots is None:
+            return None
+        allowed = set(facts.slots)
+        for base in facts.bases:
+            if base == "object":
+                continue
+            base_allowed = self.slots_closure(base)
+            if base_allowed is None:
+                return None
+            allowed |= base_allowed
+        return allowed
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus derived lookup tables."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    project: ProjectIndex
+    #: line number -> suppressed rule ids ("*" = all rules).
+    noqa: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def in_engine(self) -> bool:
+        """Is this file part of the engine source tree (``repro.*``)?"""
+        return self.module.startswith("repro")
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.noqa.get(line)
+        return rules is not None and ("*" in rules or rule_id in rules)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` / ``name`` / ``description`` / ``hint`` and
+    implement :meth:`check`. ``hint`` is the generic fix-it text shown
+    with every finding; :meth:`finding` lets a rule override it per
+    site.
+    """
+
+    id: str = "RULE000"
+    name: str = "unnamed"
+    description: str = ""
+    hint: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                hint: Optional[str] = None) -> Finding:
+        return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"parse error: {err}" for err in self.parse_errors)
+        lines.append(f"{len(self.findings)} finding(s) in "
+                     f"{self.files_checked} file(s)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# file discovery and parsing
+# ----------------------------------------------------------------------
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name from a file path: anything under
+    a ``repro`` package root maps to ``repro.x.y``; tests map to
+    ``tests.x``; everything else gets its bare stem."""
+    norm = os.path.normpath(os.path.abspath(path))
+    parts = norm.split(os.sep)
+    stem = os.path.splitext(parts[-1])[0]
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            rel = parts[parts.index(anchor):-1] + [stem]
+            if stem == "__init__":
+                rel = rel[:-1]
+            return ".".join(rel)
+    return stem
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if d not in ("__pycache__", ".git"))
+            for fname in sorted(files):
+                if fname.endswith(".py"):
+                    yield os.path.join(root, fname)
+
+
+def _noqa_map(source: str) -> Dict[int, Set[str]]:
+    noqa: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group(1)
+        if rules is None:
+            noqa[lineno] = {"*"}
+        else:
+            noqa[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return noqa
+
+
+def _class_facts(module: str, node: ast.ClassDef) -> ClassFacts:
+    slots: Optional[Set[str]] = None
+    for stmt in node.body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__slots__"):
+            slots = set()
+            value = stmt.value
+            elts = value.elts if isinstance(value, (ast.Tuple, ast.List)) \
+                else [value]
+            for elt in elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    slots.add(elt.value)
+                else:
+                    slots = None  # dynamic slots: fail open
+                    break
+            break
+    if slots is None and _is_slotted_dataclass(node):
+        # @dataclass(slots=True): the synthesized __slots__ holds the
+        # annotated field names.
+        slots = {stmt.target.id for stmt in node.body
+                 if isinstance(stmt, ast.AnnAssign)
+                 and isinstance(stmt.target, ast.Name)}
+    bases = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            bases.append(base.attr)
+        else:
+            bases.append("?")  # unknown base: closure fails open
+    return ClassFacts(name=node.name, module=module, slots=slots, bases=bases)
+
+
+def _is_slotted_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if (isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Name)
+                and deco.func.id == "dataclass"):
+            for kw in deco.keywords:
+                if (kw.arg == "slots" and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True):
+                    return True
+    return False
+
+
+def build_contexts(paths: Sequence[str]) -> "tuple[List[FileContext], List[str]]":
+    """Parse every file and build the shared project index."""
+    contexts: List[FileContext] = []
+    errors: List[str] = []
+    project = ProjectIndex()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        ctx = FileContext(path=path, module=module_name_for(path),
+                          source=source, tree=tree, project=project,
+                          noqa=_noqa_map(source))
+        contexts.append(ctx)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                project.record(_class_facts(ctx.module, node))
+    return contexts, errors
+
+
+def run_rules(contexts: Sequence[FileContext],
+              rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint ``paths`` (files or directories) with ``rules`` (default:
+    the full catalog from :mod:`repro.analysis.lint.rules`)."""
+    if rules is None:
+        from repro.analysis.lint.rules import all_rules
+        rules = all_rules()
+    contexts, errors = build_contexts(paths)
+    findings = run_rules(contexts, rules)
+    return LintReport(findings=findings, files_checked=len(contexts),
+                      parse_errors=errors)

@@ -1,0 +1,411 @@
+"""Repo-specific lint rules.
+
+Catalog
+-------
+
+========  ===========================================================
+CLOG001   CLOG status reads outside the visibility layer
+DET001    wall-clock / PRNG use inside the deterministic engine
+SLOT001   attribute assigned on a slotted class but not declared
+LOCK001   private lock-manager state touched from another package
+LOCK002   lock acquired with no release path in the same function
+CFG001    perf-toggle fast path does simulated-cost accounting
+MUT001    mutable default argument
+EXC001    bare ``except:``
+========  ===========================================================
+
+Every rule carries a fix-it hint and honours the
+``# repro: noqa(RULE)`` escape hatch (see
+:mod:`repro.analysis.lint.core`). Rules that guard engine invariants
+(everything except MUT001/EXC001 hygiene) only fire on ``repro.*``
+modules -- tests and benchmarks may legitimately poke internals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.core import FileContext, Finding, Rule
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ClogDisciplineRule(Rule):
+    """CLOG verdicts must flow through the visibility layer.
+
+    PR 2's hint bits cache the CLOG's *final* verdict on a tuple; they
+    are sound only if every status read that can stamp or trust a hint
+    goes through ``repro.mvcc.visibility``. A raw ``did_commit`` /
+    ``did_abort`` / ``in_progress`` / ``clog.status`` call elsewhere
+    bypasses hint maintenance and can disagree with a stamped hint.
+    """
+
+    id = "CLOG001"
+    name = "clog-discipline"
+    description = ("CommitLog status read (did_commit/did_abort/in_progress/"
+                   "clog.status) outside the visibility layer")
+    hint = ("route the check through repro.mvcc.visibility (tuple_visibility/"
+            "tuple_is_dead) or add '# repro: noqa(CLOG001)' with a rationale "
+            "for why raw status is required (e.g. in-progress waits)")
+
+    #: Modules allowed to read raw CLOG status: the CLOG itself, the
+    #: visibility layer, snapshot construction (xip tracking), and the
+    #: S2PL baseline's own visibility routine.
+    ALLOWED = {"repro.mvcc.clog", "repro.mvcc.visibility",
+               "repro.mvcc.snapshot", "repro.s2pl.locking"}
+    #: The sanitizers compare hint bits against raw CLOG ground truth;
+    #: routing them through the visibility layer would let the code
+    #: under test answer for itself.
+    ALLOWED_PREFIXES = ("repro.analysis",)
+
+    STATUS_METHODS = {"did_commit", "did_abort", "in_progress"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.in_engine and ctx.module not in self.ALLOWED
+                and not ctx.module.startswith(self.ALLOWED_PREFIXES))
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            if attr in self.STATUS_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f"raw CLOG status read '{attr}()' outside the "
+                    f"visibility layer (module {ctx.module})")
+            elif (attr == "status"
+                    and _terminal_name(node.func.value) == "clog"):
+                yield self.finding(
+                    ctx, node,
+                    f"raw 'clog.status()' read outside the visibility "
+                    f"layer (module {ctx.module})")
+
+
+class DeterminismRule(Rule):
+    """The engine must be deterministic: same seed, same history.
+
+    ``time``/``random`` inside ``src/repro`` breaks replayability of
+    recorded histories and the verify-layer's serializability checks.
+    Only explicitly allowlisted modules may import them.
+    """
+
+    id = "DET001"
+    name = "nondeterminism"
+    description = "time/random import inside the deterministic engine core"
+    hint = ("thread a seeded random.Random or the simulated clock through "
+            "instead; if wall-clock/PRNG use is genuinely required, add "
+            "'# repro: noqa(DET001)' with a rationale")
+
+    #: module -> why it is allowed to import time/random.
+    ALLOWED: Dict[str, str] = {
+        "repro.obs.trace": "tracer timestamps are observability-only "
+                           "metadata, never fed back into scheduling",
+        "repro.locks.manager": "deadlock-detection timers mirror "
+                               "PostgreSQL's deadlock_timeout and do not "
+                               "affect the logical history",
+    }
+    #: module prefixes allowed wholesale (the discrete-event simulator
+    #: owns all randomness, seeded per run).
+    ALLOWED_PREFIXES: Tuple[str, ...] = ("repro.sim",)
+
+    BANNED = {"time", "random"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_engine or ctx.module in self.ALLOWED:
+            return False
+        return not ctx.module.startswith(self.ALLOWED_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self.BANNED:
+                        yield self.finding(
+                            ctx, node,
+                            f"'import {alias.name}' in engine module "
+                            f"{ctx.module} (not on the determinism "
+                            f"allowlist)")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                root = (node.module or "").split(".")[0]
+                if root in self.BANNED:
+                    yield self.finding(
+                        ctx, node,
+                        f"'from {node.module} import ...' in engine module "
+                        f"{ctx.module} (not on the determinism allowlist)")
+
+
+class SlotsConsistencyRule(Rule):
+    """No attribute may be assigned on a slotted class undeclared.
+
+    With ``__slots__`` a stray ``self.typo = ...`` raises
+    ``AttributeError`` at runtime -- but only on the code path that
+    executes it. This catches it statically, resolving inherited slots
+    across the project index (including ``@dataclass(slots=True)``).
+    """
+
+    id = "SLOT001"
+    name = "slots-consistency"
+    description = "attribute assigned on a slotted class but not in __slots__"
+    hint = ("declare the attribute in the class's __slots__ tuple (or the "
+            "dataclass field list), or drop the assignment")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_engine
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            allowed = ctx.project.slots_closure(cls.name)
+            if allowed is None:
+                continue  # un-slotted somewhere on the MRO: __dict__ exists
+            for func in cls.body:
+                if not isinstance(func, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                for finding in self._check_method(ctx, cls.name, func,
+                                                  allowed):
+                    yield finding
+
+    def _check_method(self, ctx: FileContext, cls_name: str,
+                      func: ast.AST, allowed: Set[str]) -> Iterable[Finding]:
+        for node in ast.walk(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                elts = target.elts if isinstance(
+                    target, (ast.Tuple, ast.List)) else [target]
+                for elt in elts:
+                    if (isinstance(elt, ast.Attribute)
+                            and isinstance(elt.value, ast.Name)
+                            and elt.value.id == "self"
+                            and not elt.attr.startswith("__")
+                            and elt.attr not in allowed):
+                        yield self.finding(
+                            ctx, elt,
+                            f"'self.{elt.attr}' assigned on slotted class "
+                            f"{cls_name} but not declared in its __slots__")
+
+
+class LockEncapsulationRule(Rule):
+    """Lock-table internals are owned by their managers.
+
+    The SIREAD cleanup protocol (paper section 4.7) and the
+    heavyweight-lock release protocol are only correct if every
+    mutation goes through the manager's public methods -- a direct
+    ``lockmgr._table[...]`` / ``lockmgr._add(...)`` from another
+    package can desynchronize the per-holder indexes the cleanup
+    relies on.
+    """
+
+    id = "LOCK001"
+    name = "lock-encapsulation"
+    description = "private lock-manager state accessed from another package"
+    hint = ("use the manager's public API (acquire/release_all/iter_locks/"
+            "locks_held/...), or add the operation to the manager as a "
+            "public method")
+
+    #: Receiver spellings that denote a lock manager in this codebase.
+    RECEIVERS = {"lockmgr", "lock_manager", "lockmanager"}
+    #: Packages that own lock-manager internals.
+    OWNER_PREFIXES = ("repro.locks", "repro.ssi")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.in_engine
+                and not ctx.module.startswith(self.OWNER_PREFIXES))
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if (node.attr.startswith("_") and not node.attr.startswith("__")
+                    and _terminal_name(node.value) in self.RECEIVERS):
+                yield self.finding(
+                    ctx, node,
+                    f"private lock-manager member "
+                    f"'{_terminal_name(node.value)}.{node.attr}' touched "
+                    f"from {ctx.module}")
+
+
+class LockReleasePathRule(Rule):
+    """Every in-function ``acquire`` needs a release path.
+
+    A function that acquires a heavyweight lock and never mentions a
+    release leaks the lock unless some other protocol (transaction-end
+    ``release_all``) covers it -- in which case the site takes a noqa
+    stating that protocol.
+    """
+
+    id = "LOCK002"
+    name = "lock-release-path"
+    description = "lock acquire without a release path in the same function"
+    hint = ("pair the acquire with release/release_all in this function "
+            "(try/finally), or add '# repro: noqa(LOCK002)' naming the "
+            "protocol that releases it (e.g. held to transaction end, "
+            "released by release_all at commit/abort)")
+
+    RECEIVERS = LockEncapsulationRule.RECEIVERS
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The managers themselves implement acquire; the rule is about
+        # call sites in the rest of the engine.
+        return (ctx.in_engine
+                and not ctx.module.startswith("repro.locks"))
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            acquires = []
+            has_release = False
+            for node in ast.walk(func):
+                if isinstance(node, ast.Attribute):
+                    if node.attr.startswith("release"):
+                        has_release = True
+                    elif (node.attr == "acquire"
+                            and _terminal_name(node.value) in self.RECEIVERS):
+                        acquires.append(node)
+            if has_release:
+                continue
+            for node in acquires:
+                yield self.finding(
+                    ctx, node,
+                    f"'{func.name}' acquires a lock but has no "
+                    f"release/release_all path")
+
+
+class TogglePurityRule(Rule):
+    """Perf-toggle fast paths must not do simulated-cost accounting.
+
+    The paper-faithful cost model charges ``work_units`` per logical
+    lock-table operation; the PR 2 fast paths are *supposed* to skip
+    that work entirely (that is the optimization being measured). A
+    ``work_units`` touch inside a toggle-guarded fast path silently
+    re-introduces the cost and invalidates the figure benchmarks.
+    """
+
+    id = "CFG001"
+    name = "toggle-purity"
+    description = ("work_units accounting inside a perf-toggle-guarded "
+                   "fast path")
+    hint = ("move the accounting out of the fast-path branch -- the toggle "
+            "exists to skip that simulated cost; if the charge is genuinely "
+            "part of the fast path, add '# repro: noqa(CFG001)' explaining "
+            "what it models")
+
+    #: Terminal attribute names that denote a perf toggle in a guard.
+    TOGGLES = {"siread_fast_path", "hint_bits", "visibility_map", "fsm",
+               "use_hints", "_use_hints", "_use_fsm", "_use_vismap"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_engine
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            branch = self._fast_branch(node)
+            if branch is None:
+                continue
+            for stmt in branch:
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, (ast.Attribute, ast.Name))
+                            and _terminal_name(sub) == "work_units"):
+                        yield self.finding(
+                            ctx, sub,
+                            "work_units touched inside a branch guarded by "
+                            f"perf toggle "
+                            f"'{self._toggle_name(node.test)}'")
+                        break  # one finding per statement is enough
+
+    def _fast_branch(self, node: ast.If) -> Optional[List[ast.stmt]]:
+        """Statements executed when the toggle is ON, or None when the
+        guard doesn't reference a toggle / polarity is ambiguous."""
+        test = node.test
+        if self._is_toggle(test):
+            return node.body
+        if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+                and self._is_toggle(test.operand)):
+            return node.orelse or None
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            if any(self._is_toggle(v) for v in test.values):
+                return node.body
+        return None
+
+    def _is_toggle(self, expr: ast.expr) -> bool:
+        return (isinstance(expr, (ast.Attribute, ast.Name))
+                and _terminal_name(expr) in self.TOGGLES)
+
+    def _toggle_name(self, test: ast.expr) -> str:
+        for sub in ast.walk(test):
+            name = _terminal_name(sub)
+            if name in self.TOGGLES:
+                return name
+        return "?"
+
+
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are shared across calls."""
+
+    id = "MUT001"
+    name = "mutable-default"
+    description = "mutable default argument"
+    hint = "default to None and construct the list/dict/set in the body"
+
+    MUTABLE_CALLS = {"list", "dict", "set"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in '{func.name}'")
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self.MUTABLE_CALLS
+                and not node.args and not node.keywords)
+
+
+class BareExceptRule(Rule):
+    """``except:`` swallows SanitizerViolation, KeyboardInterrupt, ..."""
+
+    id = "EXC001"
+    name = "bare-except"
+    description = "bare except clause"
+    hint = ("catch a specific exception type; at minimum 'except Exception' "
+            "so sanitizer violations and interrupts propagate")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(ctx, node, "bare 'except:' clause")
+
+
+def all_rules() -> Sequence[Rule]:
+    """The full rule catalog, in catalog order."""
+    return (ClogDisciplineRule(), DeterminismRule(), SlotsConsistencyRule(),
+            LockEncapsulationRule(), LockReleasePathRule(),
+            TogglePurityRule(), MutableDefaultRule(), BareExceptRule())

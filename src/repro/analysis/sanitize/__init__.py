@@ -1,0 +1,18 @@
+"""Runtime invariant sanitizers (the TSan/ASan analog).
+
+See :class:`~repro.analysis.sanitize.runner.SanitizerRunner` for the
+lifecycle wiring and the ``ssi_check`` / ``heap_check`` /
+``locks_check`` modules for the invariant catalogs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sanitize.heap_check import HeapSanitizer
+from repro.analysis.sanitize.locks_check import LockLeakSanitizer
+from repro.analysis.sanitize.runner import ENV_FLAG, SanitizerRunner, env_forced
+from repro.analysis.sanitize.ssi_check import SSISanitizer
+from repro.analysis.sanitize.violations import SanitizerViolation
+
+__all__ = ["ENV_FLAG", "HeapSanitizer", "LockLeakSanitizer",
+           "SSISanitizer", "SanitizerRunner", "SanitizerViolation",
+           "env_forced"]

@@ -1,0 +1,76 @@
+"""Heavyweight lock-leak detector.
+
+Invariants:
+
+* ``lock-leak-txn-end`` -- when a transaction finishes, ``release_all``
+  must have dropped every heavyweight lock and queued request its xid
+  owned (checked per transaction, at each commit/abort);
+* ``lock-orphan-owner`` -- sweep form of the same property: every
+  granted hold and queued waiter in the lock table belongs to a
+  transaction that is still active or prepared.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.analysis.sanitize.violations import SanitizerViolation
+
+Issue = Tuple[str, str, dict]
+
+
+class LockLeakSanitizer:
+    """Checks the heavyweight lock table; stateless between runs."""
+
+    name = "locks"
+
+    def __init__(self, db) -> None:
+        self._db = db
+
+    # ------------------------------------------------------------------
+    def check_txn_end(self, xid: int) -> None:
+        """The just-finished ``xid`` must own nothing anymore."""
+        held = self._db.lockmgr.locks_held(xid)
+        if held:
+            raise SanitizerViolation(
+                self.name, "lock-leak-txn-end",
+                f"transaction {xid} finished but still holds "
+                f"{sum(len(m) for m in held.values())} heavyweight "
+                f"lock(s): release_all was skipped or bypassed",
+                {"xid": xid,
+                 "held": sorted((tag, sorted(m.value for m in modes))
+                                for tag, modes in held.items())},
+                dump=self._dump())
+        for request in self._db.lockmgr.waiters():
+            if request.owner == xid and not request.cancelled:
+                raise SanitizerViolation(
+                    self.name, "lock-leak-txn-end",
+                    f"transaction {xid} finished but still waits for "
+                    f"{request.describe()}",
+                    {"xid": xid, "tag": request.tag},
+                    dump=self._dump())
+
+    def check(self) -> None:
+        for invariant, detail, subject in self._issues():
+            raise SanitizerViolation(self.name, invariant, detail, subject,
+                                     dump=self._dump())
+
+    def _dump(self) -> str:
+        from repro.obs.postmortem import dump_state
+        return dump_state(self._db)
+
+    # ------------------------------------------------------------------
+    def _issues(self) -> Iterator[Issue]:
+        live = set()
+        for txn in self._db.active_transactions():
+            live.update(txn.all_xids)
+        for row in self._db.lockmgr.iter_locks():
+            owner = row["owner_xid"]
+            if owner not in live:
+                yield ("lock-orphan-owner",
+                       f"{'granted' if row['granted'] else 'queued'} "
+                       f"heavyweight lock {row['mode'].value} on "
+                       f"{row['tag']} owned by finished transaction "
+                       f"{owner}",
+                       {"owner_xid": owner, "tag": row["tag"],
+                        "mode": row["mode"].value})

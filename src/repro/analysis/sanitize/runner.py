@@ -1,0 +1,80 @@
+"""SanitizerRunner: wires the sanitizers into transaction lifecycle.
+
+The Database creates one runner when ``EngineConfig.sanitize.enabled``
+is set or the ``REPRO_SANITIZE`` environment variable is non-empty
+(which force-enables every sanitizer, for CI's sanitized tier-1 mode).
+Hooks fire at the end of every commit/abort; the cheap per-transaction
+checks run every time, the O(heap)/O(lock table) sweeps every
+``sweep_interval``-th transaction end. ``check_now()`` runs everything
+unconditionally (tests and the CLI smoke command use it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.analysis.sanitize.heap_check import HeapSanitizer
+from repro.analysis.sanitize.locks_check import LockLeakSanitizer
+from repro.analysis.sanitize.ssi_check import SSISanitizer
+
+#: Environment variable force-enabling every sanitizer.
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+def env_forced() -> bool:
+    return bool(os.environ.get(ENV_FLAG))
+
+
+class SanitizerRunner:
+    """All enabled sanitizers for one Database instance."""
+
+    def __init__(self, db) -> None:
+        self._db = db
+        config = db.config.sanitize
+        forced = env_forced()
+        self._ssi = (SSISanitizer(db)
+                     if (config.ssi or forced) else None)
+        self._heap = (HeapSanitizer(db)
+                      if (config.heap or forced) else None)
+        self._locks = (LockLeakSanitizer(db)
+                       if (config.locks or forced) else None)
+        self._interval = max(1, config.sweep_interval)
+        self._txn_ends = 0
+        self._checks: Dict[str, int] = {"ssi": 0, "heap": 0, "locks": 0,
+                                        "sweeps": 0}
+
+    # ------------------------------------------------------------------
+    def on_txn_end(self, txn) -> None:
+        """Called by the Database after each commit/abort completes."""
+        self._txn_ends += 1
+        sweep = self._txn_ends % self._interval == 0
+        if self._locks is not None:
+            self._checks["locks"] += 1
+            self._locks.check_txn_end(txn.xid)
+            if sweep:
+                self._locks.check()
+        if self._ssi is not None:
+            self._checks["ssi"] += 1
+            self._ssi.check(sweep=sweep)
+        if self._heap is not None and sweep:
+            self._checks["heap"] += 1
+            self._heap.check()
+        if sweep:
+            self._checks["sweeps"] += 1
+
+    def check_now(self) -> None:
+        """Run every enabled sanitizer in full, immediately."""
+        if self._locks is not None:
+            self._checks["locks"] += 1
+            self._locks.check()
+        if self._ssi is not None:
+            self._checks["ssi"] += 1
+            self._ssi.check(sweep=True)
+        if self._heap is not None:
+            self._checks["heap"] += 1
+            self._heap.check()
+
+    def stats(self) -> Dict[str, int]:
+        """How many times each sanitizer has run (CI smoke reporting)."""
+        return dict(self._checks)

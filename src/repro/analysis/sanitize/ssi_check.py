@@ -1,0 +1,148 @@
+"""SSI state sanitizer (paper sections 4.7 / 5.3 / 6).
+
+Invariants checked after each commit/abort:
+
+* ``siread-stale-holder`` -- the SIREAD table holds no locks for an
+  aborted transaction (abort releases them immediately, section 5.3)
+  or for a committed one whose cleanup already claimed to have
+  released them (``locks_released``);
+* ``siread-unknown-holder`` -- every SIREAD holder is a transaction
+  the manager still tracks (active or committed-retained); anything
+  else leaked through cleanup/summarization;
+* ``conflict-asymmetry`` -- in/out rw-antidependency pointers are
+  symmetric: ``a in b.in_conflicts`` iff ``b in a.out_conflicts``;
+* ``conflict-dangling`` -- no conflict pointer references an aborted
+  sxact (abort unlinks both directions);
+* ``lifecycle-state`` -- the active set contains no finished sxact,
+  the committed-retained list only committed ones, and every active
+  sxact is resolvable through ``sxact_for_xid``;
+* ``earliest-out-monotone`` -- the consolidated
+  ``earliest_out_commit_seq`` is a true lower bound: no committed
+  out-neighbour has a smaller commit seq than the recorded minimum
+  (section 6.1's consolidation can only lower it, never lag it);
+* ``doom-without-info`` -- a doomed sxact always carries the DoomInfo
+  describing the dangerous structure that doomed it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.analysis.sanitize.violations import SanitizerViolation
+
+Issue = Tuple[str, str, dict]
+
+
+class SSISanitizer:
+    """Checks one SSIManager instance; stateless between runs."""
+
+    name = "ssi"
+
+    def __init__(self, db) -> None:
+        self._db = db
+
+    # ------------------------------------------------------------------
+    def check(self, *, sweep: bool = True) -> None:
+        """Raise SanitizerViolation on the first broken invariant.
+
+        ``sweep=False`` skips the O(lock table) SIREAD scan and checks
+        only the per-sxact pointer/lifecycle invariants.
+        """
+        for invariant, detail, subject in self._issues(sweep=sweep):
+            raise SanitizerViolation(self.name, invariant, detail, subject,
+                                     dump=self._dump())
+
+    def _dump(self) -> str:
+        from repro.obs.postmortem import dump_state
+        return dump_state(self._db)
+
+    # ------------------------------------------------------------------
+    def _issues(self, sweep: bool) -> Iterator[Issue]:
+        ssi = self._db.ssi
+        active = ssi.active_sxacts()
+        committed = ssi.committed_retained()
+        tracked = ssi.tracked_sxacts()
+
+        # lifecycle-state -------------------------------------------------
+        for sx in active:
+            if sx.finished:
+                yield ("lifecycle-state",
+                       f"finished sxact {sx!r} still in the active set",
+                       {"xid": sx.xid})
+            elif ssi.sxact_for_xid(sx.xid) is not sx:
+                yield ("lifecycle-state",
+                       f"active sxact {sx!r} not resolvable via its xid",
+                       {"xid": sx.xid})
+        for sx in committed:
+            if not sx.committed:
+                yield ("lifecycle-state",
+                       f"non-committed sxact {sx!r} on the "
+                       f"committed-retained list", {"xid": sx.xid})
+
+        # conflict pointers ----------------------------------------------
+        if ssi.config.conflict_tracking == "full":
+            for sx in tracked:
+                yield from self._check_pointers(sx)
+
+        # doom bookkeeping -----------------------------------------------
+        for sx in active:
+            if sx.doomed and sx.doom_info is None:
+                yield ("doom-without-info",
+                       f"sxact {sx!r} is doomed but carries no DoomInfo",
+                       {"xid": sx.xid})
+
+        # SIREAD table ----------------------------------------------------
+        if sweep:
+            yield from self._check_siread_table(ssi, tracked)
+
+    def _check_pointers(self, sx) -> Iterator[Issue]:
+        for reader in sx.in_conflicts:
+            if reader.aborted:
+                yield ("conflict-dangling",
+                       f"{sx!r} has an in-conflict from aborted {reader!r}",
+                       {"xid": sx.xid, "partner_xid": reader.xid})
+            elif sx not in reader.out_conflicts:
+                yield ("conflict-asymmetry",
+                       f"{reader!r} -rw-> {sx!r} recorded on the writer "
+                       f"side only", {"xid": sx.xid,
+                                      "partner_xid": reader.xid})
+        committed_out = [w.cseq for w in sx.out_conflicts if w.committed]
+        for writer in sx.out_conflicts:
+            if writer.aborted:
+                yield ("conflict-dangling",
+                       f"{sx!r} has an out-conflict to aborted {writer!r}",
+                       {"xid": sx.xid, "partner_xid": writer.xid})
+            elif sx not in writer.in_conflicts:
+                yield ("conflict-asymmetry",
+                       f"{sx!r} -rw-> {writer!r} recorded on the reader "
+                       f"side only", {"xid": sx.xid,
+                                      "partner_xid": writer.xid})
+        if committed_out and min(committed_out) < sx.earliest_out_commit_seq:
+            yield ("earliest-out-monotone",
+                   f"{sx!r} records earliest committed out-conflict "
+                   f"{sx.earliest_out_commit_seq} but holds an edge to "
+                   f"commit_seq {min(committed_out)}",
+                   {"xid": sx.xid,
+                    "recorded": sx.earliest_out_commit_seq,
+                    "actual": min(committed_out)})
+
+    def _check_siread_table(self, ssi, tracked) -> Iterator[Issue]:
+        for row in ssi.lockmgr.iter_locks():
+            holder = row["holder"]
+            if holder is None:
+                continue  # summarized dummy holder, tagged by seq only
+            if holder.aborted:
+                yield ("siread-stale-holder",
+                       f"SIREAD lock on {row['target']} held by aborted "
+                       f"{holder!r}",
+                       {"target": row["target"], "holder_xid": holder.xid})
+            elif holder.committed and holder.locks_released:
+                yield ("siread-stale-holder",
+                       f"SIREAD lock on {row['target']} held by committed "
+                       f"{holder!r} whose cleanup claims locks_released",
+                       {"target": row["target"], "holder_xid": holder.xid})
+            elif holder not in tracked:
+                yield ("siread-unknown-holder",
+                       f"SIREAD lock on {row['target']} held by untracked "
+                       f"{holder!r} (leaked past cleanup/summarization)",
+                       {"target": row["target"], "holder_xid": holder.xid})

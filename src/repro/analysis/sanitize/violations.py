@@ -1,0 +1,46 @@
+"""Structured sanitizer violations."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class SanitizerViolation(AssertionError):
+    """A runtime invariant the engine promised to keep was broken.
+
+    Subclasses AssertionError so generic engine error handling
+    (which catches the repro error hierarchy or specific stdlib types)
+    never swallows it: a violation is a bug in the engine, not an
+    expected transactional outcome, and must surface.
+
+    Fields:
+
+    * ``sanitizer`` -- which sanitizer fired (``"ssi"`` / ``"heap"`` /
+      ``"locks"``);
+    * ``invariant`` -- machine-readable invariant id, e.g.
+      ``"siread-stale-holder"`` (tests assert on this);
+    * ``detail`` -- human-readable description of the breach;
+    * ``subject`` -- the offending object(s), rendered to plain data
+      (xids, TIDs, targets);
+    * ``dump`` -- obs post-mortem state dump taken at violation time.
+    """
+
+    def __init__(self, sanitizer: str, invariant: str, detail: str,
+                 subject: Optional[Dict[str, Any]] = None,
+                 dump: str = "") -> None:
+        self.sanitizer = sanitizer
+        self.invariant = invariant
+        self.detail = detail
+        self.subject = subject or {}
+        self.dump = dump
+        super().__init__(f"[{sanitizer}:{invariant}] {detail}")
+
+    def render(self) -> str:
+        lines = [f"sanitizer violation: {self.sanitizer}:{self.invariant}",
+                 f"  {self.detail}"]
+        for key, value in sorted(self.subject.items()):
+            lines.append(f"  {key}: {value!r}")
+        if self.dump:
+            lines.append("engine state at violation:")
+            lines.extend("  " + line for line in self.dump.splitlines())
+        return "\n".join(lines)

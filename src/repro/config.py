@@ -109,6 +109,47 @@ class PerfConfig:
 
 
 @dataclass
+class SanitizerConfig:
+    """Runtime invariant sanitizers (the repro.analysis subsystem).
+
+    A TSan/ASan analog for the engine: with a sanitizer on, the
+    corresponding invariants are re-checked at transaction boundaries
+    and any breach raises
+    :class:`repro.analysis.sanitize.SanitizerViolation` with an obs
+    post-mortem dump. All default off -- they are debugging/CI tools,
+    and the benchmark harness asserts they stay off during wall-clock
+    runs. The ``REPRO_SANITIZE`` environment variable (any non-empty
+    value) force-enables all of them regardless of this config, which
+    is how CI runs the tier-1 suite in sanitized mode.
+    """
+
+    #: Master switch; individual toggles below are ignored when False
+    #: (unless REPRO_SANITIZE is set, which turns everything on).
+    enabled: bool = False
+    #: SSI state sanitizer: after each commit/abort, the SIREAD table
+    #: holds no locks for fully-cleaned-up transactions, conflict
+    #: pointers reference live-or-summarized sxacts, and
+    #: dangerous-structure bookkeeping is consistent with pointer state
+    #: (paper sections 4.7 / 5.3 / 6).
+    ssi: bool = True
+    #: Heap/MVCC sanitizer: xmin/xmax stamp discipline, hint bits agree
+    #: with the CLOG, update-chain ctid acyclicity, visibility-map and
+    #: FSM consistency.
+    heap: bool = True
+    #: Lock-leak detector: at transaction end, the heavyweight lock
+    #: manager holds nothing for the finished xid.
+    locks: bool = True
+    #: Run the O(heap)/O(locktable) sweeps only every Nth transaction
+    #: end (per-transaction checks always run). 1 = every time.
+    sweep_interval: int = 8
+
+    @staticmethod
+    def all_on(sweep_interval: int = 1) -> "SanitizerConfig":
+        return SanitizerConfig(enabled=True, ssi=True, heap=True, locks=True,
+                               sweep_interval=sweep_interval)
+
+
+@dataclass
 class ObsConfig:
     """Observability toggles (the repro.obs subsystem).
 
@@ -194,6 +235,9 @@ class EngineConfig:
     perf: PerfConfig = field(default_factory=PerfConfig)
     #: Observability (metrics always on; tracing behind obs.enabled).
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Runtime invariant sanitizers (repro.analysis); all off by
+    #: default, force-enabled by the REPRO_SANITIZE env var.
+    sanitize: SanitizerConfig = field(default_factory=SanitizerConfig)
     #: Tuples per heap page; small pages make page-granularity locking
     #: and promotion meaningful at laptop scale.
     heap_page_size: int = 32

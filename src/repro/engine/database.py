@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.config import EngineConfig
@@ -79,6 +80,13 @@ class Database:
         if self.config.record_history:
             from repro.verify.history import HistoryRecorder
             self.recorder = HistoryRecorder()
+        #: Runtime invariant sanitizers (repro.analysis); None unless
+        #: enabled by config or the REPRO_SANITIZE environment variable.
+        #: Lazily imported so the analysis package costs nothing when off.
+        self.sanitizers = None
+        if self.config.sanitize.enabled or os.environ.get("REPRO_SANITIZE"):
+            from repro.analysis.sanitize import SanitizerRunner
+            self.sanitizers = SanitizerRunner(self)
         self._register_gauges()
 
     def _register_gauges(self) -> None:
@@ -152,7 +160,7 @@ class Database:
             raise ValueError(f"unknown index access method {using!r}")
         # Build from every non-dead heap version.
         for tup in rel.heap.scan():
-            if not self.clog.did_abort(tup.xmin):
+            if not self.clog.did_abort(tup.xmin):  # repro: noqa(CLOG001) -- index build skips aborted inserters; no snapshot exists yet
                 index.insert_entry(tup.data.get(column), tup.tid)
         rel.add_index(index)
         return index
@@ -211,7 +219,7 @@ class Database:
         while True:
             xid = self.xids.assign()
             self.clog.register(xid)
-            self.lockmgr.acquire(xid, ("xid", xid), LockMode.EXCLUSIVE)
+            self.lockmgr.acquire(xid, ("xid", xid), LockMode.EXCLUSIVE)  # repro: noqa(LOCK002) -- xid lock held to txn end, released by release_all at commit/abort
             snapshot = self.take_snapshot()
             txn = Transaction(xid, isolation, snapshot, read_only=read_only,
                               deferrable=deferrable)
@@ -284,6 +292,8 @@ class Database:
                                      safe_snapshot_marker=marker)
         if self.recorder is not None:
             self.recorder.on_commit(txn.xid)
+        if self.sanitizers is not None:
+            self.sanitizers.on_txn_end(txn)
 
     def abort_txn(self, txn: Transaction) -> None:
         if txn.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
@@ -301,6 +311,8 @@ class Database:
             self.obs.tracer.emit("txn.abort", txn.xid)
         if self.recorder is not None:
             self.recorder.on_abort(txn.xid)
+        if self.sanitizers is not None:
+            self.sanitizers.on_txn_end(txn)
 
     def _snapshot_now_safe(self) -> bool:
         """Would a snapshot taken right now be safe? True when no
@@ -370,11 +382,11 @@ class Database:
         self.lockmgr = LockManager(obs=self.obs)
         self.ssi = SSIManager(self.config.ssi, self.clog, obs=self.obs)
         for txn in self._active.values():  # prepared survivors
-            self.lockmgr.acquire(txn.xid, ("xid", txn.xid),
+            self.lockmgr.acquire(txn.xid, ("xid", txn.xid),  # repro: noqa(LOCK002) -- re-taken for prepared survivors; released when they resolve
                                  LockMode.EXCLUSIVE)
             sx = self.ssi.register_recovered_prepared(txn.xid, txn.snapshot)
-            for target in getattr(txn, "persisted_siread", ()):  # from disk
-                self.ssi.lockmgr._add(sx, target)
+            self.ssi.lockmgr.restore_recovered(
+                sx, getattr(txn, "persisted_siread", ()))  # from disk
             txn.sxact = sx
 
     # ------------------------------------------------------------------

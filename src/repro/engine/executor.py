@@ -235,7 +235,7 @@ class Executor:
                             out.append(tup)
                         break
                     if (tup.xmax != INVALID_XID and not tup.xmax_lock_only
-                            and db.clog.did_commit(tup.xmax)):
+                            and db.clog.did_commit(tup.xmax)):  # repro: noqa(CLOG001) -- ctid chain walk follows only committed deleters
                         cur_tid = tup.next_tid
                     else:
                         break
@@ -365,17 +365,17 @@ class Executor:
         xid of an in-progress writer to wait for."""
         clog = self.db.clog
         xmin = tup.xmin
-        if clog.did_abort(xmin):
+        if clog.did_abort(xmin):  # repro: noqa(CLOG001) -- write-conflict resolution needs raw status to pick wait target
             return None
         creator_mine = xmin in txn.all_xids
-        if not creator_mine and not clog.did_commit(xmin):
+        if not creator_mine and not clog.did_commit(xmin):  # repro: noqa(CLOG001) -- in-progress inserter => wait on its top-level xid
             return clog.top_level_of(xmin)  # in-progress inserter
         xmax = tup.xmax
-        if xmax == INVALID_XID or tup.xmax_lock_only or clog.did_abort(xmax):
+        if xmax == INVALID_XID or tup.xmax_lock_only or clog.did_abort(xmax):  # repro: noqa(CLOG001) -- aborted deleter makes the key live again (duplicate)
             return "dup"
         if xmax in txn.all_xids:
             return None  # we deleted it ourselves
-        if clog.did_commit(xmax):
+        if clog.did_commit(xmax):  # repro: noqa(CLOG001) -- committed deleter: key free, no conflict
             return None
         return clog.top_level_of(xmax)  # in-progress deleter
 
@@ -469,9 +469,9 @@ class Executor:
             effective_lock_only = cur.xmax_lock_only
             claimable = (
                 xmax == INVALID_XID
-                or clog.did_abort(xmax)
+                or clog.did_abort(xmax)  # repro: noqa(CLOG001) -- first-updater-wins: aborted deleter is claimable
                 or (effective_lock_only
-                    and (xmax in txn.all_xids or not clog.in_progress(xmax))))
+                    and (xmax in txn.all_xids or not clog.in_progress(xmax))))  # repro: noqa(CLOG001) -- finished locker's FOR UPDATE no longer blocks
             if claimable:
                 if not pred.matches(cur.data):
                     return None  # EvalPlanQual re-check failed
@@ -490,7 +490,7 @@ class Executor:
                 # an earlier command): nothing more to do here.
                 return None
             top = clog.top_level_of(xmax)
-            if not clog.did_commit(xmax):
+            if not clog.did_commit(xmax):  # repro: noqa(CLOG001) -- must wait on in-progress writer, not read through it
                 # In-progress writer holds the tuple lock: wait for its
                 # transaction to finish, then re-evaluate.
                 yield from self._wait_for_xid(txn, top)

@@ -238,7 +238,7 @@ class Session:
             from repro.mvcc.visibility import tuple_is_dead
 
             def keep(tup):
-                if clog.did_abort(tup.xmin):
+                if clog.did_abort(tup.xmin):  # repro: noqa(CLOG001) -- CLUSTER rewrite drops aborted inserts regardless of snapshot
                     return False
                 return not tuple_is_dead(tup, horizon, clog)
 
@@ -286,7 +286,7 @@ class Session:
     def _table_lock_gen(self, txn: Transaction, table: str,
                         mode: LockMode) -> Iterator:
         rel = self.db.relation(table)
-        request = self.db.lockmgr.acquire(txn.xid, ("rel", rel.oid), mode)
+        request = self.db.lockmgr.acquire(txn.xid, ("rel", rel.oid), mode)  # repro: noqa(LOCK002) -- table lock held to txn end, released by release_all at commit/abort
         while request is not None and not request.granted:
             yield request
 

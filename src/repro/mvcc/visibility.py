@@ -173,6 +173,29 @@ def _check_deleter(tup, snapshot: Snapshot, view: TxnView, clog: CommitLog,
     return VisibilityResult(True, deleter_concurrent=True, deleter_xid=xmax)
 
 
+def page_all_visible(tuples, clog: CommitLog,
+                     horizon_xmin: "int | None" = None) -> bool:
+    """May a heap page's all-visible bit be set over ``tuples``?
+
+    True when every tuple is visible to every current and future
+    snapshot: creator committed (below ``horizon_xmin``, when given --
+    VACUUM passes the horizon to guarantee no *current* snapshot
+    predates the commit; the sanitizer re-checks later with no horizon,
+    since the bit only needs the timeless part to stay sound) and no
+    deleter except an aborted or lock-only one. Lives here so the heap
+    never reads raw CLOG status itself (see repro.analysis, CLOG001).
+    """
+    for tup in tuples:
+        if not clog.did_commit(tup.xmin):
+            return False
+        if horizon_xmin is not None and tup.xmin >= horizon_xmin:
+            return False
+        if not (tup.xmax == INVALID_XID or tup.xmax_lock_only
+                or clog.did_abort(tup.xmax)):
+            return False
+    return True
+
+
 def tuple_is_dead(tup, horizon_xmin: int, clog: CommitLog, *,
                   use_hints: bool = False, hint_counter=None) -> bool:
     """Can VACUUM remove this tuple?

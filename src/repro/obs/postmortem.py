@@ -166,6 +166,60 @@ def describe_target(target: Optional[tuple],
     return repr(target)
 
 
+def dump_state(db) -> str:
+    """Compact text dump of the engine's live state, for attaching to
+    sanitizer violations (repro.analysis): active transactions, SSI
+    tracking, lock tables, and -- when a history recorder is present --
+    the serialization graph's per-edge-type breakdown, so a violation
+    report can cite the dependency edges in play."""
+    if db is None:
+        return ""
+    lines: List[str] = []
+    active = db.active_transactions()
+    lines.append(f"active transactions: "
+                 f"{sorted(t.xid for t in active) or 'none'}")
+    ssi = getattr(db, "ssi", None)
+    if ssi is not None:
+        lines.append(f"ssi: {len(ssi.active_sxacts())} active, "
+                     f"{len(ssi.committed_retained())} committed-retained, "
+                     f"{len(ssi.old_serxid_table())} summarized, "
+                     f"{ssi.lockmgr.lock_count} SIREAD locks")
+        for sx in sorted(ssi.active_sxacts(), key=lambda s: s.xid):
+            flags = []
+            if sx.doomed:
+                flags.append("DOOMED")
+            if sx.prepared:
+                flags.append("prepared")
+            if sx.declared_read_only:
+                flags.append("RO")
+            lines.append(
+                f"  sxact {sx.xid}{' [' + ' '.join(flags) + ']' if flags else ''}: "
+                f"in={sorted(p.xid for p in sx.in_conflicts)} "
+                f"out={sorted(p.xid for p in sx.out_conflicts)}")
+    held = {}
+    for row in db.lockmgr.iter_locks():
+        if row["granted"]:
+            held.setdefault(row["owner_xid"], []).append(row["tag"])
+    lines.append(f"heavyweight locks: "
+                 f"{sum(len(tags) for tags in held.values())} held by "
+                 f"{sorted(held) or 'nobody'}")
+    if db.recorder is not None:
+        try:
+            from repro.verify.checker import check_serializable
+            result = check_serializable(db.recorder)
+            lines.append("dependency edges: " + (
+                ", ".join(f"{kind}={count}" for kind, count
+                          in sorted(result.edge_counts.items()))
+                or "none"))
+            if not result.serializable and result.cycle_edges:
+                lines.append("offending cycle edges:")
+                for src, dst, kind in result.cycle_edges:
+                    lines.append(f"  T{{{src}}} -{kind}-> T{{{dst}}}")
+        except Exception as exc:  # recorder mid-transaction, etc.
+            lines.append(f"dependency edges: unavailable ({exc})")
+    return "\n".join(lines)
+
+
 def explain_failure(db, exc: SerializationFailure) -> PostMortem:
     """Build a :class:`PostMortem` for ``exc`` from the database's
     trace buffer and retained SSI state.

@@ -32,7 +32,7 @@ def index_page_tag(index_oid: int, page_no: int):
 def _acquire(lockmgr: LockManager, owner: int, tag, mode: LockMode) -> Iterator:
     """Acquire, yielding the request while it must wait. Raises
     DeadlockDetected if waiting would close a cycle."""
-    request = lockmgr.acquire(owner, tag, mode)
+    request = lockmgr.acquire(owner, tag, mode)  # repro: noqa(LOCK002) -- strict 2PL: held to commit, released by release_all
     while request is not None and not request.granted:
         if request.cancelled:
             raise RuntimeError(

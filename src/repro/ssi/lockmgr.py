@@ -288,6 +288,17 @@ class SIReadLockManager:
         if self.holds(sx, target):
             self._remove(sx, target)
 
+    # -- crash recovery (section 7.1) --------------------------------------------
+    def restore_recovered(self, sx: SerializableXact,
+                          targets: Iterable[Target]) -> None:
+        """Re-install the persisted SIREAD locks of a prepared
+        transaction after crash recovery. Public so recovery never
+        reaches into the private lock tables (which would bypass the
+        coverage-cache and promotion bookkeeping _add maintains)."""
+        for target in targets:
+            if not self.holds(sx, target):
+                self._add(sx, target)
+
     # -- release -------------------------------------------------------------------
     def release_all(self, sx: SerializableXact) -> None:
         for target in list(self._held.get(sx, ())):

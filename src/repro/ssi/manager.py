@@ -115,6 +115,13 @@ class SSIManager:
     def sxact_for_xid(self, xid: int) -> Optional[SerializableXact]:
         return self._by_xid.get(xid)
 
+    def tracked_sxacts(self) -> Set[SerializableXact]:
+        """Every sxact the manager still holds state for: active plus
+        committed-retained. Anything outside this set must hold no
+        SIREAD locks and appear in no conflict list (the cleanup
+        protocol of sections 4.7 / 6; checked by repro.analysis)."""
+        return set(self._active) | set(self._committed)
+
     # ------------------------------------------------------------------
     # transaction lifecycle
     # ------------------------------------------------------------------

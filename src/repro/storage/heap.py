@@ -6,8 +6,7 @@ import heapq
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.mvcc.clog import CommitLog
-from repro.mvcc.visibility import tuple_is_dead
-from repro.mvcc.xid import INVALID_XID
+from repro.mvcc.visibility import page_all_visible, tuple_is_dead
 from repro.storage.page import HeapPage
 from repro.storage.tuple import TID, HeapTuple
 from repro.storage.vismap import VisibilityMap
@@ -131,25 +130,27 @@ class Heap:
                     removed.append(tup)
                     self._note_free(page.page_no)
             if self._track_vis:
-                if self._page_all_visible(page, horizon_xmin, clog):
+                if page_all_visible(page.tuples(), clog,
+                                    horizon_xmin=horizon_xmin):
                     self.vismap.set_all_visible(page.page_no)
                 else:
                     self.vismap.clear(page.page_no)
         return removed
 
-    @staticmethod
-    def _page_all_visible(page: HeapPage, horizon_xmin: int,
-                          clog: CommitLog) -> bool:
-        """Every tuple visible to every current and future snapshot:
-        creator committed below every active snapshot's xmin, and no
-        deleter except an aborted or lock-only one."""
-        for tup in page.tuples():
-            if not (clog.did_commit(tup.xmin) and tup.xmin < horizon_xmin):
-                return False
-            if not (tup.xmax == INVALID_XID or tup.xmax_lock_only
-                    or clog.did_abort(tup.xmax)):
-                return False
-        return True
+    # -- introspection (free-space tracking; used by repro.analysis) ------
+    @property
+    def uses_fsm(self) -> bool:
+        return self._use_fsm
+
+    @property
+    def room_hint(self) -> int:
+        """Non-FSM probe start: no non-tail page below it has room."""
+        return self._room_hint
+
+    def fsm_entries(self) -> set:
+        """Page numbers currently in the free-space map (lazy-deleted:
+        entries may point at pages that refilled since)."""
+        return set(self._free_set)
 
     def rewrite(self, keep) -> "Heap":
         """Physically rewrite the heap (CLUSTER / rewriting ALTER TABLE).

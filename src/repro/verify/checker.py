@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.verify.graph import SerializationGraph, build_graph
 from repro.verify.history import HistoryRecorder
+
+#: Dependency edge kinds in the Adya multiversion graph.
+EDGE_KINDS = ("ww", "wr", "rw")
 
 
 @dataclass
@@ -17,9 +20,35 @@ class CheckResult:
     #: A witness serial order (topological sort) when serializable.
     serial_order: Optional[List[int]]
     graph: SerializationGraph
+    #: Edges per dependency kind (ww/wr/rw) across the whole graph; the
+    #: rw count is the antidependency load SSI had to police.
+    edge_counts: Dict[str, int] = field(default_factory=dict)
+    #: When not serializable: the cycle's edges as (src, dst, kinds)
+    #: with kinds rendered "rw" / "ww+rw" -- the offending dependency
+    #: edges a sanitizer failure's post-mortem can cite directly.
+    cycle_edges: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def rw_edge_count(self) -> int:
+        """Total rw-antidependency edges (paper section 3.1)."""
+        return self.edge_counts.get("rw", 0)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.serializable
+
+
+def _edge_counts(graph: SerializationGraph) -> Dict[str, int]:
+    return {kind: len(graph.edges_of_type(kind)) for kind in EDGE_KINDS}
+
+
+def _cycle_edges(graph: SerializationGraph,
+                 cycle: List[int]) -> List[Tuple[int, int, str]]:
+    edges = []
+    for i, src in enumerate(cycle):
+        dst = cycle[(i + 1) % len(cycle)]
+        kinds = graph.edge_kinds(src, dst)
+        edges.append((src, dst, "+".join(sorted(kinds)) or "?"))
+    return edges
 
 
 def check_serializable(recorder: HistoryRecorder) -> CheckResult:
@@ -31,7 +60,10 @@ def check_serializable(recorder: HistoryRecorder) -> CheckResult:
     a topological sort").
     """
     graph = build_graph(recorder)
+    counts = _edge_counts(graph)
     cycle = graph.find_cycle()
     if cycle is not None:
-        return CheckResult(False, cycle, None, graph)
-    return CheckResult(True, None, graph.serial_order(), graph)
+        return CheckResult(False, cycle, None, graph, edge_counts=counts,
+                           cycle_edges=_cycle_edges(graph, cycle))
+    return CheckResult(True, None, graph.serial_order(), graph,
+                       edge_counts=counts)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-import random
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
 from typing import Callable, Optional
 
 from repro.config import EngineConfig

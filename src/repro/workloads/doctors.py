@@ -9,7 +9,7 @@ SERIALIZABLE (or S2PL) it cannot.
 
 from __future__ import annotations
 
-import random
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
 
 from repro.engine.isolation import IsolationLevel
 from repro.engine.predicate import Eq

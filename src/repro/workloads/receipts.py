@@ -16,7 +16,7 @@ violates it silently; ``violations(db)`` counts such cases after a run.
 
 from __future__ import annotations
 
-import random
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
 from typing import Dict, List, Tuple
 
 from repro.engine.isolation import IsolationLevel

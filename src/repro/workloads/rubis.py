@@ -11,7 +11,7 @@ reproduced here by ``search_category`` scanning items by category
 
 from __future__ import annotations
 
-import random
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
 from typing import List, Tuple
 
 from repro.engine.isolation import IsolationLevel

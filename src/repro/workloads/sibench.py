@@ -11,7 +11,7 @@ let them run concurrently (Figure 4).
 
 from __future__ import annotations
 
-import random
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
 
 from repro.engine.isolation import IsolationLevel
 from repro.engine.predicate import Eq

@@ -164,3 +164,38 @@ class TestGraphEdges:
         bad.rollback()
         graph = build_graph(db.recorder)
         assert bad_xid not in graph.graph.nodes
+
+
+class TestEdgeBreakdown:
+    """Per-edge-type counts on CheckResult (the rw count is the
+    antidependency load SSI had to police)."""
+
+    def test_counts_cover_every_kind(self):
+        db = recording_db()
+        run_write_skew(db, RR)
+        result = check_serializable(db.recorder)
+        assert set(result.edge_counts) == {"ww", "wr", "rw"}
+        assert result.edge_counts["rw"] >= 2  # Figure 3a: both rw edges
+        assert result.rw_edge_count == result.edge_counts["rw"]
+
+    def test_cycle_edges_name_the_offending_kinds(self):
+        db = recording_db()
+        (x1, x2), outcomes = run_write_skew(db, RR)
+        assert outcomes == ["committed", "committed"]
+        result = check_serializable(db.recorder)
+        assert not result.serializable
+        assert len(result.cycle_edges) == len(result.cycle)
+        pairs = {(src, dst): kinds for src, dst, kinds in result.cycle_edges}
+        assert {x1, x2} <= {x for pair in pairs for x in pair}
+        assert all("rw" in kinds for (src, dst), kinds in pairs.items()
+                   if {src, dst} == {x1, x2})
+
+    def test_serializable_history_has_no_cycle_edges(self):
+        db = recording_db()
+        run_write_skew(db, SER)
+        result = check_serializable(db.recorder)
+        assert result.serializable
+        assert result.cycle_edges == []
+        # The aborted pivot's reads are excluded from the committed
+        # history, so no antidependency survives.
+        assert result.rw_edge_count == 0
