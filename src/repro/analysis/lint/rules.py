@@ -115,8 +115,9 @@ class DeterminismRule(Rule):
                                "affect the logical history",
     }
     #: module prefixes allowed wholesale (the discrete-event simulator
-    #: owns all randomness, seeded per run).
-    ALLOWED_PREFIXES: Tuple[str, ...] = ("repro.sim",)
+    #: owns all randomness, seeded per run; the schedule explorer's
+    #: random walks use seeded Randoms and record every choice).
+    ALLOWED_PREFIXES: Tuple[str, ...] = ("repro.sim", "repro.explore")
 
     BANNED = {"time", "random"}
 

@@ -1,0 +1,46 @@
+"""repro.explore: schedule exploration for the SSI engine.
+
+A stateless model checker over the simulator: enumerate (or sample)
+the statement interleavings of small multi-client transaction
+programs, judge every completed schedule with differential oracles
+(Adya-graph acyclicity, serial-execution final states, cross-isolation
+differencing), shrink failures to minimal reproducers, and pin them as
+JSON replay files.
+
+    python -m repro.explore explore --program write_skew
+    python -m repro.explore replay tests/explore_corpus/write_skew.json
+    python -m repro.explore shrink --program write_skew_3 -o min.json
+
+See DESIGN.md, "Schedule exploration".
+"""
+
+from repro.explore.corpus import (BUILTIN_PROGRAMS, batch_processing,
+                                  builtin, read_only_anomaly,
+                                  receipt_report, write_skew)
+from repro.explore.explorer import (ExplorationError, ExplorationReport,
+                                    RunRecord, ScheduleFinding, StepMeta,
+                                    canonical_state, execute_schedule,
+                                    explore_exhaustive, explore_random,
+                                    independent)
+from repro.explore.oracles import (SERIALIZABLE_LEVELS, apply_oracles,
+                                   differential_explore, serial_states,
+                                   vacuity_findings)
+from repro.explore.program import (Program, Stmt, TableSpec, Txn, add, ref,
+                                   txn_name)
+from repro.explore.replay import (FixedSchedulePolicy, Replay, ReplayResult,
+                                  load_replay, run_replay, save_replay)
+from repro.explore.shrink import (explore_predicate, shrink_program,
+                                  shrink_to_replay)
+
+__all__ = [
+    "BUILTIN_PROGRAMS", "ExplorationError", "ExplorationReport",
+    "FixedSchedulePolicy", "Program", "Replay", "ReplayResult", "RunRecord",
+    "SERIALIZABLE_LEVELS", "ScheduleFinding", "StepMeta", "Stmt",
+    "TableSpec", "Txn", "add", "apply_oracles", "batch_processing",
+    "builtin", "canonical_state", "differential_explore",
+    "execute_schedule", "explore_exhaustive", "explore_predicate",
+    "explore_random", "independent", "load_replay", "read_only_anomaly",
+    "receipt_report", "ref", "run_replay", "save_replay", "serial_states",
+    "shrink_program", "shrink_to_replay", "txn_name", "vacuity_findings",
+    "write_skew",
+]

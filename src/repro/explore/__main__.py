@@ -1,0 +1,262 @@
+"""CLI: explore interleavings, replay pinned schedules, shrink failures.
+
+    python -m repro.explore explore --program write_skew --isolation si
+    python -m repro.explore random --program batch_processing --trials 200
+    python -m repro.explore replay tests/explore_corpus/write_skew.json
+    python -m repro.explore shrink --program write_skew_3 -o minimal.json
+    python -m repro.explore sweep --out-dir artifacts/
+
+Exit status is nonzero when an oracle violation is found (explore,
+sweep), an expectation fails to reproduce (replay), or no failure
+exists to shrink (shrink) -- so every subcommand is CI-gateable as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.engine.isolation import IsolationLevel
+from repro.explore.corpus import BUILTIN_PROGRAMS, builtin
+from repro.explore.explorer import (ExplorationReport, explore_exhaustive,
+                                    explore_random)
+from repro.explore.oracles import differential_explore, vacuity_findings
+from repro.explore.program import Program
+from repro.explore.replay import (Replay, load_replay, run_replay,
+                                  save_replay)
+from repro.explore.shrink import shrink_to_replay
+
+ISOLATION_NAMES = {
+    "rc": IsolationLevel.READ_COMMITTED,
+    "si": IsolationLevel.REPEATABLE_READ,
+    "repeatable_read": IsolationLevel.REPEATABLE_READ,
+    "serializable": IsolationLevel.SERIALIZABLE,
+    "ssi": IsolationLevel.SERIALIZABLE,
+    "s2pl": IsolationLevel.S2PL,
+}
+
+
+def _isolation(name: str) -> IsolationLevel:
+    try:
+        return ISOLATION_NAMES[name.lower()]
+    except KeyError:
+        raise SystemExit(f"unknown isolation {name!r}; "
+                         f"choose from {', '.join(sorted(ISOLATION_NAMES))}")
+
+
+def _load_program(args) -> Program:
+    if args.program_file:
+        with open(args.program_file) as fp:
+            d = json.load(fp)
+        # Accept either a bare program or a full replay file.
+        return Program.from_dict(d.get("program", d))
+    return builtin(args.program)
+
+
+def _program_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--program", default="write_skew",
+                        choices=sorted(BUILTIN_PROGRAMS),
+                        help="builtin program (default: write_skew)")
+    parser.add_argument("--program-file", metavar="FILE",
+                        help="load the program from a JSON file instead")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with all runtime sanitizers on")
+    parser.add_argument("--max-steps", type=int, default=4000,
+                        help="per-schedule step bound (default 4000)")
+
+
+def _print_report(report: ExplorationReport, verbose: bool) -> None:
+    print(report.summary())
+    findings = report.violations + (report.anomalies if verbose else [])
+    for finding in findings[:20]:
+        print(f"  {finding.kind} under {finding.isolation}: "
+              f"schedule={finding.schedule} {finding.detail}")
+
+
+def _cmd_explore(args) -> int:
+    program = _load_program(args)
+    if args.differential:
+        reports = differential_explore(
+            program, max_schedules=args.max_schedules,
+            max_steps_per_run=args.max_steps, prune=not args.no_prune,
+            sanitize=args.sanitize, perm_limit=args.perm_limit)
+        for report in reports.values():
+            _print_report(report, args.verbose)
+        problems = vacuity_findings(reports)
+        for finding in problems:
+            print(f"PROBLEM: {finding.kind} under {finding.isolation}: "
+                  f"{finding.detail}")
+        return 1 if problems else 0
+    report = explore_exhaustive(
+        program, _isolation(args.isolation),
+        max_schedules=args.max_schedules,
+        max_steps_per_run=args.max_steps, prune=not args.no_prune,
+        sanitize=args.sanitize, perm_limit=args.perm_limit)
+    _print_report(report, args.verbose)
+    return 1 if report.violations else 0
+
+
+def _cmd_random(args) -> int:
+    program = _load_program(args)
+    report = explore_random(
+        program, _isolation(args.isolation), trials=args.trials,
+        seed=args.seed, max_steps_per_run=args.max_steps,
+        sanitize=args.sanitize, perm_limit=args.perm_limit)
+    _print_report(report, args.verbose)
+    return 1 if report.violations else 0
+
+
+def _cmd_replay(args) -> int:
+    failed = False
+    for path in args.files:
+        replay = load_replay(path)
+        print(f"{path}: {replay.description or '(no description)'}")
+        levels = [replay.isolation]
+        if args.all_levels:
+            for level in (IsolationLevel.SERIALIZABLE, IsolationLevel.S2PL):
+                if level is not replay.isolation:
+                    levels.append(level)
+        for level in levels:
+            result = run_replay(replay, level, sanitize=not args.no_sanitize)
+            print(f"  {result.summary()}")
+            if not result.ok:
+                failed = True
+    return 1 if failed else 0
+
+
+def _cmd_shrink(args) -> int:
+    program = _load_program(args)
+    before = (program.txn_count(), program.stmt_count())
+    shrunk = shrink_to_replay(
+        program, _isolation(args.isolation),
+        max_schedules=args.max_schedules,
+        max_steps_per_run=args.max_steps)
+    if shrunk is None:
+        print("no failure found within the exploration bounds; "
+              "nothing to shrink")
+        return 1
+    replay, finding = shrunk
+    after = (replay.program.txn_count(), replay.program.stmt_count())
+    print(f"shrunk {before[0]} txns / {before[1]} stmts -> "
+          f"{after[0]} txns / {after[1]} stmts; "
+          f"witness: {finding.kind} schedule={finding.schedule}")
+    if args.output:
+        save_replay(args.output, replay)
+        print(f"wrote {args.output}")
+    else:
+        print(json.dumps(replay.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Bounded differential sweep over every builtin program: the CI
+    gate. SSI and S2PL must commit zero non-serializable histories;
+    SI must produce at least one anomaly per program. On failure the
+    shrunken counterexamples are written to --out-dir."""
+    failed = False
+    for name in sorted(BUILTIN_PROGRAMS):
+        if args.programs and name not in args.programs:
+            continue
+        program = builtin(name)
+        reports = differential_explore(
+            program, max_schedules=args.max_schedules,
+            max_steps_per_run=args.max_steps, sanitize=not args.no_sanitize,
+            perm_limit=args.perm_limit)
+        problems = vacuity_findings(reports)
+        for report in reports.values():
+            print(f"{name}: {report.summary()}")
+        if problems:
+            failed = True
+            for finding in problems:
+                print(f"{name}: PROBLEM {finding.kind} under "
+                      f"{finding.isolation}: {finding.detail}")
+            _emit_counterexamples(name, program, reports, args.out_dir)
+    print("sweep: " + ("FAIL" if failed else "ok"))
+    return 1 if failed else 0
+
+
+def _emit_counterexamples(name: str, program: Program, reports,
+                          out_dir: Optional[str]) -> None:
+    """Shrink each violated level's failure and write it as a replay
+    artifact (best effort -- the unshrunk witness is still printed)."""
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    for isolation, report in reports.items():
+        if not report.violations:
+            continue
+        kinds = tuple({f.kind for f in report.violations})
+        shrunk = shrink_to_replay(program, isolation, kinds=kinds,
+                                  description=f"sweep failure in {name}")
+        if shrunk is None:
+            continue
+        replay, _finding = shrunk
+        path = os.path.join(out_dir, f"{name}.{isolation.value}.json")
+        save_replay(path, replay)
+        print(f"{name}: wrote counterexample {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="schedule exploration, replay, and shrinking")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("explore", help="exhaustive interleaving enumeration")
+    _program_options(p)
+    p.add_argument("--isolation", default="si")
+    p.add_argument("--max-schedules", type=int, default=20000)
+    p.add_argument("--perm-limit", type=int, default=5)
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable sleep-set partial-order reduction")
+    p.add_argument("--differential", action="store_true",
+                   help="explore under SI, SSI and S2PL and cross-check")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print anomaly witnesses")
+    p.set_defaults(fn=_cmd_explore)
+
+    p = sub.add_parser("random", help="seeded random schedule sampling")
+    _program_options(p)
+    p.add_argument("--isolation", default="si")
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perm-limit", type=int, default=5)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_random)
+
+    p = sub.add_parser("replay", help="re-execute pinned replay files")
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument("--all-levels", action="store_true",
+                   help="also replay under SERIALIZABLE and S2PL")
+    p.add_argument("--no-sanitize", action="store_true")
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("shrink", help="minimize a failing program")
+    _program_options(p)
+    p.add_argument("--isolation", default="si")
+    p.add_argument("--max-schedules", type=int, default=400)
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the shrunken replay file here")
+    p.set_defaults(fn=_cmd_shrink)
+
+    p = sub.add_parser("sweep", help="differential sweep over the corpus "
+                       "(the CI gate)")
+    p.add_argument("--programs", nargs="*", metavar="NAME",
+                   help="restrict to these builtin programs")
+    p.add_argument("--max-schedules", type=int, default=20000)
+    p.add_argument("--max-steps", type=int, default=4000)
+    p.add_argument("--perm-limit", type=int, default=5)
+    p.add_argument("--no-sanitize", action="store_true")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write shrunken counterexample replays here")
+    p.set_defaults(fn=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""The paper's canonical anomaly programs, as explorable data.
+
+Each builder returns a :class:`repro.explore.program.Program` whose
+interleaving space contains the corresponding snapshot-isolation
+anomaly; the explorer finds it, the shrinker minimizes it, and the
+checked-in replay files under tests/explore_corpus/ pin one witness
+schedule per program forever.
+
+* :func:`write_skew` -- section 2.1.1 / Figure 1: the doctors on-call
+  write skew (disjoint writes guarded by overlapping reads);
+* :func:`batch_processing` -- section 2.2 / Figure 2: receipt inserted
+  into a batch a concurrent report already closed over (three
+  transactions, one read-only);
+* :func:`receipt_report` -- the receipt example reduced to phantoms:
+  two transactions whose predicate reads each miss the other's insert,
+  a write skew carried entirely by index-gap/phantom dependencies;
+* :func:`read_only_anomaly` -- Fekete, O'Neil & O'Neil's read-only
+  transaction anomaly: the two-writer sub-history is serializable and
+  only the read-only observer makes the execution non-serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.explore.program import Program, Stmt, TableSpec, Txn, add, ref
+
+
+def write_skew(n_clients: int = 2, recheck: bool = False) -> Program:
+    """Doctors on-call: every client checks >= 2 doctors are on call,
+    then takes itself off call. ``recheck`` appends a (futile) re-read
+    of the roster, growing the statement count for shrinker tests."""
+    tables = [TableSpec(
+        name="doctors", columns=["name", "oncall"], key="name",
+        rows=[{"name": f"doc{i}", "oncall": True}
+              for i in range(n_clients)])]
+    clients = []
+    for i in range(n_clients):
+        stmts = [
+            Stmt("select", "doctors", where=["eq", "oncall", True]),
+            Stmt("update", "doctors", where=["eq", "name", f"doc{i}"],
+                 set={"oncall": False},
+                 guard={"stmt": 0, "min_rows": 2}),
+        ]
+        if recheck:
+            stmts.append(Stmt("select", "doctors",
+                              where=["eq", "oncall", True]))
+        clients.append([Txn(stmts)])
+    return Program(tables=tables, clients=clients)
+
+
+def batch_processing() -> Program:
+    """Figure 2: NEW-RECEIPT (client 0) reads the current batch and
+    inserts a receipt into it; CLOSE-BATCH (client 1) increments the
+    batch number; REPORT (client 2, read-only) sums the receipts of the
+    just-closed batch. The anomalous interleaving commits a receipt
+    into a batch whose report already ran."""
+    tables = [
+        TableSpec(name="control", columns=["id", "batch"], key="id",
+                  rows=[{"id": 0, "batch": 1}]),
+        TableSpec(name="receipts", columns=["rid", "batch", "amount"],
+                  key="rid", indexes=["batch"],
+                  rows=[{"rid": 0, "batch": 0, "amount": 5}]),
+    ]
+    new_receipt = Txn([
+        Stmt("select", "control", where=["eq", "id", 0]),
+        Stmt("insert", "receipts",
+             row={"rid": 1, "batch": ref(0, "batch"), "amount": 10}),
+    ])
+    close_batch = Txn([
+        Stmt("update", "control", where=["eq", "id", 0],
+             set={"batch": add("batch", 1)}),
+    ])
+    report = Txn([
+        Stmt("select", "control", where=["eq", "id", 0]),
+        Stmt("select", "receipts", where=["eq", "batch", ref(0, "batch", -1)]),
+    ], read_only=True)
+    return Program(tables=tables,
+                   clients=[[new_receipt], [close_batch], [report]])
+
+
+def receipt_report() -> Program:
+    """Write skew through phantoms only: the reporter counts the
+    receipts of batch 1 and inserts a summary row; the teller inserts a
+    new batch-1 receipt and checks no summary exists yet. Each
+    predicate read misses the other transaction's insert."""
+    tables = [
+        TableSpec(name="receipts", columns=["rid", "batch", "amount"],
+                  key="rid", indexes=["batch"],
+                  rows=[{"rid": 0, "batch": 1, "amount": 5}]),
+        TableSpec(name="totals", columns=["batch", "total"], key="batch"),
+    ]
+    reporter = Txn([
+        Stmt("select", "receipts", where=["eq", "batch", 1]),
+        Stmt("insert", "totals", row={"batch": 1, "total": 5}),
+    ])
+    teller = Txn([
+        Stmt("select", "totals", where=["eq", "batch", 1]),
+        Stmt("insert", "receipts", row={"rid": 1, "batch": 1, "amount": 10}),
+    ])
+    return Program(tables=tables, clients=[[reporter], [teller]])
+
+
+def read_only_anomaly() -> Program:
+    """Fekete et al.'s read-only transaction anomaly over a savings (x)
+    and checking (y) pair: WITHDRAW (client 0) reads both and debits x
+    with an overdraft penalty; DEPOSIT (client 1) credits y; REPORT
+    (client 2, read-only) observes the deposit but not the withdrawal.
+    Without the report, <WITHDRAW, DEPOSIT> is a serializable order;
+    the read-only observer creates the cycle."""
+    tables = [TableSpec(
+        name="acct", columns=["id", "bal"], key="id",
+        rows=[{"id": "x", "bal": 0}, {"id": "y", "bal": 0}])]
+    withdraw = Txn([
+        Stmt("select", "acct", where=["eq", "id", "x"]),
+        Stmt("select", "acct", where=["eq", "id", "y"]),
+        Stmt("update", "acct", where=["eq", "id", "x"],
+             set={"bal": add("bal", -11)}),
+    ])
+    deposit = Txn([
+        Stmt("update", "acct", where=["eq", "id", "y"],
+             set={"bal": add("bal", 20)}),
+    ])
+    report = Txn([
+        Stmt("select", "acct", where=["eq", "id", "x"]),
+        Stmt("select", "acct", where=["eq", "id", "y"]),
+    ], read_only=True)
+    return Program(tables=tables, clients=[[withdraw], [deposit], [report]])
+
+
+#: name -> zero-argument builder (the CLI's --program registry).
+BUILTIN_PROGRAMS: Dict[str, Callable[[], Program]] = {
+    "write_skew": write_skew,
+    "write_skew_3": lambda: write_skew(n_clients=3),
+    "batch_processing": batch_processing,
+    "receipt_report": receipt_report,
+    "read_only_anomaly": read_only_anomaly,
+}
+
+
+def builtin(name: str) -> Program:
+    try:
+        return BUILTIN_PROGRAMS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown builtin program {name!r}; "
+            f"available: {', '.join(sorted(BUILTIN_PROGRAMS))}") from None

@@ -1,0 +1,136 @@
+"""Differential oracles run on every explored schedule.
+
+Three independent ways to decide whether a completed schedule was
+correct, so a bug in any one layer is caught by another:
+
+* **graph oracle** -- the offline Adya multiversion serialization graph
+  (:func:`repro.verify.check_serializable`) must be acyclic for every
+  history an isolation level claims serializable (SERIALIZABLE, S2PL);
+* **serial-state oracle** -- the final database state of the concurrent
+  execution must equal the final state of *some* serial execution of
+  the transactions that committed (enumerated up to ``perm_limit``
+  factorial permutations, memoized per committed set). A history the
+  graph calls serializable whose state matches no serial order exposes
+  a recorder or checker bug, so that divergence is a violation under
+  *every* isolation level;
+* **cross-isolation differencing** -- at the campaign level (see
+  :func:`differential_explore`): SSI and S2PL must commit zero
+  non-serializable histories over a program corpus, while plain
+  snapshot isolation over the same corpus must exhibit at least one
+  anomaly -- otherwise the corpus is vacuous and proves nothing.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.errors import ReproError
+from repro.explore.explorer import (ExplorationReport, RunRecord,
+                                    ScheduleFinding, canonical_state,
+                                    explore_exhaustive)
+from repro.explore.program import Program
+
+#: Isolation levels that promise serializable histories.
+SERIALIZABLE_LEVELS = (IsolationLevel.SERIALIZABLE, IsolationLevel.S2PL)
+
+#: Cache key -> set of reachable serial final states (None while a
+#: committed set is too large or no permutation executed cleanly).
+SerialCache = Dict[Tuple[str, Tuple[str, ...]], Optional[Set[tuple]]]
+
+
+def serial_states(program: Program, isolation: IsolationLevel,
+                  committed: Tuple[str, ...], cache: SerialCache,
+                  perm_limit: int = 5) -> Optional[Set[tuple]]:
+    """All final states reachable by executing the committed
+    transactions serially, in any order. Returns None when the oracle
+    does not apply (too many transactions, or no permutation ran
+    cleanly). Memoized per committed set: every schedule that commits
+    the same transactions shares one enumeration."""
+    key = (isolation.value, committed)
+    if key in cache:
+        return cache[key]
+    if len(committed) > perm_limit:
+        cache[key] = None
+        return None
+    by_name = dict(program.all_txns())
+    txns = [by_name[name] for name in committed]
+    states: Set[tuple] = set()
+    for order in permutations(range(len(txns))):
+        db = program.build_db(record_history=False)
+        session = db.session()
+        try:
+            for i in order:
+                program.run_txn_directly(session, txns[i], isolation)
+        except ReproError:
+            # This order is not serially executable (e.g. a duplicate
+            # key); it contributes no reference state.
+            if session.in_transaction():
+                session.rollback()
+            continue
+        states.add(canonical_state(db, program))
+    result = states or None
+    cache[key] = result
+    return result
+
+
+def apply_oracles(report: ExplorationReport, program: Program,
+                  isolation: IsolationLevel, record: RunRecord,
+                  cache: SerialCache, *, serial_oracle: bool = True,
+                  perm_limit: int = 5) -> None:
+    """Judge one completed run and file findings into the report."""
+    report.distinct_states.add(record.state)
+    check = record.check
+    if not check.serializable:
+        finding = ScheduleFinding(
+            "non-serializable-commit", isolation.value, record.schedule,
+            f"cycle {check.cycle} via {check.cycle_edges}")
+        if isolation in SERIALIZABLE_LEVELS:
+            report.violations.append(finding)
+        else:
+            report.anomalies.append(finding)
+        return
+    if not serial_oracle:
+        return
+    reference = serial_states(program, isolation, record.committed_txns,
+                              cache, perm_limit=perm_limit)
+    if reference is not None and record.state not in reference:
+        # The graph says serializable but no serial order reproduces
+        # the state: a checker/recorder bug under any isolation level.
+        report.violations.append(ScheduleFinding(
+            "state-divergence", isolation.value, record.schedule,
+            f"final state matches none of {len(reference)} serial states "
+            f"of {record.committed_txns}"))
+
+
+def differential_explore(program: Program, *,
+                         isolations: Iterable[IsolationLevel] = (
+                             IsolationLevel.REPEATABLE_READ,
+                             IsolationLevel.SERIALIZABLE,
+                             IsolationLevel.S2PL),
+                         **explore_kwargs
+                         ) -> Dict[IsolationLevel, ExplorationReport]:
+    """Explore the same program under several isolation levels with the
+    same bounds -- the cross-isolation oracle's raw material."""
+    return {isolation: explore_exhaustive(program, isolation,
+                                          **explore_kwargs)
+            for isolation in isolations}
+
+
+def vacuity_findings(reports: Dict[IsolationLevel, ExplorationReport]
+                     ) -> list:
+    """Campaign-level differential verdicts as a list of problems
+    (empty = healthy): any violation under a serializable level, and a
+    vacuous corpus (SI explored but produced zero anomalies)."""
+    problems = []
+    for isolation, report in reports.items():
+        problems.extend(report.violations)
+    si = reports.get(IsolationLevel.REPEATABLE_READ)
+    if si is not None and si.schedules_complete and not si.anomalies:
+        problems.append(ScheduleFinding(
+            "vacuous-corpus", IsolationLevel.REPEATABLE_READ.value, [],
+            f"{si.schedules_complete} SI schedules explored without a "
+            f"single anomaly: the program cannot distinguish SI from "
+            f"serializable execution"))
+    return problems

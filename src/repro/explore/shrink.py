@@ -1,0 +1,199 @@
+"""Delta-debugging shrinker: minimize a failing (program, schedule).
+
+Given a program whose interleaving space contains a failure (an SI
+anomaly witness or an oracle violation), the shrinker greedily removes
+whole clients, then whole transactions, then individual statements --
+re-exploring each candidate with a bounded exhaustive search to decide
+whether the failure survives -- until the program is 1-minimal: no
+single removal preserves the failure. The companion schedule is not
+shrunk positionally (statement removal invalidates recorded positions);
+instead the minimal program is re-explored and the DFS's first failing
+schedule, which is lexicographically earliest, becomes the witness.
+
+This is the classic ddmin shape specialized to structured programs:
+removal candidates are semantic units (client / transaction /
+statement) rather than line ranges, which converges in few probes and
+never produces syntactically invalid intermediate programs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.isolation import IsolationLevel
+from repro.explore.explorer import (ExplorationReport, ScheduleFinding,
+                                    explore_exhaustive)
+from repro.explore.program import Program
+from repro.explore.replay import Replay
+
+
+def _clone(program: Program) -> Program:
+    return Program.from_dict(program.to_dict())
+
+
+def explore_predicate(isolation: IsolationLevel, *,
+                      kinds: Optional[Tuple[str, ...]] = None,
+                      max_schedules: int = 400,
+                      max_steps_per_run: int = 2000,
+                      perm_limit: int = 4
+                      ) -> Callable[[Program], Optional[ScheduleFinding]]:
+    """Failure predicate for :func:`shrink_program`: bounded exhaustive
+    exploration; the program "fails" when it yields any anomaly or
+    violation (optionally restricted to the given finding kinds).
+    Returns the first matching finding, or None."""
+
+    def probe(program: Program) -> Optional[ScheduleFinding]:
+        report = explore_exhaustive(
+            program, isolation, max_schedules=max_schedules,
+            max_steps_per_run=max_steps_per_run, perm_limit=perm_limit)
+        for finding in report.anomalies + report.violations:
+            if kinds is None or finding.kind in kinds:
+                return finding
+        return None
+
+    return probe
+
+
+def _drop_client(program: Program, cid: int) -> Program:
+    out = _clone(program)
+    del out.clients[cid]
+    return out
+
+
+def _drop_txn(program: Program, cid: int, tid: int) -> Program:
+    out = _clone(program)
+    del out.clients[cid][tid]
+    if not out.clients[cid]:
+        del out.clients[cid]
+    return out
+
+
+def _drop_stmt(program: Program, cid: int, tid: int, sid: int) -> Program:
+    out = _clone(program)
+    txn = out.clients[cid][tid]
+    del txn.stmts[sid]
+    # Guards and $refs index into the statement list; drop any
+    # statement whose back-reference just dangled or shifted.
+    for stmt in txn.stmts:
+        if stmt.guard is not None and stmt.guard["stmt"] >= sid:
+            stmt.guard = None if stmt.guard["stmt"] == sid else {
+                **stmt.guard, "stmt": stmt.guard["stmt"] - 1}
+    if not txn.stmts:
+        del out.clients[cid][tid]
+        if not out.clients[cid]:
+            del out.clients[cid]
+    return out
+
+
+def _references_ok(program: Program) -> bool:
+    """Reject candidates whose $ref dataflow dangles after a removal."""
+    for txns in program.clients:
+        for txn in txns:
+            for idx, stmt in enumerate(txn.stmts):
+                for value in _ref_values(stmt):
+                    target = value["$ref"]["stmt"]
+                    if not (0 <= target < idx):
+                        return False
+                    if txn.stmts[target].op not in ("select",
+                                                    "select_for_update"):
+                        return False
+    return True
+
+
+def _ref_values(stmt) -> List[dict]:
+    values = []
+    for container in (stmt.row, stmt.set):
+        if container:
+            values.extend(v for v in container.values()
+                          if isinstance(v, dict) and "$ref" in v)
+    if stmt.where:
+        values.extend(v for v in stmt.where
+                      if isinstance(v, dict) and "$ref" in v)
+    return values
+
+
+def shrink_program(program: Program,
+                   fails: Callable[[Program], Optional[ScheduleFinding]]
+                   ) -> Program:
+    """Greedy structural ddmin to a 1-minimal failing program."""
+    current = program
+    changed = True
+    while changed:
+        changed = False
+        # Pass 1: whole clients.
+        cid = 0
+        while cid < len(current.clients) and len(current.clients) > 1:
+            candidate = _drop_client(current, cid)
+            if fails(candidate) is not None:
+                current = candidate
+                changed = True
+            else:
+                cid += 1
+        # Pass 2: whole transactions.
+        cid = 0
+        while cid < len(current.clients):
+            tid = 0
+            while tid < len(current.clients[cid]):
+                if current.txn_count() <= 1:
+                    break
+                candidate = _drop_txn(current, cid, tid)
+                if fails(candidate) is not None:
+                    current = candidate
+                    changed = True
+                    if cid >= len(current.clients):
+                        break
+                else:
+                    tid += 1
+            cid += 1
+        # Pass 3: individual statements.
+        cid = 0
+        while cid < len(current.clients):
+            tid = 0
+            while tid < len(current.clients[cid]):
+                sid = 0
+                while sid < len(current.clients[cid][tid].stmts):
+                    candidate = _drop_stmt(current, cid, tid, sid)
+                    if (_references_ok(candidate)
+                            and fails(candidate) is not None):
+                        current = candidate
+                        changed = True
+                        if (cid >= len(current.clients)
+                                or tid >= len(current.clients[cid])):
+                            break
+                    else:
+                        sid += 1
+                else:
+                    tid += 1
+                    continue
+                break
+            cid += 1
+    return current
+
+
+def shrink_to_replay(program: Program, isolation: IsolationLevel, *,
+                     kinds: Optional[Tuple[str, ...]] = None,
+                     max_schedules: int = 400,
+                     max_steps_per_run: int = 2000,
+                     description: str = ""
+                     ) -> Optional[Tuple[Replay, ScheduleFinding]]:
+    """Shrink and package: minimize the program, re-find the earliest
+    failing schedule, and return it as a loadable replay (None when the
+    original program does not fail within the bounds)."""
+    fails = explore_predicate(isolation, kinds=kinds,
+                              max_schedules=max_schedules,
+                              max_steps_per_run=max_steps_per_run)
+    if fails(program) is None:
+        return None
+    minimal = shrink_program(program, fails)
+    finding = fails(minimal)
+    expect = {"anomaly": True, "serializable_aborts": True,
+              "s2pl_serializable": True}
+    if isolation in (IsolationLevel.SERIALIZABLE, IsolationLevel.S2PL):
+        # A violation of a serializable level is a bug reproducer, not
+        # an expected anomaly.
+        expect = {}
+    replay = Replay(program=minimal, isolation=isolation,
+                    schedule=list(finding.schedule), expect=expect,
+                    description=description or
+                    f"shrunk {finding.kind} witness under {isolation.value}")
+    return replay, finding

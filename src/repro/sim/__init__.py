@@ -23,7 +23,7 @@ deadlocks is charged exactly as it would be on a real system.
 from repro.sim.ops import (begin, commit, delete, insert, rollback, select,
                            select_for_update, update, Op)
 from repro.sim.client import Client, ClientStats, TxnOutcome
-from repro.sim.scheduler import Scheduler, SimResult
+from repro.sim.scheduler import Scheduler, SchedulerPolicy, SimResult
 
 __all__ = [
     "Op",
@@ -39,5 +39,6 @@ __all__ = [
     "ClientStats",
     "TxnOutcome",
     "Scheduler",
+    "SchedulerPolicy",
     "SimResult",
 ]

@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import random
 
 from repro.config import CostModel
 from repro.sim.client import Client, ClientStats
+
+#: A scheduling policy: given the non-empty list of runnable clients
+#: (in registration order), return the one to step next, or None to
+#: stop the run early (used by the exploration driver to prune a
+#: schedule subtree; see repro.explore).
+SchedulerPolicy = Callable[[List[Client]], Optional[Client]]
 
 
 @dataclass
@@ -30,29 +36,41 @@ class SimResult:
     @property
     def throughput(self) -> float:
         """Committed transactions per kilotick -- the paper's
-        transactions/second, in simulated units."""
-        return self.commits / self.ticks * 1000.0 if self.ticks else 0.0
+        transactions/second, in simulated units. An empty run (zero
+        ticks elapsed) has throughput 0.0, not a ZeroDivisionError."""
+        if not self.ticks:
+            return 0.0
+        return self.commits / self.ticks * 1000.0
 
     @property
     def serialization_failure_rate(self) -> float:
-        """Failures per transaction attempt (cf. Figure 6)."""
+        """Failures per transaction attempt (cf. Figure 6). A run with
+        zero attempts (no commits, no aborts) has rate 0.0."""
         attempts = self.commits + self.aborts
-        return self.serialization_failures / attempts if attempts else 0.0
+        if not attempts:
+            return 0.0
+        return self.serialization_failures / attempts
 
 
 class Scheduler:
     """Interleaves client steps, charging simulated time per statement.
 
-    Picking the next runnable client uses a seeded RNG, so runs are
-    reproducible; blocked clients wake only when their wait condition
+    Picking the next runnable client is delegated to a pluggable
+    *policy* (``pick(runnable) -> Client``). The default policy draws
+    from a seeded RNG, so runs are reproducible byte-for-byte for the
+    same seed; the schedule-exploration harness (repro.explore) plugs
+    in deterministic policies to enumerate or replay specific
+    interleavings. Blocked clients wake only when their wait condition
     reports ready (lock granted, safe snapshot decided).
     """
 
     def __init__(self, db, seed: int = 0,
-                 cost: Optional[CostModel] = None) -> None:
+                 cost: Optional[CostModel] = None,
+                 policy: Optional[SchedulerPolicy] = None) -> None:
         self.db = db
         self.cost = cost or db.config.cost
         self.rng = random.Random(seed)
+        self.policy: SchedulerPolicy = policy or self._default_pick
         self.clients: List[Client] = []
         self.clock = 0.0
         self.steps = 0
@@ -61,6 +79,11 @@ class Scheduler:
 
     def add_client(self, client: Client) -> None:
         self.clients.append(client)
+
+    # ------------------------------------------------------------------
+    def _default_pick(self, runnable: List[Client]) -> Optional[Client]:
+        """Seeded-RNG policy: the original scheduler behaviour."""
+        return self.rng.choice(runnable)
 
     # ------------------------------------------------------------------
     def _charge(self) -> float:
@@ -114,7 +137,9 @@ class Scheduler:
                     "and none is ready -- "
                     + "; ".join(repr(c.wait_condition)
                                 for c in unfinished if c.blocked))
-            client = self.rng.choice(runnable)
+            client = self.policy(runnable)
+            if client is None:
+                break  # policy declined to continue (exploration prune)
             was_blocked = client.blocked
             client.step(self.clock)
             self.steps += 1

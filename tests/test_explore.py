@@ -1,0 +1,324 @@
+"""Unit and integration tests for the schedule-exploration harness."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.isolation import IsolationLevel
+from repro.explore import (FixedSchedulePolicy, Program, Replay, Stmt,
+                           StepMeta, TableSpec, Txn, add, batch_processing,
+                           builtin, execute_schedule, explore_exhaustive,
+                           explore_predicate, explore_random, independent,
+                           load_replay, ref, run_replay, save_replay,
+                           shrink_program, shrink_to_replay, write_skew)
+from repro.sim import Client, Scheduler, ops
+
+SI = IsolationLevel.REPEATABLE_READ
+SER = IsolationLevel.SERIALIZABLE
+S2PL = IsolationLevel.S2PL
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# program model
+# ---------------------------------------------------------------------------
+class TestProgramModel:
+    def test_round_trips_through_json(self):
+        for name in ("write_skew", "batch_processing", "receipt_report",
+                     "read_only_anomaly"):
+            program = builtin(name)
+            blob = json.dumps(program.to_dict(), sort_keys=True)
+            again = Program.from_dict(json.loads(blob))
+            assert again.to_dict() == program.to_dict()
+            assert json.dumps(again.to_dict(), sort_keys=True) == blob
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown statement op"):
+            Stmt.from_dict({"op": "truncate", "table": "t"})
+
+    def test_guard_blocks_statement(self):
+        stmt = Stmt("update", "t", guard={"stmt": 0, "min_rows": 2})
+        assert stmt.guard_passes([[{"k": 1}, {"k": 2}]])
+        assert not stmt.guard_passes([[{"k": 1}]])
+        assert not stmt.guard_passes([None])  # guarded on a skipped stmt
+
+    def test_ref_and_add_resolve_during_execution(self):
+        program = batch_processing()
+        db = program.build_db()
+        session = db.session()
+        # NEW-RECEIPT then CLOSE-BATCH serially: receipt lands in batch 1.
+        program.run_txn_directly(session, program.clients[0][0], SI)
+        program.run_txn_directly(session, program.clients[1][0], SI)
+        rows = {r["rid"]: r for r in session.select("receipts")}
+        assert rows[1]["batch"] == 1
+        control = session.select("control")[0]
+        assert control["batch"] == 2
+
+    def test_builtin_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown builtin"):
+            builtin("nope")
+
+
+# ---------------------------------------------------------------------------
+# scheduler policy plug (the satellite refactor)
+# ---------------------------------------------------------------------------
+class TestSchedulerPolicy:
+    def _db_and_clients(self, scheduler_policy=None, seed=0):
+        program = write_skew()
+        db = program.build_db()
+        scheduler = Scheduler(db, seed=seed, policy=scheduler_policy)
+        from repro.explore.explorer import attach_clients
+        attach_clients(program, db, scheduler, SI)
+        return db, scheduler
+
+    def test_default_policy_is_seed_deterministic(self):
+        def trace(seed):
+            choices = []
+            def spy(runnable, choices=choices):
+                # Delegate to the scheduler's own default policy.
+                client = scheduler.rng.choice(runnable)
+                choices.append(client.client_id)
+                return client
+            db, scheduler = self._db_and_clients(spy, seed=seed)
+            scheduler.run(max_steps=500)
+            return choices
+        assert trace(42) == trace(42)
+        assert trace(42) != trace(43)  # different seed, different trace
+
+    def test_round_robin_policy_is_honoured(self):
+        state = {"i": 0}
+        def round_robin(runnable):
+            state["i"] += 1
+            return runnable[state["i"] % len(runnable)]
+        db, scheduler = self._db_and_clients(round_robin)
+        result = scheduler.run(max_steps=500)
+        assert result.commits == 2
+
+    def test_policy_none_stops_the_run(self):
+        calls = {"n": 0}
+        def stop_after_three(runnable):
+            calls["n"] += 1
+            return runnable[0] if calls["n"] <= 3 else None
+        db, scheduler = self._db_and_clients(stop_after_three)
+        scheduler.run(max_steps=500)
+        assert scheduler.steps == 3
+
+
+# ---------------------------------------------------------------------------
+# independence relation
+# ---------------------------------------------------------------------------
+class TestIndependence:
+    def test_boundary_commutes_with_everything(self):
+        assert independent(StepMeta("boundary"), StepMeta("commit"))
+        assert independent(StepMeta("update", "t"), StepMeta("boundary"))
+
+    def test_control_steps_are_dependent(self):
+        assert not independent(StepMeta("commit"), StepMeta("select", "t"))
+        assert not independent(StepMeta("begin"), StepMeta("begin"))
+
+    def test_reads_commute_writes_conflict(self):
+        r1, r2 = StepMeta("select", "t"), StepMeta("select", "t")
+        w = StepMeta("update", "t")
+        assert independent(r1, r2)
+        assert not independent(r1, w)
+        assert not independent(w, w)
+
+    def test_disjoint_tables_commute(self):
+        assert independent(StepMeta("update", "a"), StepMeta("update", "b"))
+        assert independent(StepMeta("insert", "a"), StepMeta("delete", "b"))
+
+
+# ---------------------------------------------------------------------------
+# exhaustive exploration (the tentpole)
+# ---------------------------------------------------------------------------
+class TestExhaustiveExploration:
+    def test_write_skew_si_anomaly_found_ssi_clean(self):
+        """The acceptance scenario: full enumeration of the 2-client
+        write-skew program finds the SI anomaly and proves SSI and S2PL
+        commit no non-serializable history."""
+        program = write_skew()
+        si = explore_exhaustive(program, SI)
+        assert si.exhausted
+        assert si.anomalies, "exhaustive SI exploration missed write skew"
+        assert not si.violations
+        for level in (SER, S2PL):
+            rep = explore_exhaustive(program, level)
+            assert rep.exhausted
+            assert not rep.violations, rep.violations
+            assert not rep.anomalies
+
+    def test_pruning_is_sound_and_effective(self):
+        """Sleep sets must not lose outcomes (same distinct final
+        states, same anomaly verdict) and must actually shrink the
+        number of executed complete schedules."""
+        program = write_skew()
+        full = explore_exhaustive(program, SI, prune=False)
+        pruned = explore_exhaustive(program, SI, prune=True)
+        assert full.exhausted and pruned.exhausted
+        assert pruned.distinct_states == full.distinct_states
+        assert bool(pruned.anomalies) == bool(full.anomalies)
+        assert pruned.schedules_complete < full.schedules_complete
+
+    def test_schedule_budget_is_respected(self):
+        report = explore_exhaustive(write_skew(), SI, max_schedules=5)
+        assert report.runs == 5
+        assert not report.exhausted
+
+    def test_anomaly_witness_replays_exactly(self):
+        """Any reported schedule must reproduce its verdict when fed
+        back through a fixed-schedule policy -- the engine is
+        deterministic."""
+        report = explore_exhaustive(write_skew(), SI)
+        witness = report.anomalies[0]
+        policy = FixedSchedulePolicy(witness.schedule, strict=True)
+        record = execute_schedule(write_skew(), SI, policy.pick)
+        assert record.complete and not policy.diverged
+        assert not record.check.serializable
+
+    def test_execute_schedule_is_deterministic(self):
+        witness = explore_exhaustive(write_skew(), SI).anomalies[0]
+        states = set()
+        for _ in range(3):
+            policy = FixedSchedulePolicy(witness.schedule)
+            record = execute_schedule(write_skew(), SI, policy.pick)
+            states.add(record.state)
+        assert len(states) == 1
+
+
+# ---------------------------------------------------------------------------
+# seeded random exploration
+# ---------------------------------------------------------------------------
+class TestRandomExploration:
+    def test_finds_write_skew_and_records_schedules(self):
+        report = explore_random(write_skew(), SI, trials=40, seed=11)
+        assert report.schedules_complete == 40
+        assert report.anomalies
+        for finding in report.anomalies:
+            assert finding.schedule  # full choice sequence recorded
+
+    def test_same_seed_same_findings(self):
+        a = explore_random(write_skew(), SI, trials=20, seed=3)
+        b = explore_random(write_skew(), SI, trials=20, seed=3)
+        assert ([f.schedule for f in a.anomalies]
+                == [f.schedule for f in b.anomalies])
+
+    def test_random_witness_replays(self):
+        report = explore_random(write_skew(), SI, trials=40, seed=11)
+        witness = report.anomalies[0]
+        policy = FixedSchedulePolicy(witness.schedule)
+        record = execute_schedule(write_skew(), SI, policy.pick)
+        assert record.complete and not record.check.serializable
+
+
+# ---------------------------------------------------------------------------
+# shrinker
+# ---------------------------------------------------------------------------
+class TestShrinker:
+    def test_shrinks_seeded_failure_to_minimum(self):
+        """A deliberately bloated write-skew program (3 clients, spare
+        re-reads) must shrink to at most 3 transactions and 6
+        statements while still failing."""
+        bloated = write_skew(n_clients=3, recheck=True)
+        assert bloated.txn_count() == 3 and bloated.stmt_count() == 9
+        out = shrink_to_replay(bloated, SI, max_schedules=300)
+        assert out is not None
+        replay, finding = out
+        assert replay.program.txn_count() <= 3
+        assert replay.program.stmt_count() <= 6
+        assert finding.kind == "non-serializable-commit"
+        # The minimized replay still reproduces the anomaly.
+        assert run_replay(replay, sanitize=False).ok
+
+    def test_shrunk_program_is_one_minimal(self):
+        fails = explore_predicate(SI, max_schedules=300)
+        minimal = shrink_program(write_skew(n_clients=3, recheck=True),
+                                 fails)
+        # Write skew needs two writers: dropping any whole transaction
+        # must make the failure vanish.
+        assert minimal.txn_count() == 2
+        for cid in range(len(minimal.clients)):
+            pruned = Program.from_dict(minimal.to_dict())
+            del pruned.clients[cid]
+            assert fails(pruned) is None
+
+    def test_nothing_to_shrink_returns_none(self):
+        # A single-client program cannot produce an anomaly.
+        program = write_skew()
+        program.clients = program.clients[:1]
+        assert shrink_to_replay(program, SI, max_schedules=100) is None
+
+
+# ---------------------------------------------------------------------------
+# replay files
+# ---------------------------------------------------------------------------
+class TestReplayFiles:
+    def _witness_replay(self):
+        witness = explore_exhaustive(write_skew(), SI).anomalies[0]
+        return Replay(program=write_skew(), isolation=SI,
+                      schedule=witness.schedule,
+                      expect={"anomaly": True, "serializable_aborts": True},
+                      description="test witness")
+
+    def test_save_load_round_trip(self, tmp_path):
+        replay = self._witness_replay()
+        path = tmp_path / "ws.json"
+        save_replay(str(path), replay)
+        again = load_replay(str(path))
+        assert again.to_dict() == replay.to_dict()
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro-explore-replay"):
+            load_replay(str(path))
+
+    def test_strict_replay_flags_divergence(self):
+        replay = self._witness_replay()
+        # Corrupt the schedule: client 9 never exists, so strict replay
+        # diverges and the anomaly expectation fails.
+        replay.schedule = [9] * len(replay.schedule)
+        result = run_replay(replay, sanitize=False)
+        assert result.diverged
+        assert result.checks.get("anomaly") is False
+
+    def test_expectations_across_levels(self):
+        replay = self._witness_replay()
+        assert run_replay(replay, sanitize=False).ok
+        ser = run_replay(replay, SER, sanitize=False)
+        assert ser.checks == {"serializable_aborts": True}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCli:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.explore", *argv],
+            capture_output=True, text=True, cwd=str(REPO),
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+
+    def test_explore_subcommand(self):
+        proc = self._run("explore", "--program", "write_skew",
+                         "--isolation", "si")
+        assert proc.returncode == 0, proc.stderr
+        assert "anomalies" in proc.stdout
+
+    def test_replay_subcommand_on_corpus(self):
+        corpus = REPO / "tests" / "explore_corpus" / "write_skew.json"
+        proc = self._run("replay", str(corpus), "--all-levels")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "anomaly=ok" in proc.stdout
+        assert "serializable_aborts=ok" in proc.stdout
+
+    def test_shrink_subcommand_writes_replay(self, tmp_path):
+        out = tmp_path / "min.json"
+        proc = self._run("shrink", "--program", "write_skew_3",
+                         "--max-schedules", "200", "-o", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        replay = load_replay(str(out))
+        assert replay.program.txn_count() <= 3

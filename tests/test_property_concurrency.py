@@ -19,6 +19,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import EngineConfig
 from repro.engine import Between, Database, Eq, IsolationLevel
+from repro.explore.explorer import _RandomDriver
 from repro.sim import Client, Scheduler, ops
 from repro.verify import check_serializable
 
@@ -62,7 +63,7 @@ def build_program(actions, isolation):
     return generator
 
 
-def run_random_history(programs, isolation, seed):
+def run_random_history(programs, isolation, seed, policy=None):
     db = Database(EngineConfig(record_history=True))
     db.create_table("t", ["k", "v"], key="k")
     setup = db.session()
@@ -70,7 +71,7 @@ def run_random_history(programs, isolation, seed):
     for k in range(KEYSPACE):
         setup.insert("t", {"k": k, "v": 0})
     setup.commit()
-    scheduler = Scheduler(db, seed=seed)
+    scheduler = Scheduler(db, seed=seed, policy=policy)
     for cid, txns in enumerate(programs):
         queue = [("txn", build_program(actions, isolation))
                  for actions in txns]
@@ -103,6 +104,24 @@ def test_s2pl_histories_are_serializable(programs, seed):
     result = check_serializable(db.recorder)
     assert result.serializable, (
         f"S2PL committed a non-serializable history! cycle={result.cycle}")
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs=client_programs, seed=st.integers(0, 1_000))
+def test_serializable_under_many_interleavings(programs, seed):
+    """Explorer-strategy scheduling: instead of one scheduler seed per
+    generated program, plug in several independent exploration policies
+    (repro.explore's recording random drivers), so each program is
+    checked under multiple distinct interleavings. Every SSI history
+    must be serializable, and a failure reports the exact schedule."""
+    for trial in range(4):
+        driver = _RandomDriver(seed * 31 + trial)
+        db = run_random_history(programs, IsolationLevel.SERIALIZABLE,
+                                seed, policy=driver.pick)
+        result = check_serializable(db.recorder)
+        assert result.serializable, (
+            f"SSI committed a non-serializable history under replayable "
+            f"schedule {driver.choices}! cycle={result.cycle}")
 
 
 def test_snapshot_isolation_produces_anomalies_somewhere():

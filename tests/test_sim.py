@@ -6,9 +6,35 @@ import pytest
 
 from repro.config import EngineConfig
 from repro.engine import Database, Eq, IsolationLevel
-from repro.sim import Client, Op, Scheduler, ops
+from repro.sim import Client, Op, Scheduler, SimResult, ops
 
 SER = IsolationLevel.SERIALIZABLE
+
+
+class TestSimResult:
+    def _empty(self, **overrides):
+        fields = dict(ticks=0.0, commits=0, aborts=0,
+                      serialization_failures=0, deadlocks=0, retries=0,
+                      steps=0)
+        fields.update(overrides)
+        return SimResult(**fields)
+
+    def test_empty_run_has_zero_throughput(self):
+        assert self._empty().throughput == 0.0
+
+    def test_empty_run_has_zero_failure_rate(self):
+        assert self._empty().serialization_failure_rate == 0.0
+
+    def test_scheduler_with_no_clients_yields_empty_result(self):
+        result = Scheduler(Database(EngineConfig())).run()
+        assert result.throughput == 0.0
+        assert result.serialization_failure_rate == 0.0
+
+    def test_rates_on_nonempty_run(self):
+        result = self._empty(ticks=500.0, commits=3, aborts=1,
+                             serialization_failures=1)
+        assert result.throughput == pytest.approx(6.0)
+        assert result.serialization_failure_rate == pytest.approx(0.25)
 
 
 def make_db():
