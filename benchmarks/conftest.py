@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import pytest
 
-from repro.config import EngineConfig, SSIConfig
+from repro.config import EngineConfig, PerfConfig, SSIConfig
 from repro.engine.database import Database
 from repro.engine.isolation import IsolationLevel
 from repro.workloads.base import Workload, run_workload
@@ -39,10 +39,16 @@ def _config(series: str, disk_bound: bool = False) -> EngineConfig:
         ssi = SSIConfig(conflict_tracking="flags", siread_fast_path=False)
     else:
         ssi = SSIConfig(siread_fast_path=False)
+    # The cost planner and plan cache are likewise pinned off: the
+    # figure series never run ANALYZE (so both would be no-ops today),
+    # but pinning keeps the simulated page/tuple counts byte-stable
+    # even if statistics collection ever becomes automatic.
+    perf = PerfConfig(cost_planner=False, plan_cache=False)
     if disk_bound:
-        cfg = EngineConfig.disk_bound(io_miss=10.0, buffer_pages=96, ssi=ssi)
+        cfg = EngineConfig.disk_bound(io_miss=10.0, buffer_pages=96, ssi=ssi,
+                                      perf=perf)
     else:
-        cfg = EngineConfig(ssi=ssi)
+        cfg = EngineConfig(ssi=ssi, perf=perf)
     return cfg
 
 
@@ -100,7 +106,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
                 value = f"count={value['count']} sum={value['sum']:.3g}"
             terminalreporter.write_line(f"    {key} = {value}")
     fastpath = {(label, series): {k: v for k, v in delta.items()
-                                  if k.startswith("perf.")}
+                                  if k.startswith("perf.") and "cache" not in k}
                 for (label, series), delta in _METRIC_DELTAS.items()}
     if any(fastpath.values()):
         terminalreporter.section("fast-path counters (perf.*)")
@@ -108,6 +114,18 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
             if not counters:
                 continue
             summary = "  ".join(f"{k.removeprefix('perf.')}={v}"
+                                for k, v in sorted(counters.items()))
+            terminalreporter.write_line(f"{label} [{series}]  {summary}")
+    planner = {(label, series): {k: v for k, v in delta.items()
+                                 if k.startswith("planner.")
+                                 or (k.startswith("perf.") and "cache" in k)}
+               for (label, series), delta in _METRIC_DELTAS.items()}
+    if any(planner.values()):
+        terminalreporter.section("planner / cache counters")
+        for (label, series), counters in planner.items():
+            if not counters:
+                continue
+            summary = "  ".join(f"{k}={v}"
                                 for k, v in sorted(counters.items()))
             terminalreporter.write_line(f"{label} [{series}]  {summary}")
 

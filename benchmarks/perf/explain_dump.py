@@ -1,0 +1,95 @@
+"""Dump EXPLAIN plans for the figure benchmarks (CI artifact).
+
+Builds each figure workload's schema + initial data (seeded, so the
+dump is deterministic), runs ANALYZE, and writes the EXPLAIN tree for
+a representative predicate per table -- once rule-based (planner
+before ANALYZE semantics) and once cost-based. CI uploads the dumps so
+a reviewer can see exactly which scan -- and therefore which
+predicate-lock granularity -- each figure's workload runs with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.config import EngineConfig  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.engine.planner import explain_scan  # noqa: E402
+from repro.engine.predicate import AlwaysTrue, Eq  # noqa: E402
+from repro.workloads.dbt2pp import DBT2PP  # noqa: E402
+from repro.workloads.doctors import DoctorsWorkload  # noqa: E402
+from repro.workloads.receipts import ReceiptsWorkload  # noqa: E402
+from repro.workloads.rubis import RubisBidding  # noqa: E402
+from repro.workloads.sibench import SIBench  # noqa: E402
+
+WORKLOADS = {
+    "sibench": lambda: SIBench(table_size=100),
+    "dbt2pp": DBT2PP,
+    "rubis": RubisBidding,
+    "doctors": DoctorsWorkload,
+    "receipts": ReceiptsWorkload,
+}
+
+
+def probe_predicates(db, rel):
+    """Representative predicates per table: full scan, plus an
+    equality on every indexed column (first committed row's value when
+    one exists, else 0)."""
+    rows = []
+    session = db.session()
+    session.begin()
+    rows = session.select(rel.name, AlwaysTrue())
+    session.commit()
+    sample = rows[0] if rows else {}
+    preds = [AlwaysTrue()]
+    seen = set()
+    for index in sorted(rel.indexes.values(), key=lambda i: i.name):
+        if index.column in seen:
+            continue
+        seen.add(index.column)
+        preds.append(Eq(index.column, sample.get(index.column, 0)))
+    return preds
+
+
+def dump_workload(name: str, factory, out_dir: str) -> str:
+    db = Database(EngineConfig())
+    factory().setup(db, random.Random(7))
+    lines = [f"EXPLAIN dump: {name}", "=" * (14 + len(name)), ""]
+    for phase in ("rule", "cost"):
+        if phase == "cost":
+            db.analyze()
+        lines.append(f"-- {phase}-based (ANALYZE "
+                     f"{'run' if phase == 'cost' else 'not run'}) --")
+        for rel_name in sorted(db.relations()):
+            rel = db.relation(rel_name)
+            for pred in probe_predicates(db, rel):
+                lines.append(f"EXPLAIN SELECT * FROM {rel_name} "
+                             f"WHERE {pred!r}")
+                for line in explain_scan(db, rel, pred).render(1):
+                    lines.append(line)
+        lines.append("")
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--out-dir", default="explain-dumps")
+    args = parser.parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name, factory in WORKLOADS.items():
+        path = dump_workload(name, factory, args.out_dir)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""CI gate: the cost planner must not slow SIBENCH down.
+
+Runs SIBENCH twice with *identical* configurations except the planner
+toggles (``cost_planner`` + ``plan_cache`` + ``parse_cache``) and
+fails (exit 1) if the planner-on wall-clock regresses more than the
+allowed fraction versus planner-off. SIBENCH's predicates are all
+single-key equalities, so the planner cannot *win* here -- the gate
+pins that planning + cache probes stay in the noise on the statement
+hot path.
+
+Each side runs ``--reps`` times and the minimum elapsed time is
+compared (minimum, not mean: CI-runner noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.config import EngineConfig, PerfConfig  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.engine.isolation import IsolationLevel  # noqa: E402
+from repro.workloads.base import run_workload  # noqa: E402
+from repro.workloads.sibench import SIBench  # noqa: E402
+
+
+def run_once(planner_on: bool, *, table_size: int, max_ticks: float) -> float:
+    perf = PerfConfig(cost_planner=planner_on, plan_cache=planner_on,
+                      parse_cache=planner_on)
+    db = Database(EngineConfig(perf=perf))
+    start = time.perf_counter()
+    run_workload(SIBench(table_size=table_size),
+                 isolation=IsolationLevel.SERIALIZABLE,
+                 n_clients=4, max_ticks=max_ticks, seed=7, db=db)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--table-size", type=int, default=100)
+    parser.add_argument("--max-ticks", type=float, default=4000.0)
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 10%%)")
+    args = parser.parse_args(argv)
+
+    off = min(run_once(False, table_size=args.table_size,
+                       max_ticks=args.max_ticks) for _ in range(args.reps))
+    on = min(run_once(True, table_size=args.table_size,
+                      max_ticks=args.max_ticks) for _ in range(args.reps))
+    ratio = on / off if off else float("inf")
+    limit = 1.0 + args.max_regression
+    verdict = "OK" if ratio <= limit else "FAIL"
+    print(f"planner-off {off:.3f}s  planner-on {on:.3f}s  "
+          f"ratio {ratio:.3f} (limit {limit:.2f})  {verdict}")
+    if ratio > limit:
+        print(f"cost planner regressed SIBENCH wall-clock by "
+              f"{(ratio - 1.0) * 100:.1f}% (> "
+              f"{args.max_regression * 100:.0f}% allowed)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,9 +33,10 @@ from repro.analysis.sanitize import ENV_FLAG  # noqa: E402
 from repro.config import EngineConfig, PerfConfig, SSIConfig  # noqa: E402
 from repro.engine.database import Database  # noqa: E402
 from repro.engine.isolation import IsolationLevel  # noqa: E402
-from repro.engine.predicate import Eq  # noqa: E402
+from repro.engine.predicate import And, Eq  # noqa: E402
 from repro.workloads.base import run_workload  # noqa: E402
 from repro.workloads.dbt2pp import DBT2PP  # noqa: E402
+from repro.workloads.rubis import RubisBidding  # noqa: E402
 from repro.workloads.sibench import SIBench  # noqa: E402
 
 ISOLATION = {
@@ -45,9 +46,16 @@ ISOLATION = {
 
 
 def make_config(fast: bool) -> EngineConfig:
-    """All fast paths on (the defaults) or all off (seed behaviour)."""
+    """All fast paths on (the defaults) or all off (seed behaviour).
+
+    The planner toggles (cost_planner / plan_cache / parse_cache) ride
+    with the same switch: the "slow" run is the seed's rule-based,
+    plan-every-statement behaviour.
+    """
     return EngineConfig(
-        perf=PerfConfig(hint_bits=fast, visibility_map=fast, fsm=fast),
+        perf=PerfConfig(hint_bits=fast, visibility_map=fast, fsm=fast,
+                        cost_planner=fast, plan_cache=fast,
+                        parse_cache=fast),
         ssi=SSIConfig(siread_fast_path=fast))
 
 
@@ -62,9 +70,16 @@ def make_db(fast: bool) -> Database:
 
 
 def _perf_counters(db: Database) -> dict:
-    """The perf.* fast-path hit counters accumulated by one run."""
+    """The perf.*/planner.* hit counters accumulated by one run."""
     snap = db.obs.metrics.snapshot().nonzero()
-    return {k: v for k, v in snap.items() if k.startswith("perf.")}
+    return {k: v for k, v in snap.items()
+            if k.startswith(("perf.", "planner."))}
+
+
+def _plan_cache_hit_rate(counters: dict):
+    hits = counters.get("perf.plan_cache_hits", 0)
+    misses = counters.get("perf.plan_cache_misses", 0)
+    return hits / (hits + misses) if hits + misses else None
 
 
 # ----------------------------------------------------------------------
@@ -132,7 +147,43 @@ def insert_churn(isolation: IsolationLevel, fast: bool, *,
 
 
 # ----------------------------------------------------------------------
-# benchmarks 3 & 4: the paper's workloads, wall-clocked
+# benchmark 3: skewed-selectivity multi-conjunct filter (the planner's
+# showcase: first-sargable picks the wrong index)
+# ----------------------------------------------------------------------
+def skewed_filter(isolation: IsolationLevel, fast: bool, *,
+                  rows: int, queries: int) -> dict:
+    """Point lookups with a two-conjunct predicate where the *first*
+    equality conjunct (grp, 2 distinct values) is far less selective
+    than the second (k, the primary key). The rule-based planner scans
+    half the table through the grp index on every query; the
+    cost-based planner (after ANALYZE) picks the key index and touches
+    one tuple."""
+    db = make_db(fast)
+    db.create_table("t", ["k", "grp", "v"], key="k")
+    db.create_index("t", "grp")
+    session = db.session()
+    session.begin(isolation)
+    for k in range(rows):
+        session.insert("t", {"k": k, "grp": k % 2, "v": k})
+    session.commit()
+    db.vacuum()
+    db.analyze()  # the slow config ignores the stats (planner off)
+    start = time.perf_counter()
+    for i in range(queries):
+        session.begin(isolation)
+        session.select("t", And(Eq("grp", i % 2),
+                                Eq("k", (i * 37) % rows)))
+        session.commit()
+    elapsed = time.perf_counter() - start
+    counters = _perf_counters(db)
+    return {"seconds": elapsed, "rows": rows, "queries": queries,
+            "stats_epoch": db.statscat.epoch,
+            "plan_cache_hit_rate": _plan_cache_hit_rate(counters),
+            "perf_counters": counters}
+
+
+# ----------------------------------------------------------------------
+# benchmarks 4-6: the paper's workloads, wall-clocked
 # ----------------------------------------------------------------------
 def _workload_bench(factory, isolation: IsolationLevel, fast: bool, *,
                     max_ticks: float, n_clients: int, seed: int = 7) -> dict:
@@ -142,10 +193,13 @@ def _workload_bench(factory, isolation: IsolationLevel, fast: bool, *,
                           n_clients=n_clients, max_ticks=max_ticks,
                           seed=seed, db=db)
     elapsed = time.perf_counter() - start
+    counters = _perf_counters(db)
     return {"seconds": elapsed,
             "committed": result.commits,
             "txns_per_ktick": result.throughput,
-            "perf_counters": _perf_counters(db)}
+            "stats_epoch": db.statscat.epoch,
+            "plan_cache_hit_rate": _plan_cache_hit_rate(counters),
+            "perf_counters": counters}
 
 
 def sibench(isolation: IsolationLevel, fast: bool, *, max_ticks: float,
@@ -158,6 +212,12 @@ def sibench(isolation: IsolationLevel, fast: bool, *, max_ticks: float,
 def dbt2pp(isolation: IsolationLevel, fast: bool, *,
            max_ticks: float) -> dict:
     return _workload_bench(lambda: DBT2PP(), isolation, fast,
+                           max_ticks=max_ticks, n_clients=4)
+
+
+def rubis(isolation: IsolationLevel, fast: bool, *,
+          max_ticks: float) -> dict:
+    return _workload_bench(lambda: RubisBidding(), isolation, fast,
                            max_ticks=max_ticks, n_clients=4)
 
 
@@ -176,11 +236,13 @@ def main(argv=None) -> int:
     if args.quick:
         params = {"scan_rows": 400, "scan_repeats": 30,
                   "churn_rows": 400, "churn_rounds": 3,
-                  "workload_ticks": 2000.0, "sibench_table": 50}
+                  "workload_ticks": 2000.0, "sibench_table": 50,
+                  "skew_rows": 400, "skew_queries": 60}
     else:
         params = {"scan_rows": 1500, "scan_repeats": 80,
                   "churn_rows": 1500, "churn_rounds": 6,
-                  "workload_ticks": 8000.0, "sibench_table": 100}
+                  "workload_ticks": 8000.0, "sibench_table": 100,
+                  "skew_rows": 1500, "skew_queries": 200}
 
     benchmarks = {
         "repeated_seq_scan": lambda iso, fast: repeated_seq_scan(
@@ -189,10 +251,15 @@ def main(argv=None) -> int:
         "insert_churn": lambda iso, fast: insert_churn(
             iso, fast, rows=params["churn_rows"],
             churn_rounds=params["churn_rounds"]),
+        "skewed_filter": lambda iso, fast: skewed_filter(
+            iso, fast, rows=params["skew_rows"],
+            queries=params["skew_queries"]),
         "sibench": lambda iso, fast: sibench(
             iso, fast, max_ticks=params["workload_ticks"],
             table_size=params["sibench_table"]),
         "dbt2pp": lambda iso, fast: dbt2pp(
+            iso, fast, max_ticks=params["workload_ticks"]),
+        "rubis": lambda iso, fast: rubis(
             iso, fast, max_ticks=params["workload_ticks"]),
     }
 
@@ -217,6 +284,7 @@ def main(argv=None) -> int:
                   f"slow {slow['seconds']:8.3f}s  "
                   f"speedup {entry['speedup']:.2f}x")
 
+    defaults = PerfConfig()
     out = {
         "meta": {
             "quick": args.quick,
@@ -226,6 +294,14 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "params": params,
             "series": list(ISOLATION),
+            # The planner toggles: "fast" runs use the defaults below,
+            # "slow" runs pin all three off (seed plans). Per-run stats
+            # epochs live in each benchmark entry ("stats_epoch").
+            "planner": {
+                "cost_planner": defaults.cost_planner,
+                "plan_cache": defaults.plan_cache,
+                "parse_cache": defaults.parse_cache,
+            },
         },
         "benchmarks": results,
     }

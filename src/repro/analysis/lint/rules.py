@@ -121,12 +121,20 @@ class DeterminismRule(Rule):
 
     BANNED = {"time", "random"}
 
+    #: Modules whose output must be a pure function of schema +
+    #: statistics + predicate: besides the time/random import ban,
+    #: they may not let object identity (``id()``) or raw dict-view
+    #: iteration order drive a choice (plans must replay identically).
+    PURE_CHOICE_MODULES: Tuple[str, ...] = ("repro.engine.planner",)
+
     def applies_to(self, ctx: FileContext) -> bool:
         if not ctx.in_engine or ctx.module in self.ALLOWED:
             return False
         return not ctx.module.startswith(self.ALLOWED_PREFIXES)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module in self.PURE_CHOICE_MODULES:
+            yield from self._check_pure_choice(ctx)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -144,6 +152,44 @@ class DeterminismRule(Rule):
                         ctx, node,
                         f"'from {node.module} import ...' in engine module "
                         f"{ctx.module} (not on the determinism allowlist)")
+
+    # -- planner purity: no id()- or dict-order-dependent choice ---------
+    def _check_pure_choice(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "id":
+                    yield self.finding(
+                        ctx, node,
+                        f"id() in pure-choice module {ctx.module}: plan "
+                        f"choice must not depend on object identity")
+                elif (isinstance(func, ast.Name)
+                        and func.id in ("sorted", "min", "max")
+                        and node.args and self._dict_view(node.args[0])):
+                    yield self.finding(
+                        ctx, node.args[0],
+                        f"{func.id}() over a dict view in pure-choice "
+                        f"module {ctx.module}: order the candidates by an "
+                        f"explicit total-order key instead")
+            elif isinstance(node, ast.For) and self._dict_view(node.iter):
+                yield self.finding(
+                    ctx, node.iter,
+                    f"iteration over a dict view in pure-choice module "
+                    f"{ctx.module}: plan choice must not depend on dict "
+                    f"insertion order")
+            elif isinstance(node, ast.comprehension) \
+                    and self._dict_view(node.iter):
+                yield self.finding(
+                    ctx, node.iter,
+                    f"comprehension over a dict view in pure-choice module "
+                    f"{ctx.module}: plan choice must not depend on dict "
+                    f"insertion order")
+
+    @staticmethod
+    def _dict_view(expr: ast.expr) -> bool:
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in ("values", "items", "keys"))
 
 
 class SlotsConsistencyRule(Rule):
@@ -310,7 +356,12 @@ class TogglePurityRule(Rule):
 
     #: Terminal attribute names that denote a perf toggle in a guard.
     TOGGLES = {"siread_fast_path", "hint_bits", "visibility_map", "fsm",
-               "use_hints", "_use_hints", "_use_fsm", "_use_vismap"}
+               "use_hints", "_use_hints", "_use_fsm", "_use_vismap",
+               # PR 5 planner toggles: the cost planner and the plan /
+               # parse caches must not charge simulated cost either --
+               # they exist to skip (re)planning work, not to shift it.
+               "cost_planner", "plan_cache", "parse_cache",
+               "use_cost", "use_cache", "_use_parse_cache"}
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.in_engine

@@ -106,6 +106,22 @@ class PerfConfig:
     #: scanning. Off, inserts fall back to a linear probe that starts
     #: at a lowest-page-with-room hint (never a full rescan).
     fsm: bool = True
+    #: Cost-based scan planning: when ANALYZE statistics exist for a
+    #: relation, price seq-scan against every candidate index scan
+    #: (page touches + tuple visibility checks) and pick the cheapest
+    #: -- in particular the *most selective* sargable conjunct rather
+    #: than the first. Off (or with no stats), plans are exactly the
+    #: rule-based seed behaviour. Pure: toggling may change which scan
+    #: runs, never which rows result.
+    cost_planner: bool = True
+    #: Engine-level plan cache: memoize the scan choice per (relation,
+    #: stats epoch, predicate shape), so the statement hot path skips
+    #: re-planning. ANALYZE/DDL bump the stats epoch, which invalidates
+    #: every cached entry by key mismatch.
+    plan_cache: bool = True
+    #: SQL-layer parse cache: LRU of SQL text -> parsed AST, so
+    #: repeated statement strings skip the lexer and parser.
+    parse_cache: bool = True
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.replication.wal import CommitRecord
 from repro.ssi.manager import SSIManager
 from repro.storage.buffer import BufferManager
 from repro.storage.relation import Relation
+from repro.storage.stats import RelationStats, StatsCatalog
 from repro.waits import SafeSnapshotWait
 
 
@@ -65,7 +66,12 @@ class Database:
         self.use_vismap = self.config.perf.visibility_map
         self.hint_counter = self.obs.metrics.counter("perf.hint_hits")
         self.vismap_counter = self.obs.metrics.counter("perf.vismap_skips")
+        #: ANALYZE statistics catalog + cache-invalidation epoch.
+        self.statscat = StatsCatalog()
         self.executor = Executor(self)
+        #: Cost-based scan planner + engine-level plan cache.
+        from repro.engine.planner import Planner
+        self.planner = Planner(self)
         self._relations: Dict[str, Relation] = {}
         self._next_oid = 1
         #: Active transactions (including prepared ones) by top xid.
@@ -131,11 +137,13 @@ class Database:
         self._relations[name] = rel
         if key is not None:
             self.create_index(name, key, name=f"{name}_pkey", unique=True)
+        self.statscat.bump_epoch()  # new relation: flush cached plans
         return rel
 
     def drop_table(self, name: str) -> None:
         rel = self.relation(name)
         del self._relations[name]
+        self.statscat.forget(rel.oid)  # drops stats + bumps the epoch
         # Outstanding SIREAD locks on a dropped table can never
         # conflict again (the oid is never reused).
 
@@ -163,6 +171,7 @@ class Database:
             if not self.clog.did_abort(tup.xmin):  # repro: noqa(CLOG001) -- index build skips aborted inserters; no snapshot exists yet
                 index.insert_entry(tup.data.get(column), tup.tid)
         rel.add_index(index)
+        self.statscat.bump_epoch()  # new access path: flush cached plans
         return index
 
     def relation(self, name: str) -> Relation:
@@ -410,6 +419,36 @@ class Database:
                     index.remove_entry(tup.data.get(index.column), tup.tid)
         return removed_total
 
+    def analyze(self, table: Optional[str] = None) -> List[RelationStats]:
+        """ANALYZE [table]: rebuild planner statistics from live rows.
+
+        Rows are counted under a fresh snapshot through the ordinary
+        MVCC visibility rules (an external observer: no own-write
+        view), and distribution stats are built for every indexed
+        column. Installing the stats bumps the stats epoch, which
+        invalidates all cached plans and prepared-statement plans.
+        """
+        from repro.mvcc.visibility import TxnView, tuple_visibility
+        snapshot = self.take_snapshot()
+        view = TxnView(xids=frozenset(), curcid=0)
+        rels = ([self.relation(table)] if table
+                else [self._relations[name] for name in
+                      sorted(self._relations)])
+        out: List[RelationStats] = []
+        analyze_counter = self.obs.metrics.counter("planner.analyze_runs")
+        for rel in rels:
+            rows: List[Dict[str, Any]] = []
+            for tup in rel.heap.scan():
+                vis = tuple_visibility(tup, snapshot, view, self.clog,
+                                       self.use_hint_bits, self.hint_counter)
+                if vis.visible:
+                    rows.append(tup.data)
+            columns = sorted({index.column
+                              for index in rel.indexes.values()})
+            out.append(self.statscat.analyze_relation(rel, rows, columns))
+            analyze_counter.inc()
+        return out
+
     # ------------------------------------------------------------------
     # cost-model inputs (repro.sim)
     # ------------------------------------------------------------------
@@ -466,5 +505,6 @@ class Database:
                                   self.take_snapshot())
 
     def record_write(self, txn: Transaction, rel, kind: str, old, new) -> None:
+        self.statscat.note_write(rel.oid, kind)
         if self.recorder is not None:
             self.recorder.on_write(txn.xid, rel.oid, kind, old, new)

@@ -79,20 +79,11 @@ class Executor:
     # scans
     # ------------------------------------------------------------------
     def _plan_index(self, rel: Relation, pred: Predicate):
-        rng = pred.index_range()
-        if rng is None:
-            return None, None
-        index = rel.index_on(rng.column)
-        if index is None:
-            return None, None
-        if rng.overlap:
-            # Interval-overlap restriction: needs a spatial (GiST) AM.
-            if not getattr(index, "spatial", False):
-                return None, None
-            return index, rng
-        if not index.ordered and not rng.is_equality:
-            return None, None
-        return index, rng
+        """Scan choice, delegated to the planner (repro.engine.planner):
+        cost-based over ANALYZE statistics when available, the seed's
+        rule-based first-sargable-conjunct behaviour otherwise, with an
+        engine-level plan cache in front of both."""
+        return self.db.planner.plan_scan(rel, pred)
 
     def _scan(self, txn: Transaction, rel: Relation,
               pred: Predicate) -> Iterator:

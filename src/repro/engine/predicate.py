@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 Row = Dict[str, Any]
 
@@ -201,8 +201,17 @@ class Overlaps(Predicate):
 
 
 class And(Predicate):
-    """Conjunction; the first sargable conjunct drives index choice,
-    the rest are applied as filters."""
+    """Conjunction; one sargable conjunct drives index choice, the
+    rest are applied as filters.
+
+    Even with the cost planner off, an *equality* conjunct is
+    preferred over an open or bounded range: equality restrictions
+    are almost always more selective, and both choices return the
+    same rows (the remaining conjuncts re-filter every scanned row).
+    Among equality conjuncts -- or when none exists -- the first
+    sargable one wins, preserving the original rule-based order.
+    See DESIGN.md, "Query planning".
+    """
 
     def __init__(self, *predicates: Predicate) -> None:
         self.predicates: Sequence[Predicate] = predicates
@@ -211,11 +220,16 @@ class And(Predicate):
         return all(p.matches(row) for p in self.predicates)
 
     def index_range(self) -> Optional[IndexRange]:
+        first: Optional[IndexRange] = None
         for pred in self.predicates:
             rng = pred.index_range()
-            if rng is not None:
+            if rng is None:
+                continue
+            if rng.is_equality:
                 return rng
-        return None
+            if first is None:
+                first = rng
+        return first
 
     def __repr__(self) -> str:
         return "(" + " AND ".join(repr(p) for p in self.predicates) + ")"
@@ -232,6 +246,67 @@ class Or(Predicate):
 
     def __repr__(self) -> str:
         return "(" + " OR ".join(repr(p) for p in self.predicates) + ")"
+
+
+def candidate_ranges(pred: Predicate) -> List[IndexRange]:
+    """Every sargable restriction the planner may choose from.
+
+    For a conjunction this is each conjunct's range in conjunct order
+    (a deterministic order fixed by the predicate's construction --
+    never dict/iteration order); for any other predicate it is the
+    single ``index_range()`` result. The caller filters by available
+    indexes and prices the survivors.
+    """
+    if isinstance(pred, And):
+        ranges = []
+        for conjunct in pred.predicates:
+            rng = conjunct.index_range()
+            if rng is not None:
+                ranges.append(rng)
+        return ranges
+    rng = pred.index_range()
+    return [rng] if rng is not None else []
+
+
+def plan_shape(pred: Predicate) -> Optional[Tuple]:
+    """A hashable key describing the predicate's *plannable shape*.
+
+    Two predicates with the same shape are guaranteed the same scan
+    choice, so the plan cache can serve one's plan to the other:
+
+    * equality restrictions keep only the column -- their selectivity
+      estimate (1/n_distinct) is value-independent, so ``k = 5`` and
+      ``k = 7`` share a plan;
+    * range restrictions keep the bounds too -- histogram selectivity
+      is value-dependent, so different bounds must re-plan;
+    * ``None`` means the predicate is uncacheable (``Func``/``Or``/
+      unhashable bound values): always plan live.
+    """
+    if isinstance(pred, AlwaysTrue):
+        return ("true",)
+    if isinstance(pred, And):
+        parts = []
+        for conjunct in pred.predicates:
+            part = plan_shape(conjunct)
+            if part is None:
+                return None
+            parts.append(part)
+        return ("and",) + tuple(parts)
+    if isinstance(pred, (Eq, Ne)):
+        return (type(pred).__name__, pred.column)
+    if isinstance(pred, (Lt, Le, Gt, Ge)):
+        try:
+            hash(pred.value)
+        except TypeError:
+            return None
+        return (type(pred).__name__, pred.column, pred.value)
+    if isinstance(pred, (Between, Overlaps)):
+        try:
+            hash((pred.lo, pred.hi))
+        except TypeError:
+            return None
+        return (type(pred).__name__, pred.column, pred.lo, pred.hi)
+    return None
 
 
 class Func(Predicate):

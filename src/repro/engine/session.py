@@ -217,10 +217,23 @@ class Session:
         def action(txn):
             rel.drop_index(index_name)
             self.db.ssi.lockmgr.transfer_index_to_heap(index.oid, rel.oid)
+            self.db.statscat.bump_epoch()  # access path gone: flush plans
             return None
             yield  # pragma: no cover
 
         self._statement(rel.name, LockMode.ACCESS_EXCLUSIVE, action)
+
+    def analyze(self, table: Optional[str] = None):
+        """ANALYZE: collect planner statistics (setup-time operation,
+        like create_table; runs outside any transaction)."""
+        return self.db.analyze(table)
+
+    def explain(self, table: str, where: Optional[Predicate] = None):
+        """EXPLAIN for an engine-API scan: the plan the next
+        select/update/delete with this predicate would use."""
+        from repro.engine.planner import explain_scan
+        return explain_scan(self.db, self.db.relation(table),
+                            where or AlwaysTrue())
 
     def recluster_table(self, table: str) -> None:
         """CLUSTER-style physical rewrite: tuples move, so page- and
@@ -252,6 +265,7 @@ class Session:
                 rel.indexes[name] = self._rebuild_index(rel, old)
             self.db.ssi.lockmgr.promote_for_rewrite(
                 rel.oid, [i.oid for i in rel.indexes.values()])
+            self.db.statscat.bump_epoch()  # rewrite: stats + plans stale
             return None
             yield  # pragma: no cover
 

@@ -26,7 +26,14 @@ class BinaryOp:
     right: "Expr"
 
 
-Expr = Any  # Literal | ColumnRef | BinaryOp
+@dataclass(frozen=True)
+class Param:
+    """Prepared-statement parameter ``$n`` (1-based)."""
+
+    index: int
+
+
+Expr = Any  # Literal | ColumnRef | BinaryOp | Param
 
 
 # -- conditions -----------------------------------------------------------
@@ -181,3 +188,41 @@ class LockTable:
 @dataclass(frozen=True)
 class Vacuum:
     table: Optional[str]
+
+
+@dataclass(frozen=True)
+class Analyze:
+    """ANALYZE [table]: collect planner statistics."""
+
+    table: Optional[str]
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN [ANALYZE] <statement>."""
+
+    statement: Any
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
+class PrepareStmt:
+    """PREPARE name AS <statement> (may contain $n parameters)."""
+
+    name: str
+    statement: Any
+
+
+@dataclass(frozen=True)
+class ExecuteStmt:
+    """EXECUTE name(arg, ...)."""
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Deallocate:
+    """DEALLOCATE [PREPARE] name | DEALLOCATE ALL."""
+
+    name: Optional[str]  # None = ALL

@@ -1,15 +1,35 @@
-"""SQL execution: compile ASTs onto the Session API."""
+"""SQL execution: compile ASTs onto the Session API.
+
+The statement hot path is cached at two levels (see DESIGN.md, "Query
+planning"):
+
+* a per-session LRU **parse cache** (SQL text -> AST; the AST nodes
+  are frozen dataclasses, so sharing them across executions is safe),
+  behind ``PerfConfig.parse_cache``;
+* **prepared statements** (``PREPARE name AS ... / EXECUTE name(...)``)
+  whose generic plan is re-derived only when the stats epoch moved --
+  ANALYZE and DDL bump the epoch, flushing stale plans exactly like
+  PostgreSQL's plancache invalidation. The scan choice itself is
+  additionally memoized in the engine-level plan cache
+  (repro.engine.planner), which both cached and ad-hoc statements hit.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine import predicate as P
 from repro.engine.isolation import IsolationLevel
+from repro.errors import UserError
 from repro.locks.modes import LockMode
 from repro.sql import ast
 from repro.sql.lexer import SQLSyntaxError
 from repro.sql.parser import parse
+
+#: Parse-cache capacity (statement strings per session).
+PARSE_CACHE_SIZE = 256
 
 _ISOLATION = {
     "read committed": IsolationLevel.READ_COMMITTED,
@@ -98,6 +118,78 @@ def compile_condition(cond) -> P.Predicate:
     raise SQLSyntaxError(f"cannot compile condition {cond!r}")
 
 
+# -- prepared-statement parameter binding ---------------------------------
+def _bind_expr(expr, args: Tuple[Any, ...]):
+    if isinstance(expr, ast.Param):
+        if expr.index > len(args):
+            raise UserError(
+                f"there is no parameter ${expr.index} "
+                f"({len(args)} supplied)")
+        return ast.Literal(args[expr.index - 1])
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _bind_expr(expr.left, args),
+                            _bind_expr(expr.right, args))
+    return expr
+
+
+def _bind_cond(cond, args: Tuple[Any, ...]):
+    if cond is None:
+        return None
+    if isinstance(cond, ast.Comparison):
+        return ast.Comparison(cond.op, _bind_expr(cond.left, args),
+                              _bind_expr(cond.right, args))
+    if isinstance(cond, ast.BetweenCond):
+        return ast.BetweenCond(_bind_expr(cond.column, args),
+                               _bind_expr(cond.lo, args),
+                               _bind_expr(cond.hi, args))
+    if isinstance(cond, ast.NotCond):
+        return ast.NotCond(_bind_cond(cond.inner, args))
+    if isinstance(cond, ast.AndCond):
+        return ast.AndCond(tuple(_bind_cond(p, args) for p in cond.parts))
+    if isinstance(cond, ast.OrCond):
+        return ast.OrCond(tuple(_bind_cond(p, args) for p in cond.parts))
+    return cond
+
+
+def bind_statement(stmt, args: Tuple[Any, ...]):
+    """Substitute $n parameters with the EXECUTE arguments, returning a
+    parameter-free statement of the same shape."""
+    if isinstance(stmt, ast.Select):
+        return ast.Select(stmt.items, stmt.table,
+                          _bind_cond(stmt.where, args), stmt.order_by,
+                          stmt.descending, stmt.limit, stmt.for_update)
+    if isinstance(stmt, ast.Update):
+        assignments = tuple((col, _bind_expr(expr, args))
+                            for col, expr in stmt.assignments)
+        return ast.Update(stmt.table, assignments,
+                          _bind_cond(stmt.where, args))
+    if isinstance(stmt, ast.Delete):
+        return ast.Delete(stmt.table, _bind_cond(stmt.where, args))
+    if isinstance(stmt, ast.Insert):
+        rows = tuple(tuple(_bind_expr(v, args) for v in row)
+                     for row in stmt.rows)
+        return ast.Insert(stmt.table, stmt.columns, rows)
+    if args:
+        raise UserError(
+            f"{type(stmt).__name__} statements take no parameters")
+    return stmt
+
+
+@dataclass
+class PreparedStatement:
+    """One PREPARE'd statement and its cached generic plan."""
+
+    name: str
+    statement: Any
+    #: Stats epoch the cached plan was derived under; a mismatch at
+    #: EXECUTE time forces a replan (ANALYZE/DDL invalidation).
+    plan_epoch: int = -1
+    #: The generic plan summary (a repro.engine.planner.PlanNode) for
+    #: plannable statements; None until first EXECUTE or after
+    #: invalidation.
+    plan: Any = None
+
+
 class SQLSession:
     """Execute SQL text against one engine session.
 
@@ -108,11 +200,35 @@ class SQLSession:
     def __init__(self, session) -> None:
         self.session = session
         self.db = session.db
+        self._use_parse_cache = self.db.config.perf.parse_cache
+        self._parse_cache: "OrderedDict[str, Any]" = OrderedDict()
+        metrics = self.db.obs.metrics
+        self._parse_hits = metrics.counter("perf.parse_cache_hits")
+        self._parse_misses = metrics.counter("perf.parse_cache_misses")
+        self._prepared_replans = metrics.counter("sql.prepared_replans")
+        self._prepared: Dict[str, PreparedStatement] = {}
 
     def execute(self, sql: str):
-        statement = parse(sql)
+        statement = self._parse(sql)
         handler = getattr(self, "_do_" + type(statement).__name__.lower())
         return handler(statement)
+
+    def _parse(self, sql: str):
+        """Parse with the LRU statement cache (ASTs are frozen, so a
+        cached statement is safe to re-execute)."""
+        if not self._use_parse_cache:
+            return parse(sql)
+        cached = self._parse_cache.get(sql)
+        if cached is not None:
+            self._parse_cache.move_to_end(sql)
+            self._parse_hits.inc()
+            return cached
+        self._parse_misses.inc()
+        statement = parse(sql)
+        self._parse_cache[sql] = statement
+        if len(self._parse_cache) > PARSE_CACHE_SIZE:
+            self._parse_cache.popitem(last=False)
+        return statement
 
     # -- DML -----------------------------------------------------------------
     def _do_select(self, stmt: ast.Select):
@@ -246,3 +362,111 @@ class SQLSession:
 
     def _do_vacuum(self, stmt: ast.Vacuum):
         self.db.vacuum(stmt.table)
+
+    # -- planner statements --------------------------------------------------------
+    def _do_analyze(self, stmt: ast.Analyze):
+        return self.db.analyze(stmt.table)
+
+    def _do_explain(self, stmt: ast.Explain):
+        """EXPLAIN [ANALYZE]: returns the deterministic plan tree as a
+        list of text lines (PostgreSQL's one-column result shape)."""
+        inner = stmt.statement
+        if isinstance(inner, ast.ExecuteStmt):
+            entry = self._get_prepared(inner.name)
+            args = tuple(eval_expr(arg, {}) for arg in inner.args)
+            inner = bind_statement(entry.statement, args)
+        node = self._plan_tree(inner)
+        if node is None:
+            raise SQLSyntaxError(
+                f"cannot EXPLAIN a {type(inner).__name__} statement")
+        if stmt.analyze:
+            buf = self.db.buffer
+            pages_before = buf.hits + buf.misses
+            handler = getattr(self, "_do_" + type(inner).__name__.lower())
+            result = handler(inner)
+            node.actual_pages = (buf.hits + buf.misses) - pages_before
+            node.actual_rows = (len(result) if isinstance(result, list)
+                                else int(result or 0))
+        return node.render()
+
+    def _plan_tree(self, stmt):
+        """The plan the executor would use for ``stmt`` (None when the
+        statement kind is not plannable)."""
+        from repro.engine.planner import PlanNode, explain_scan
+
+        def scan_node(table: str, where) -> PlanNode:
+            return explain_scan(self.db, self.db.relation(table),
+                                compile_condition(where))
+
+        if isinstance(stmt, ast.Select):
+            node = scan_node(stmt.table, stmt.where)
+            if stmt.order_by is not None:
+                node = PlanNode("Sort", stmt.table, children=[node])
+            if any(item.kind == "aggregate" for item in stmt.items):
+                node = PlanNode("Aggregate", stmt.table, children=[node])
+            if stmt.limit is not None:
+                node = PlanNode("Limit", stmt.table, children=[node])
+            return node
+        if isinstance(stmt, ast.Update):
+            return PlanNode("Update", stmt.table,
+                            children=[scan_node(stmt.table, stmt.where)])
+        if isinstance(stmt, ast.Delete):
+            return PlanNode("Delete", stmt.table,
+                            children=[scan_node(stmt.table, stmt.where)])
+        if isinstance(stmt, ast.Insert):
+            return PlanNode("Insert", stmt.table)
+        return None
+
+    # -- prepared statements -------------------------------------------------------
+    def _do_preparestmt(self, stmt: ast.PrepareStmt):
+        if stmt.name in self._prepared:
+            raise UserError(
+                f"prepared statement {stmt.name!r} already exists")
+        if isinstance(stmt.statement,
+                      (ast.PrepareStmt, ast.ExecuteStmt, ast.Explain)):
+            raise SQLSyntaxError(
+                f"cannot prepare a {type(stmt.statement).__name__} "
+                f"statement")
+        self._prepared[stmt.name] = PreparedStatement(stmt.name,
+                                                      stmt.statement)
+
+    def _do_executestmt(self, stmt: ast.ExecuteStmt):
+        entry = self._get_prepared(stmt.name)
+        args = tuple(eval_expr(arg, {}) for arg in stmt.args)
+        bound = bind_statement(entry.statement, args)
+        self._refresh_plan(entry, bound)
+        handler = getattr(self, "_do_" + type(bound).__name__.lower())
+        return handler(bound)
+
+    def _do_deallocate(self, stmt: ast.Deallocate):
+        if stmt.name is None:
+            self._prepared.clear()
+            return
+        if self._prepared.pop(stmt.name, None) is None:
+            raise UserError(
+                f"prepared statement {stmt.name!r} does not exist")
+
+    def _get_prepared(self, name: str) -> PreparedStatement:
+        try:
+            return self._prepared[name]
+        except KeyError:
+            raise UserError(
+                f"prepared statement {name!r} does not exist") from None
+
+    def _refresh_plan(self, entry: PreparedStatement, bound) -> None:
+        """Re-derive the generic plan when the stats epoch moved
+        (ANALYZE/DDL invalidation); otherwise reuse it untouched."""
+        epoch = self.db.statscat.epoch
+        if entry.plan is not None and entry.plan_epoch == epoch:
+            return
+        if isinstance(bound, (ast.Select, ast.Update, ast.Delete,
+                              ast.Insert)):
+            if entry.plan is not None:
+                self._prepared_replans.inc()
+            entry.plan = self._plan_tree(bound)
+            entry.plan_epoch = epoch
+
+    def prepared_plan(self, name: str):
+        """The cached generic plan of a prepared statement (tests and
+        introspection; None before the first EXECUTE)."""
+        return self._get_prepared(name).plan

@@ -21,7 +21,8 @@ KEYWORDS = {
     "AND", "OR", "NOT", "BETWEEN", "TRUE", "FALSE", "NULL", "ORDER", "BY",
     "ASC", "DESC", "LIMIT", "FOR", "COUNT", "SUM", "MIN", "MAX", "AVG",
     "PRIMARY", "KEY", "VACUUM", "AS", "BTREE", "HASH", "ACCESS", "SHARE",
-    "ROW", "EXCLUSIVE", "S2PL", "GIST",
+    "ROW", "EXCLUSIVE", "S2PL", "GIST", "ANALYZE", "EXPLAIN", "EXECUTE",
+    "DEALLOCATE", "ALL",
 }
 
 SYMBOLS = ("<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "+",
@@ -69,6 +70,14 @@ def tokenize(text: str) -> List[Token]:
                 j += 1
             tokens.append(Token("string", "".join(parts), i))
             i = j + 1
+            continue
+        if ch == "$" and i + 1 < n and text[i + 1].isdigit():
+            # Prepared-statement parameter: $1, $2, ...
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token("param", int(text[i + 1:j]), i))
+            i = j
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
             j = i

@@ -105,10 +105,37 @@ class _Parser:
             return ast.ReleaseSavepoint(name)
         if token.is_keyword("PREPARE"):
             self.advance()
-            self.expect_keyword("TRANSACTION")
-            gid = self.expect_string()
+            if self.accept_keyword("TRANSACTION"):
+                gid = self.expect_string()
+                self.expect_end()
+                return ast.PrepareTransaction(gid)
+            name = self.expect_ident()
+            self.expect_keyword("AS")
+            inner = self.parse_statement()  # consumes to end
+            return ast.PrepareStmt(name, inner)
+        if token.is_keyword("EXECUTE"):
+            return self.execute_stmt()
+        if token.is_keyword("DEALLOCATE"):
+            self.advance()
+            self.accept_keyword("PREPARE")
+            if self.accept_keyword("ALL"):
+                self.expect_end()
+                return ast.Deallocate(None)
+            name = self.expect_ident()
             self.expect_end()
-            return ast.PrepareTransaction(gid)
+            return ast.Deallocate(name)
+        if token.is_keyword("ANALYZE"):
+            self.advance()
+            table = None
+            if self.current.kind == "ident":
+                table = self.advance().value
+            self.expect_end()
+            return ast.Analyze(table)
+        if token.is_keyword("EXPLAIN"):
+            self.advance()
+            analyze = bool(self.accept_keyword("ANALYZE"))
+            inner = self.parse_statement()  # consumes to end
+            return ast.Explain(inner, analyze)
         if token.is_keyword("LOCK"):
             return self.lock_table()
         if token.is_keyword("VACUUM"):
@@ -120,6 +147,19 @@ class _Parser:
             return ast.Vacuum(table)
         raise SQLSyntaxError(f"cannot parse statement starting with "
                              f"{token.value!r}")
+
+    def execute_stmt(self):
+        self.expect_keyword("EXECUTE")
+        name = self.expect_ident()
+        args = []
+        if self.accept_symbol("("):
+            if not self.accept_symbol(")"):
+                args.append(self.expr())
+                while self.accept_symbol(","):
+                    args.append(self.expr())
+                self.expect_symbol(")")
+        self.expect_end()
+        return ast.ExecuteStmt(name, tuple(args))
 
     # -- expressions --------------------------------------------------------------
     def expr(self):
@@ -153,6 +193,11 @@ class _Parser:
             if isinstance(inner, ast.Literal):
                 return ast.Literal(-inner.value)
             return ast.BinaryOp("-", ast.Literal(0), inner)
+        if token.kind == "param":
+            self.advance()
+            if token.value < 1:
+                raise SQLSyntaxError("parameters are numbered from $1")
+            return ast.Param(token.value)
         if token.kind == "ident":
             self.advance()
             return ast.ColumnRef(token.value)

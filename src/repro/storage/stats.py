@@ -1,0 +1,247 @@
+"""Catalog statistics: ANALYZE-populated inputs to the cost planner.
+
+The paper's predicate-lock footprint argument (section 5.2) makes scan
+choice a *correctness-adjacent* decision: an index scan SIREAD-locks
+only the B+-tree pages it visits while a sequential scan locks the
+whole relation, so a mis-planned scan inflates false-positive abort
+rates. This module supplies what the planner needs to choose well:
+
+* per-relation **live row count** and **page count**, seeded by
+  ``ANALYZE`` and maintained incrementally by write-time deltas (the
+  role of ``pg_class.reltuples``/``relpages`` plus the stats
+  collector's n_live_tup);
+* per-indexed-column **n_distinct**, **min/max**, and an
+  **equal-depth histogram** (``pg_statistic``'s STATISTIC_KIND_
+  HISTOGRAM), from which selectivity estimates are derived;
+* a monotonically increasing **epoch**, bumped by ANALYZE and by DDL,
+  which the plan and prepared-statement caches embed in their keys so
+  stale plans are never served (PostgreSQL's plancache invalidation).
+
+Like PostgreSQL's, these numbers are *estimates*: write-time deltas
+are applied when the write happens, not transactionally, so aborted
+work can skew them slightly until the next ANALYZE. The planner only
+uses them to rank scan choices; correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Histogram resolution: equal-depth bucket boundaries retained per
+#: column. Small because laptop-scale tables are small; the planner
+#: only needs coarse fractions.
+HISTOGRAM_BUCKETS = 16
+
+#: Selectivity assumed for a range restriction when the histogram
+#: cannot answer (no stats for the bound's type, unanalyzed column):
+#: PostgreSQL's DEFAULT_INEQ_SEL.
+DEFAULT_INEQ_SEL = 1.0 / 3.0
+#: Likewise for equality (DEFAULT_EQ_SEL flavour).
+DEFAULT_EQ_SEL = 0.005
+
+
+def _sort_key(value: Any) -> Tuple[str, Any]:
+    """Total order over mixed-type column values: group by type name
+    first so incomparable types never meet (deterministic, no reliance
+    on dict/iteration order)."""
+    return (type(value).__name__, value)
+
+
+@dataclass
+class ColumnStats:
+    """Distribution statistics for one (indexed) column."""
+
+    n_distinct: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    #: Equal-depth bucket boundaries (ascending, same-type values):
+    #: ``bounds[0]`` = min, ``bounds[-1]`` = max, each adjacent pair
+    #: covering ~1/(len-1) of the rows.
+    histogram: List[Any] = field(default_factory=list)
+    #: Rows sampled to build the stats (live rows at ANALYZE time).
+    sample_rows: int = 0
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def from_values(values: List[Any]) -> "ColumnStats":
+        present = [v for v in values if v is not None]
+        stats = ColumnStats(sample_rows=len(values))
+        if not present:
+            return stats
+        try:
+            ordered = sorted(present)
+        except TypeError:
+            # Mixed incomparable types: fall back to the type-grouped
+            # total order so ANALYZE never raises.
+            ordered = sorted(present, key=_sort_key)
+        stats.n_distinct = len(set(map(_freeze, present)))
+        stats.min_value = ordered[0]
+        stats.max_value = ordered[-1]
+        n = len(ordered)
+        buckets = min(HISTOGRAM_BUCKETS, n)
+        if buckets >= 1:
+            bounds = [ordered[(i * (n - 1)) // buckets]
+                      for i in range(buckets)]
+            bounds.append(ordered[-1])
+            stats.histogram = bounds
+        return stats
+
+    # -- selectivity ----------------------------------------------------
+    def eq_selectivity(self) -> float:
+        """Fraction of rows matching ``col = const`` (1/n_distinct)."""
+        if self.n_distinct <= 0:
+            return DEFAULT_EQ_SEL
+        return 1.0 / self.n_distinct
+
+    def range_selectivity(self, lo: Any, hi: Any, *,
+                          lo_incl: bool = True,
+                          hi_incl: bool = True) -> float:
+        """Fraction of rows with lo </<= value </<= hi (None = open)."""
+        lo_frac = self._position(lo, incl=not lo_incl) if lo is not None \
+            else 0.0
+        hi_frac = self._position(hi, incl=hi_incl) if hi is not None \
+            else 1.0
+        if lo_frac is None or hi_frac is None:
+            return DEFAULT_INEQ_SEL
+        return max(0.0, min(1.0, hi_frac - lo_frac))
+
+    def _position(self, value: Any, *, incl: bool) -> Optional[float]:
+        """Fraction of rows with value <(=) ``value`` via the
+        histogram, with linear interpolation inside a bucket when the
+        values support it. None when the histogram cannot answer."""
+        bounds = self.histogram
+        if not bounds or len(bounds) < 2:
+            return None
+        try:
+            if value < bounds[0]:
+                return 0.0
+            if value > bounds[-1]:
+                return 1.0
+        except TypeError:
+            return None
+        finder = bisect_right if incl else bisect_left
+        try:
+            i = finder(bounds, value)
+        except TypeError:
+            return None
+        if i <= 0:
+            return 0.0
+        if i >= len(bounds):
+            return 1.0
+        buckets = len(bounds) - 1
+        frac = (i - 1) / buckets
+        lo_b, hi_b = bounds[i - 1], bounds[i]
+        if isinstance(lo_b, (int, float)) and isinstance(hi_b, (int, float)) \
+                and isinstance(value, (int, float)) and hi_b > lo_b:
+            frac += ((value - lo_b) / (hi_b - lo_b)) / buckets
+        else:
+            # Non-interpolatable bucket (strings, tuples): charge half.
+            frac += 0.5 / buckets
+        return max(0.0, min(1.0, frac))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"n_distinct": self.n_distinct, "min": self.min_value,
+                "max": self.max_value, "histogram": list(self.histogram),
+                "sample_rows": self.sample_rows}
+
+
+def _freeze(value: Any) -> Any:
+    return tuple(value) if isinstance(value, list) else value
+
+
+@dataclass
+class RelationStats:
+    """ANALYZE output plus incrementally maintained write deltas."""
+
+    oid: int
+    name: str
+    #: Live (visible-to-the-ANALYZE-snapshot) rows at ANALYZE time.
+    analyzed_rows: int = 0
+    #: Heap pages at ANALYZE time.
+    analyzed_pages: int = 0
+    #: Net row delta since ANALYZE (+insert, -delete; update = 0).
+    row_delta: int = 0
+    #: Stats epoch this entry was built in.
+    epoch: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def live_rows(self) -> int:
+        return max(0, self.analyzed_rows + self.row_delta)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+class StatsCatalog:
+    """Per-relation statistics plus the cache-invalidation epoch.
+
+    The epoch is bumped by ANALYZE (new stats must replace cached
+    plans) and by any DDL that changes the set of access paths or
+    relations (CREATE/DROP INDEX, CREATE/DROP TABLE, table rewrite).
+    Caches embed the epoch in their keys, so bumping it atomically
+    invalidates every cached plan and prepared-statement plan.
+    """
+
+    def __init__(self) -> None:
+        self._by_oid: Dict[int, RelationStats] = {}
+        self.epoch = 0
+
+    # -- lookups --------------------------------------------------------
+    def get(self, oid: int) -> Optional[RelationStats]:
+        return self._by_oid.get(oid)
+
+    def relations(self) -> List[RelationStats]:
+        return [self._by_oid[oid] for oid in sorted(self._by_oid)]
+
+    # -- maintenance ----------------------------------------------------
+    def bump_epoch(self) -> int:
+        """Invalidate every plan cached against the previous epoch."""
+        self.epoch += 1
+        return self.epoch
+
+    def forget(self, oid: int) -> None:
+        """Drop stats for a removed relation (DROP TABLE)."""
+        self._by_oid.pop(oid, None)
+        self.bump_epoch()
+
+    def install(self, stats: RelationStats) -> RelationStats:
+        """Install fresh ANALYZE output and invalidate cached plans."""
+        stats.epoch = self.bump_epoch()
+        self._by_oid[stats.oid] = stats
+        return stats
+
+    def note_write(self, oid: int, kind: str) -> None:
+        """Incremental row accounting from the executor's write path.
+
+        ``kind`` is insert/update/delete. Cheap (one dict probe + one
+        integer add) and approximate: applied at write time, never
+        rolled back on abort -- exactly pg_stat's n_live_tup drift.
+        """
+        stats = self._by_oid.get(oid)
+        if stats is None:
+            return
+        if kind == "insert":
+            stats.row_delta += 1
+        elif kind == "delete":
+            stats.row_delta -= 1
+
+    # -- ANALYZE --------------------------------------------------------
+    def analyze_relation(self, rel, visible_rows: List[Dict[str, Any]],
+                         columns: List[str]) -> RelationStats:
+        """Build and install stats for one relation.
+
+        ``visible_rows`` is the list of row dicts visible to the
+        ANALYZE snapshot (the caller owns visibility: statistics must
+        go through the same MVCC rules as any scan); ``columns`` names
+        the columns to build distribution stats for (the indexed ones).
+        """
+        stats = RelationStats(oid=rel.oid, name=rel.name,
+                              analyzed_rows=len(visible_rows),
+                              analyzed_pages=rel.heap.page_count)
+        for column in sorted(set(columns)):
+            values = [row.get(column) for row in visible_rows]
+            stats.columns[column] = ColumnStats.from_values(values)
+        return self.install(stats)

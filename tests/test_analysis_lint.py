@@ -101,6 +101,46 @@ class TestDeterminism:
                               relpath="repro/sim/scheduler.py")
         assert report.ok
 
+    def test_planner_id_dependence_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def choose(candidates):
+                return min(candidates, key=lambda c: id(c))
+            """, relpath="repro/engine/planner.py")
+        assert rule_ids(report) == ["DET001"]
+        assert "object identity" in report.findings[0].message
+
+    def test_planner_dict_view_iteration_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def choose(indexes):
+                for index in indexes.values():
+                    return index
+            """, relpath="repro/engine/planner.py")
+        assert rule_ids(report) == ["DET001"]
+        assert "insertion order" in report.findings[0].message
+
+    def test_planner_min_over_dict_view_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def choose(costs):
+                return min(costs.items())
+            """, relpath="repro/engine/planner.py")
+        assert rule_ids(report) == ["DET001"]
+
+    def test_planner_explicit_key_passes(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def choose(candidates):
+                return min(candidates,
+                           key=lambda c: (c.cost, c.column, c.index_name))
+            """, relpath="repro/engine/planner.py")
+        assert report.ok
+
+    def test_dict_views_fine_outside_pure_choice_modules(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def walk(indexes):
+                for index in indexes.values():
+                    index.touch()
+            """, relpath="repro/storage/relation.py")
+        assert report.ok
+
 
 class TestSlotsConsistency:
     def test_flags_undeclared_attribute(self, tmp_path):
@@ -244,6 +284,25 @@ class TestTogglePurity:
                     if not self.config.hint_bits:
                         pass
                     else:
+                        self.work_units += 1
+            """)
+        assert rule_ids(report) == ["CFG001"]
+
+    def test_cost_planner_toggle_covered(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class Planner:
+                def plan(self):
+                    if self.use_cost:
+                        self.work_units += 1
+            """)
+        assert rule_ids(report) == ["CFG001"]
+        assert "use_cost" in report.findings[0].message
+
+    def test_plan_cache_toggle_covered(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class Planner:
+                def plan(self, config):
+                    if config.perf.plan_cache:
                         self.work_units += 1
             """)
         assert rule_ids(report) == ["CFG001"]
