@@ -22,7 +22,9 @@ import argparse
 import json
 import os
 import platform
+import random
 import sys
+import threading
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -34,6 +36,7 @@ from repro.config import EngineConfig, PerfConfig, SSIConfig  # noqa: E402
 from repro.engine.database import Database  # noqa: E402
 from repro.engine.isolation import IsolationLevel  # noqa: E402
 from repro.engine.predicate import And, Eq  # noqa: E402
+from repro.server import ReproServer, ServerConfig, connect  # noqa: E402
 from repro.workloads.base import run_workload  # noqa: E402
 from repro.workloads.dbt2pp import DBT2PP  # noqa: E402
 from repro.workloads.rubis import RubisBidding  # noqa: E402
@@ -222,6 +225,105 @@ def rubis(isolation: IsolationLevel, fast: bool, *,
 
 
 # ----------------------------------------------------------------------
+# benchmark 7: SIBENCH through the real network server (multi-client
+# latency: p50/p95/p99 per transaction plus end-to-end throughput)
+# ----------------------------------------------------------------------
+def _quantile_ms(sorted_seconds, q: float) -> float:
+    idx = min(len(sorted_seconds) - 1,
+              max(0, int(q * len(sorted_seconds) + 0.999999) - 1))
+    return sorted_seconds[idx] * 1000.0
+
+
+def server_sibench(*, n_clients: int, txns_per_client: int,
+                   table_size: int, mode: str = "threaded") -> dict:
+    """The SIBENCH mix (half single-key updates, half full-table
+    min-scans, all SERIALIZABLE) driven by ``n_clients`` real OS
+    threads through the TCP server. Latency is measured client-side
+    per committed transaction, *including* any serialization-failure
+    retries the client library performed -- that is the latency an
+    application experiences under SSI (paper section 8.1)."""
+    db = make_db(True)
+    server = ReproServer(db, ServerConfig(
+        port=0, mode=mode, max_connections=n_clients + 2)).start()
+    boot = connect(server.address)
+    boot.sql("CREATE TABLE sibench (k INT PRIMARY KEY, v INT)")
+    seed_rng = random.Random(7)
+    boot.sql("INSERT INTO sibench (k, v) VALUES "
+             + ", ".join(f"({k}, {seed_rng.randrange(10_000)})"
+                         for k in range(table_size)))
+    boot.close()
+
+    latencies = [[] for _ in range(n_clients)]
+    retries = [0] * n_clients
+    errors = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def worker(i: int) -> None:
+        rng = random.Random(100 + i)
+        try:
+            client = connect(server.address, isolation="serializable",
+                             backoff_base=0.001, backoff_cap=0.05)
+            barrier.wait()
+            for _ in range(txns_per_client):
+                t0 = time.perf_counter()
+                if rng.random() < 0.5:
+                    key = rng.randrange(table_size)
+                    value = rng.randrange(10_000)
+                    client.run_transaction(
+                        lambda c, k=key, v=value: c.sql(
+                            f"UPDATE sibench SET v = {v} WHERE k = {k}"),
+                        max_retries=100)
+                else:
+                    client.run_transaction(
+                        lambda c: min(c.sql("SELECT * FROM sibench"),
+                                      key=lambda r: (r["v"], r["k"])),
+                        read_only=True, max_retries=100)
+                latencies[i].append(time.perf_counter() - t0)
+            retries[i] = client.retries
+            client.close()
+        except Exception as exc:
+            errors.append((i, exc))
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,),
+                                name=f"bench-client-{i}")
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()  # all clients connected: clock only the steady state
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    leaks = server.stop()
+    if errors:
+        raise RuntimeError(f"server bench clients failed: {errors}")
+    if leaks["threads"] or leaks["connections"]:
+        raise RuntimeError(f"server bench leaked: {leaks}")
+
+    all_lat = sorted(lat for per_client in latencies for lat in per_client)
+    total = len(all_lat)
+    return {
+        "mode": mode,
+        "clients": n_clients,
+        "transactions": total,
+        "seconds": elapsed,
+        "throughput_txn_s": total / elapsed if elapsed else None,
+        "latency_ms": {
+            "p50": _quantile_ms(all_lat, 0.50),
+            "p95": _quantile_ms(all_lat, 0.95),
+            "p99": _quantile_ms(all_lat, 0.99),
+            "mean": sum(all_lat) / total * 1000.0,
+            "max": all_lat[-1] * 1000.0,
+        },
+        "retries": sum(retries),
+    }
+
+
+# ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
@@ -237,12 +339,14 @@ def main(argv=None) -> int:
         params = {"scan_rows": 400, "scan_repeats": 30,
                   "churn_rows": 400, "churn_rounds": 3,
                   "workload_ticks": 2000.0, "sibench_table": 50,
-                  "skew_rows": 400, "skew_queries": 60}
+                  "skew_rows": 400, "skew_queries": 60,
+                  "server_txns": 12, "server_table": 30}
     else:
         params = {"scan_rows": 1500, "scan_repeats": 80,
                   "churn_rows": 1500, "churn_rounds": 6,
                   "workload_ticks": 8000.0, "sibench_table": 100,
-                  "skew_rows": 1500, "skew_queries": 200}
+                  "skew_rows": 1500, "skew_queries": 200,
+                  "server_txns": 40, "server_table": 100}
 
     benchmarks = {
         "repeated_seq_scan": lambda iso, fast: repeated_seq_scan(
@@ -284,6 +388,22 @@ def main(argv=None) -> int:
                   f"slow {slow['seconds']:8.3f}s  "
                   f"speedup {entry['speedup']:.2f}x")
 
+    # SIBENCH through the real TCP server at 1/4/16 concurrent clients
+    # (fast config; the interesting axis here is concurrency, not the
+    # perf toggles).
+    server_results = {}
+    for n in (1, 4, 16):
+        result = server_sibench(n_clients=n,
+                                txns_per_client=params["server_txns"],
+                                table_size=params["server_table"])
+        server_results[str(n)] = result
+        lat = result["latency_ms"]
+        print(f"    server_sibench [{n:>2} clients]  "
+              f"p50 {lat['p50']:7.2f}ms  p95 {lat['p95']:7.2f}ms  "
+              f"p99 {lat['p99']:7.2f}ms  "
+              f"{result['throughput_txn_s']:7.1f} txn/s  "
+              f"retries {result['retries']}")
+
     defaults = PerfConfig()
     out = {
         "meta": {
@@ -304,6 +424,9 @@ def main(argv=None) -> int:
             },
         },
         "benchmarks": results,
+        # Multi-client latency through the real network server
+        # (keyed by client count; latency_ms has p50/p95/p99).
+        "server": {"sibench": server_results},
     }
     repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              os.pardir, os.pardir)

@@ -257,19 +257,31 @@ class LockEncapsulationRule(Rule):
     ``lockmgr._table[...]`` / ``lockmgr._add(...)`` from another
     package can desynchronize the per-holder indexes the cleanup
     relies on.
+
+    The same discipline covers the server-era latches
+    (:mod:`repro.engine.latches`): a latch's condition variable and
+    held-stack bookkeeping (``latch._cond``, ``latch._lock``, ...) are
+    owned by the latch module -- outside code must go through
+    acquire/release/park/bow/notify_all or the rank-order enforcement
+    can be bypassed.
     """
 
     id = "LOCK001"
     name = "lock-encapsulation"
-    description = "private lock-manager state accessed from another package"
+    description = ("private lock-manager or latch state accessed from "
+                   "another package")
     hint = ("use the manager's public API (acquire/release_all/iter_locks/"
-            "locks_held/...), or add the operation to the manager as a "
+            "locks_held/... -- for latches: acquire/release/park/bow/"
+            "notify_all), or add the operation to the manager as a "
             "public method")
 
-    #: Receiver spellings that denote a lock manager in this codebase.
-    RECEIVERS = {"lockmgr", "lock_manager", "lockmanager"}
-    #: Packages that own lock-manager internals.
-    OWNER_PREFIXES = ("repro.locks", "repro.ssi")
+    #: Receiver spellings that denote a lock manager or latch in this
+    #: codebase (repro.server names its latches by guarded resource).
+    RECEIVERS = {"lockmgr", "lock_manager", "lockmanager",
+                 "latch", "latches", "engine_latch", "wire_latch",
+                 "conn_latch", "metrics_latch"}
+    #: Packages that own lock-manager / latch internals.
+    OWNER_PREFIXES = ("repro.locks", "repro.ssi", "repro.engine.latches")
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (ctx.in_engine
@@ -295,23 +307,31 @@ class LockReleasePathRule(Rule):
     release leaks the lock unless some other protocol (transaction-end
     ``release_all``) covers it -- in which case the site takes a noqa
     stating that protocol.
+
+    Latch acquisitions (repro.engine.latches receivers, including the
+    server's wire/conn/metrics latches) are held to the same standard:
+    a bare ``latch.acquire()`` with no release in the function is a
+    hang waiting for an exception -- use ``with latch:`` instead.
     """
 
     id = "LOCK002"
     name = "lock-release-path"
-    description = "lock acquire without a release path in the same function"
+    description = ("lock/latch acquire without a release path in the "
+                   "same function")
     hint = ("pair the acquire with release/release_all in this function "
-            "(try/finally), or add '# repro: noqa(LOCK002)' naming the "
-            "protocol that releases it (e.g. held to transaction end, "
-            "released by release_all at commit/abort)")
+            "(try/finally; for latches prefer 'with latch:'), or add "
+            "'# repro: noqa(LOCK002)' naming the protocol that releases "
+            "it (e.g. held to transaction end, released by release_all "
+            "at commit/abort)")
 
     RECEIVERS = LockEncapsulationRule.RECEIVERS
 
     def applies_to(self, ctx: FileContext) -> bool:
         # The managers themselves implement acquire; the rule is about
-        # call sites in the rest of the engine.
+        # call sites in the rest of the engine (including repro.server).
         return (ctx.in_engine
-                and not ctx.module.startswith("repro.locks"))
+                and not ctx.module.startswith(("repro.locks",
+                                               "repro.engine.latches")))
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         for func in ast.walk(ctx.tree):

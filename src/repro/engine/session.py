@@ -50,6 +50,16 @@ class Session:
         #: (repro.waits.Yield) as WouldBlock so clients interleave;
         #: direct callers run straight through them.
         self.cooperative = False
+        #: Real-thread wait handler (repro.server). When set, a wait
+        #: condition is handed to the hook -- which parks the calling
+        #: OS thread on the engine latch's condition variable until the
+        #: condition is ready (or raises a timeout error) -- and the
+        #: statement then continues in place; WouldBlock is never
+        #: raised. When None (the default, and always under the
+        #: deterministic scheduler) behaviour is byte-identical to the
+        #: seed. Yields reach the hook only when ``cooperative`` is
+        #: also set, mirroring the scheduler contract.
+        self.wait_hook: Optional[Callable[[Any], None]] = None
 
     # ------------------------------------------------------------------
     # transaction control
@@ -320,13 +330,27 @@ class Session:
                        gen_factory(txn))
         return self._drive(gen, autocommit=autocommit)
 
+    def _next_condition(self, gen: Iterator):
+        """Advance ``gen`` to the next wait condition that must surface
+        as WouldBlock. Skips Yields for non-cooperative direct callers;
+        hands every condition to ``wait_hook`` (which blocks the real
+        thread until ready) when one is installed, in which case the
+        generator runs to completion and StopIteration propagates."""
+        from repro.waits import Yield
+        condition = next(gen)
+        while True:
+            if isinstance(condition, Yield) and not self.cooperative:
+                condition = next(gen)
+            elif self.wait_hook is not None:
+                self.wait_hook(condition)
+                condition = next(gen)
+            else:
+                return condition
+
     def _drive(self, gen: Iterator, autocommit: bool,
                is_begin: bool = False):
-        from repro.waits import Yield
         try:
-            condition = next(gen)
-            while isinstance(condition, Yield) and not self.cooperative:
-                condition = next(gen)
+            condition = self._next_condition(gen)
         except StopIteration as stop:
             return self._finish_statement(stop.value, autocommit, is_begin)
         except ReproError as exc:
@@ -342,12 +366,9 @@ class Session:
         cleared (or to re-check it)."""
         if self._pending is None:
             raise InvalidTransactionStateError("no suspended statement")
-        from repro.waits import Yield
         gen = self._pending
         try:
-            condition = next(gen)
-            while isinstance(condition, Yield) and not self.cooperative:
-                condition = next(gen)
+            condition = self._next_condition(gen)
         except StopIteration as stop:
             autocommit = self._pending_autocommit
             is_begin = self._pending_is_begin

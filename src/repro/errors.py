@@ -39,9 +39,18 @@ class AbortCause(enum.Enum):
 
 
 class ReproError(Exception):
-    """Base class for all engine errors."""
+    """Base class for all engine errors.
+
+    ``sqlstate`` mirrors PostgreSQL's five-character code for the
+    condition; ``retryable`` is True for the classes a client-side
+    retry loop should transparently re-attempt (serialization
+    failures, deadlocks, admission rejections, lock/statement
+    timeouts). The wire protocol (repro.server.protocol) surfaces both
+    as structured fields on every error response.
+    """
 
     sqlstate = "XX000"
+    retryable = False
 
 
 class UserError(ReproError):
@@ -91,10 +100,27 @@ class FeatureNotSupportedError(UserError):
     sqlstate = "0A000"
 
 
+class ProtocolError(UserError):
+    """Malformed wire-protocol frame (SQLSTATE 08P01,
+    protocol_violation): not valid JSON, missing required fields, or an
+    operation sent in a connection state that does not accept it."""
+
+    sqlstate = "08P01"
+
+
+class AuthenticationError(UserError):
+    """The connection's hello carried a missing or wrong credential
+    (SQLSTATE 28P01, invalid_password)."""
+
+    sqlstate = "28P01"
+
+
 class RetryableError(ReproError):
     """Errors for which the paper assumes a middleware retry layer
     (section 3.3: "users must already be prepared to handle transactions
     aborted by serialization failures")."""
+
+    retryable = True
 
 
 class SerializationFailure(RetryableError):
@@ -146,6 +172,47 @@ class DeadlockDetected(RetryableError):
     """
 
     sqlstate = "40P01"
+
+
+class TooManyConnections(RetryableError):
+    """Admission control rejected the connection or request (SQLSTATE
+    53300, too_many_connections).
+
+    Raised by the server front end when the connection count is at
+    ``ServerConfig.max_connections`` or a connection's bounded request
+    queue is full (backpressure). Retryable: the client library backs
+    off exponentially and reconnects/resends, which is how the "heavy
+    traffic" story degrades gracefully instead of collapsing.
+    """
+
+    sqlstate = "53300"
+
+
+class LockNotAvailable(RetryableError):
+    """A statement waited on a heavyweight lock past the configured
+    statement timeout (SQLSTATE 55P03, lock_not_available).
+
+    The server's wait hook cancels the queued lock request (so the
+    grant queue stays clean) and fails the statement; the transaction
+    enters the FAILED state exactly as for any other statement error.
+    """
+
+    sqlstate = "55P03"
+
+
+class StatementTimeout(RetryableError):
+    """A statement exceeded the configured statement timeout while
+    parked on a non-lock wait, e.g. a DEFERRABLE safe-snapshot wait
+    (SQLSTATE 57014, query_canceled)."""
+
+    sqlstate = "57014"
+
+
+class AdminShutdown(ReproError):
+    """The server is shutting down; parked statements are cancelled
+    (SQLSTATE 57P01, admin_shutdown)."""
+
+    sqlstate = "57P01"
 
 
 class CapacityExceededError(ReproError):

@@ -198,6 +198,29 @@ class LockManager:
                 self._wake_queue(entry)
                 self._maybe_gc(tag, entry)
 
+    def cancel_request(self, request: LockRequest) -> None:
+        """Withdraw one queued request (statement-timeout cancellation:
+        the waiting statement gives up without ending its transaction).
+
+        No-op if the request was already granted or cancelled. Wakes
+        the queue: removing a waiter can unblock requests behind it
+        that only conflicted with the cancelled one.
+        """
+        if request.granted or request.cancelled:
+            return
+        entry = self._table.get(request.tag)
+        if entry is None or request not in entry.queue:
+            request.cancelled = True
+            return
+        entry.queue.remove(request)
+        request.cancelled = True
+        self.work_units += 1
+        if self._obs is not None:
+            self._obs.emit("lock.cancel", request.owner, tag=request.tag,
+                           mode=request.mode.value)
+        self._wake_queue(entry)
+        self._maybe_gc(request.tag, entry)
+
     def _wake_queue(self, entry: _LockEntry) -> None:
         """Grant queued requests in FIFO order until one must wait."""
         while entry.queue:

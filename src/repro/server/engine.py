@@ -1,0 +1,192 @@
+"""Thread-safe engine front: the engine latch around every entry.
+
+The :class:`Database` and everything under it is single-threaded by
+design; :class:`ThreadSafeEngine` is the *only* path by which server
+threads reach it. Every entry (statement, session open/close, rollback)
+runs holding the engine latch (:mod:`repro.engine.latches`), so engine
+state mutations stay as atomic under OS threads as they are under the
+deterministic scheduler. Real concurrency comes from the points where
+the latch is released mid-statement:
+
+* **parking**: a statement that must wait (queued lock request,
+  DEFERRABLE safe-snapshot wait) parks on the latch's condition
+  variable via the session wait hook -- the latch is released while
+  asleep, other threads' commits run, and every engine exit broadcasts
+  a wakeup so the parked statement re-checks its condition;
+* **scan yields**: long scans voluntarily ``bow()`` the latch every
+  few pages (the thread analog of the simulator's Yield), so a bulk
+  read does not starve writers.
+
+Statement timeouts ride on parking: a wait that outlives the deadline
+is cancelled -- the queued lock request is withdrawn from the lock
+manager so the grant queue stays clean -- and the statement fails with
+``55P03`` (lock wait) or ``57014`` (any other wait), leaving the
+transaction in the FAILED state exactly like any other statement error.
+"""
+
+from __future__ import annotations
+
+import time  # repro: noqa(DET001) -- statement-timeout deadlines are wall-clock; they bound real waits and never feed back into the logical history
+from typing import Any, Optional
+
+from repro.engine.database import Database
+from repro.engine.isolation import IsolationLevel
+from repro.engine.latches import EngineLatch
+from repro.engine.session import Session
+from repro.errors import (AdminShutdown, LockNotAvailable, StatementTimeout,
+                          WouldBlock)
+from repro.locks.manager import LockRequest
+from repro.sql.executor import SQLSession
+from repro.waits import Yield
+
+#: hello isolation strings -> engine isolation levels.
+ISOLATION_BY_NAME = {level.value: level for level in IsolationLevel}
+
+
+class EngineSession:
+    """One connection's engine-side state: the Session (with the wait
+    hook installed) plus its SQL layer (parse cache + per-connection
+    PREPARE/EXECUTE state)."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self.sql = SQLSession(session)
+        #: Monotonic deadline of the statement currently executing on
+        #: this session (set under the engine latch by the one thread
+        #: driving this connection; never shared across sessions).
+        self.deadline: Optional[float] = None
+
+    @property
+    def txn_status(self) -> str:
+        """The wire-protocol ``txn`` field: idle / open / failed."""
+        txn = self.session.txn
+        if txn is None:
+            return "idle"
+        from repro.engine.transaction import TxnStatus
+        return "failed" if txn.status is TxnStatus.FAILED else "open"
+
+
+class ThreadSafeEngine:
+    """Serializes real-thread access to one Database."""
+
+    def __init__(self, db: Database,
+                 statement_timeout: Optional[float] = None) -> None:
+        self.db = db
+        self.latch = EngineLatch()
+        #: Seconds one statement may spend parked before cancellation;
+        #: None waits forever (deadlocks are still caught eagerly by
+        #: the wait-for-graph detector at enqueue time).
+        self.statement_timeout = statement_timeout
+        #: Set by :meth:`shutdown`; parked statements re-check it and
+        #: fail with AdminShutdown so worker threads can drain.
+        self.closing = False
+        metrics = db.obs.metrics
+        self._timeout_counter = metrics.counter("server.statement_timeouts")
+        self._park_counter = metrics.counter("server.lock_parks")
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, isolation: IsolationLevel) -> EngineSession:
+        with self.latch:
+            session = self.db.session(default_isolation=isolation)
+            # Surface Yields to the wait hook so scans bow the latch.
+            session.cooperative = True
+            es = EngineSession(session)
+            session.wait_hook = self._make_wait_hook(es)
+            return es
+
+    def close_session(self, es: EngineSession) -> None:
+        """Graceful close: implicit ROLLBACK of any open transaction
+        (PostgreSQL's behaviour when a backend loses its client)."""
+        with self.latch:
+            try:
+                if es.session.txn is not None:
+                    es.session.rollback()
+            finally:
+                self.latch.notify_all()
+
+    def shutdown(self) -> None:
+        """Begin server shutdown: wake every parked statement so it can
+        notice ``closing`` and fail with AdminShutdown (57P01) instead
+        of sleeping forever on a wait that will never be satisfied."""
+        with self.latch:
+            self.closing = True
+            self.latch.notify_all()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def execute(self, es: EngineSession, sql: str) -> Any:
+        """Run one SQL statement to completion under the engine latch.
+
+        The wait hook parks the thread on the latch's condition
+        variable whenever the statement must wait, so WouldBlock never
+        escapes; every exit broadcasts a wakeup because a finished
+        statement (commit, rollback, lock release at transaction end)
+        may have readied other threads' wait conditions.
+        """
+        with self.latch:
+            es.deadline = (time.monotonic() + self.statement_timeout
+                           if self.statement_timeout is not None else None)
+            try:
+                return es.sql.execute(sql)
+            except WouldBlock:  # pragma: no cover - wait hook prevents it
+                raise AssertionError(
+                    "WouldBlock escaped a wait-hooked session")
+            finally:
+                self.latch.notify_all()
+
+    def run(self, fn, *args: Any, **kw: Any) -> Any:
+        """Run an arbitrary engine-touching callable under the latch
+        (setup DDL, introspection views, verify checks)."""
+        with self.latch:
+            try:
+                return fn(*args, **kw)
+            finally:
+                self.latch.notify_all()
+
+    # ------------------------------------------------------------------
+    # the wait hook
+    # ------------------------------------------------------------------
+    def _make_wait_hook(self, es: "EngineSession"):
+        def wait_hook(condition: Any) -> None:
+            if isinstance(condition, Yield):
+                self.latch.bow()
+                return
+            if getattr(condition, "ready", False):
+                return
+            self._park_counter.inc()
+            granted = self.latch.park(
+                lambda: self.closing or getattr(condition, "ready", False),
+                deadline=es.deadline)
+            if granted and self.closing and not getattr(condition, "ready",
+                                                        False):
+                if isinstance(condition, LockRequest):
+                    self.db.lockmgr.cancel_request(condition)
+                raise AdminShutdown(
+                    "canceling statement: server is shutting down")
+            if granted:
+                self._check_cancelled(condition)
+                return
+            self._timeout_counter.inc()
+            if isinstance(condition, LockRequest):
+                self.db.lockmgr.cancel_request(condition)
+                raise LockNotAvailable(
+                    "canceling statement due to lock timeout while "
+                    f"waiting for {condition.describe()}")
+            raise StatementTimeout(
+                "canceling statement due to statement timeout while "
+                f"waiting on {condition.describe()}")
+
+        return wait_hook
+
+    @staticmethod
+    def _check_cancelled(condition: Any) -> None:
+        """A lock request that woke cancelled-but-not-granted cannot
+        make progress (its transaction was torn down under it);
+        resuming would spin, so fail the statement instead."""
+        if (isinstance(condition, LockRequest)
+                and condition.cancelled and not condition.granted):
+            raise LockNotAvailable(
+                f"lock wait cancelled: {condition.describe()}")

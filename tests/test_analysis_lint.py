@@ -265,6 +265,40 @@ class TestLockRules:
             """)
         assert report.ok
 
+    def test_latch_private_state_flagged_in_server(self, tmp_path):
+        # Seeded violation: repro.server code reaching into a latch's
+        # condition variable instead of using park/notify_all.
+        report = lint_snippet(tmp_path, """
+            def sneaky_wakeup(latch):
+                latch._cond.notify_all()
+            """, relpath="repro/server/hack.py")
+        assert "LOCK001" in rule_ids(report)
+
+    def test_latch_module_owns_its_internals(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def notify_all(latch):
+                latch._cond.notify_all()
+            """, relpath="repro/engine/latches.py")
+        assert report.ok
+
+    def test_latch_acquire_without_release_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def enter(wire_latch):
+                wire_latch.acquire()
+            """, relpath="repro/server/hack.py")
+        assert rule_ids(report) == ["LOCK002"]
+
+    def test_latch_acquire_with_release_passes(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def enter(wire_latch):
+                wire_latch.acquire()
+                try:
+                    pass
+                finally:
+                    wire_latch.release()
+            """, relpath="repro/server/hack.py")
+        assert report.ok
+
 
 class TestTogglePurity:
     def test_work_units_in_fast_path_flagged(self, tmp_path):

@@ -1,0 +1,404 @@
+"""Tests for repro.server: wire protocol, connection lifecycle,
+admission control, backpressure, and both transports."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import (AuthenticationError, LockNotAvailable,
+                          ProtocolError, ReproError, SerializationFailure,
+                          TooManyConnections)
+from repro.server import ReproClient, ReproServer, ServerConfig, connect
+from repro.server import protocol
+
+
+def make_server(**kw):
+    config_kw = {"port": 0}
+    config_kw.update(kw)
+    db = Database(EngineConfig())
+    return ReproServer(db, ServerConfig(**config_kw)).start()
+
+
+def assert_clean_stop(server):
+    leaks = server.stop()
+    assert leaks == {"threads": [], "connections": []}
+
+
+class RawConn:
+    """Protocol-level test client: raw frames, no client library."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=10)
+        self.rfile = self.sock.makefile("rb")
+
+    def send(self, **payload):
+        self.sock.sendall(protocol.encode_frame(payload))
+
+    def send_bytes(self, data):
+        self.sock.sendall(data)
+
+    def recv(self):
+        line = self.rfile.readline()
+        assert line, "server closed the connection"
+        return protocol.decode_frame(line.rstrip(b"\r\n"))
+
+    def close(self):
+        self.rfile.close()
+        self.sock.close()
+
+
+class TestLifecycle:
+    def test_start_stop_leak_free(self):
+        server = make_server()
+        assert server.address[1] > 0
+        assert_clean_stop(server)
+
+    def test_stop_is_idempotent(self):
+        server = make_server()
+        assert_clean_stop(server)
+        assert server.stop() == {"threads": [], "connections": []}
+
+    def test_context_manager(self):
+        db = Database(EngineConfig())
+        with ReproServer(db, ServerConfig(port=0)) as server:
+            client = connect(server.address)
+            assert client.ping() == "pong"
+            client.close()
+
+    def test_hello_reports_wire_version_and_isolation(self):
+        server = make_server()
+        client = connect(server.address, isolation="repeatable read")
+        assert client.hello["wire_version"] == protocol.WIRE_VERSION
+        assert client.hello["isolation"] == "repeatable read"
+        client.close()
+        assert_clean_stop(server)
+
+    def test_implicit_rollback_on_abrupt_disconnect(self):
+        server = make_server()
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+
+        walker = connect(server.address)
+        walker.sql("BEGIN")
+        walker.sql("UPDATE t SET v = 99 WHERE k = 1")
+        # Vanish without COMMIT or a close frame. (Both the socket and
+        # its makefile wrapper must go, or the fd stays open.)
+        walker._teardown()
+
+        # The survivor's conflicting update parks until the server
+        # rolls the orphan back, then proceeds; the orphan's write
+        # must not survive.
+        boot.sql("BEGIN ISOLATION LEVEL READ COMMITTED")
+        assert boot.sql("UPDATE t SET v = 11 WHERE k = 1") == 1
+        boot.sql("COMMIT")
+        assert boot.sql("SELECT v FROM t WHERE k = 1") == [{"v": 11}]
+        boot.close()
+        assert_clean_stop(server)
+
+    def test_stop_cancels_parked_statement(self):
+        server = make_server()
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        holder = connect(server.address)
+        holder.sql("BEGIN")
+        holder.sql("UPDATE t SET v = 11 WHERE k = 1")
+
+        waiter = connect(server.address)
+        errors = []
+
+        def blocked():
+            waiter.sql("BEGIN ISOLATION LEVEL READ COMMITTED")
+            try:
+                waiter.sql("UPDATE t SET v = 12 WHERE k = 1")
+            except (ReproError, OSError) as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while (server.engine.latch.parks == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert_clean_stop(server)
+        thread.join(10)
+        assert not thread.is_alive()
+        assert errors, "parked statement survived server stop"
+
+
+class TestProtocolErrors:
+    def test_sql_before_hello_is_protocol_error(self):
+        server = make_server()
+        raw = RawConn(server.address)
+        raw.send(id=1, op="sql", sql="SELECT 1")
+        response = raw.recv()
+        assert response["ok"] is False
+        assert response["error"]["sqlstate"] == ProtocolError.sqlstate
+        raw.close()
+        assert_clean_stop(server)
+
+    def test_unknown_op_rejected(self):
+        server = make_server()
+        raw = RawConn(server.address)
+        raw.send(id=1, op="launch_missiles")
+        response = raw.recv()
+        assert response["ok"] is False
+        assert response["error"]["sqlstate"] == "08P01"
+        raw.close()
+        assert_clean_stop(server)
+
+    def test_garbage_line_rejected(self):
+        server = make_server()
+        raw = RawConn(server.address)
+        raw.send_bytes(b"this is not json\n")
+        response = raw.recv()
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        raw.close()
+        assert_clean_stop(server)
+
+    def test_double_hello_rejected(self):
+        server = make_server()
+        raw = RawConn(server.address)
+        raw.send(id=1, op="hello")
+        assert raw.recv()["ok"] is True
+        raw.send(id=2, op="hello")
+        response = raw.recv()
+        assert response["ok"] is False
+        assert response["error"]["sqlstate"] == "08P01"
+        raw.close()
+        assert_clean_stop(server)
+
+    def test_unknown_isolation_rejected(self):
+        server = make_server()
+        with pytest.raises(ProtocolError):
+            connect(server.address, isolation="chaotic evil")
+        assert_clean_stop(server)
+
+
+class TestAuthentication:
+    def test_wrong_token_gets_28P01(self):
+        server = make_server(auth_token="sesame")
+        with pytest.raises(AuthenticationError):
+            connect(server.address, token="wrong")
+        with pytest.raises(AuthenticationError):
+            connect(server.address)  # missing token
+        client = connect(server.address, token="sesame")
+        assert client.ping() == "pong"
+        client.close()
+        assert_clean_stop(server)
+
+
+class TestAdmissionControl:
+    def test_connection_limit_rejects_with_53300(self):
+        server = make_server(max_connections=1)
+        first = connect(server.address)
+        with pytest.raises(TooManyConnections) as excinfo:
+            ReproClient(server.address, connect_retries=0).connect()
+        assert excinfo.value.sqlstate == "53300"
+        assert excinfo.value.retryable is True
+        first.close()
+        assert_clean_stop(server)
+
+    def test_connect_retry_wins_a_freed_slot(self):
+        server = make_server(max_connections=1)
+        first = connect(server.address)
+
+        def free_slot():
+            time.sleep(0.15)
+            first.close()
+
+        thread = threading.Thread(target=free_slot)
+        thread.start()
+        second = ReproClient(server.address, connect_retries=20,
+                             backoff_base=0.05, backoff_cap=0.1).connect()
+        assert second.ping() == "pong"
+        assert second.retries > 0
+        thread.join(5)
+        second.close()
+        assert_clean_stop(server)
+
+    def test_backpressure_rejects_pipelined_overflow(self):
+        server = make_server(queue_depth=1)
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        holder = connect(server.address)
+        holder.sql("BEGIN")
+        holder.sql("UPDATE t SET v = 11 WHERE k = 1")
+
+        raw = RawConn(server.address)
+        raw.send(id=1, op="hello")
+        assert raw.recv()["ok"] is True
+        raw.send(id=2, op="sql", sql="BEGIN ISOLATION LEVEL READ COMMITTED")
+        assert raw.recv()["ok"] is True
+        # This statement parks its worker on the held lock...
+        raw.send(id=3, op="sql", sql="UPDATE t SET v = 12 WHERE k = 1")
+        time.sleep(0.2)  # let the worker actually park
+        # ...so pipelining past queue_depth=1 must bounce with 53300.
+        for i in range(4, 10):
+            raw.send(id=i, op="ping")
+        # At least 5 of the 6 pings overflow the queue (6 when the
+        # worker had not yet dequeued the update); rejections are sent
+        # by the reader thread immediately, before the blocked work.
+        responses = {}
+        for _ in range(5):
+            frame = raw.recv()
+            responses[frame["id"]] = frame
+        rejected = [r for r in responses.values()
+                    if not r["ok"]
+                    and r["error"]["sqlstate"] == "53300"]
+        assert len(rejected) == 5
+        assert all(r["error"]["retryable"] for r in rejected)
+        # Unblock; every remaining id (3..9) gets exactly one response.
+        holder.sql("COMMIT")
+        while len(responses) < 7:
+            frame = raw.recv()
+            responses[frame["id"]] = frame
+        assert responses[3]["ok"] is True and responses[3]["result"] == 1
+        for c in (boot, holder):
+            c.close()
+        raw.close()
+        assert_clean_stop(server)
+
+
+class TestStatementTimeout:
+    def test_lock_wait_past_timeout_is_55P03(self):
+        server = make_server(statement_timeout=0.2)
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        holder = connect(server.address)
+        holder.sql("BEGIN")
+        holder.sql("UPDATE t SET v = 11 WHERE k = 1")
+
+        waiter = connect(server.address)
+        waiter.sql("BEGIN ISOLATION LEVEL READ COMMITTED")
+        with pytest.raises(LockNotAvailable) as excinfo:
+            waiter.sql("UPDATE t SET v = 12 WHERE k = 1")
+        assert excinfo.value.sqlstate == "55P03"
+        assert waiter.txn == "failed"
+        waiter.sql("ROLLBACK")
+        # The cancelled request left the grant queue clean: the holder
+        # commits and a fresh update sails through.
+        holder.sql("COMMIT")
+        assert waiter.sql("UPDATE t SET v = 13 WHERE k = 1") == 1
+        for c in (boot, holder, waiter):
+            c.close()
+        assert_clean_stop(server)
+
+
+class TestSQLFlow:
+    def test_txn_field_tracks_state(self):
+        server = make_server()
+        client = connect(server.address)
+        client.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        assert client.txn == "idle"
+        client.sql("BEGIN")
+        assert client.txn == "open"
+        with pytest.raises(ReproError):
+            client.sql("SELECT * FROM nonexistent")
+        assert client.txn == "failed"
+        client.sql("ROLLBACK")
+        assert client.txn == "idle"
+        client.close()
+        assert_clean_stop(server)
+
+    def test_serialization_failure_carries_postmortem_fields(self):
+        server = make_server()
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10), (2, 10)")
+        c1 = connect(server.address)
+        c2 = connect(server.address)
+        c1.sql("BEGIN ISOLATION LEVEL SERIALIZABLE")
+        c2.sql("BEGIN ISOLATION LEVEL SERIALIZABLE")
+        c1.sql("SELECT v FROM t WHERE k = 2")
+        c2.sql("SELECT v FROM t WHERE k = 1")
+        c1.sql("UPDATE t SET v = 5 WHERE k = 1")
+        c2.sql("UPDATE t SET v = 5 WHERE k = 2")
+        c1.sql("COMMIT")
+        with pytest.raises(SerializationFailure) as excinfo:
+            c2.sql("COMMIT")
+        assert excinfo.value.sqlstate == "40001"
+        assert excinfo.value.retryable is True
+        for c in (boot, c1, c2):
+            c.close()
+        assert_clean_stop(server)
+
+    def test_prepare_state_is_per_connection(self):
+        server = make_server()
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        c1 = connect(server.address)
+        c2 = connect(server.address)
+        c1.sql("PREPARE getv AS SELECT v FROM t WHERE k = $1")
+        assert c1.sql("EXECUTE getv(1)") == [{"v": 10}]
+        with pytest.raises(ReproError):
+            c2.sql("EXECUTE getv(1)")  # not prepared on this connection
+        assert c1.sql("EXECUTE getv(1)") == [{"v": 10}]
+        for c in (boot, c1, c2):
+            c.close()
+        assert_clean_stop(server)
+
+    def test_default_isolation_from_config(self):
+        server = make_server(default_isolation="read committed")
+        client = connect(server.address)
+        assert client.hello["isolation"] == "read committed"
+        client.close()
+        assert_clean_stop(server)
+
+
+class TestAsyncioTransport:
+    def test_sql_roundtrip(self):
+        server = make_server(mode="asyncio")
+        client = connect(server.address)
+        client.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        client.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        assert client.sql("SELECT * FROM t") == [{"k": 1, "v": 10}]
+        client.close()
+        assert_clean_stop(server)
+
+    def test_admission_control(self):
+        server = make_server(mode="asyncio", max_connections=1)
+        first = connect(server.address)
+        with pytest.raises(TooManyConnections):
+            ReproClient(server.address, connect_retries=0).connect()
+        first.close()
+        assert_clean_stop(server)
+
+    def test_concurrent_clients_interleave(self):
+        server = make_server(mode="asyncio")
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+        holder = connect(server.address)
+        holder.sql("BEGIN")
+        holder.sql("UPDATE t SET v = 11 WHERE k = 1")
+        # A second client's statement runs while the first's txn is
+        # open (the parked statement must not block the event loop).
+        other = connect(server.address)
+        assert other.ping() == "pong"
+        assert other.sql("SELECT k FROM t") == [{"k": 1}]
+        holder.sql("COMMIT")
+        for c in (boot, holder, other):
+            c.close()
+        assert_clean_stop(server)
+
+
+class TestNoFatalErrors:
+    def test_smoke_leaves_no_fatal_errors(self):
+        server = make_server()
+        client = connect(server.address)
+        client.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        client.run_transaction(
+            lambda c: c.sql("INSERT INTO t (k, v) VALUES (1, 1)"))
+        client.close()
+        assert server.fatal_errors == []
+        assert_clean_stop(server)

@@ -1,0 +1,171 @@
+"""Concurrency acceptance tests for repro.server: real OS threads,
+sanitizers on, histories verified acyclic (the paper's correctness
+criterion) after running through the actual network stack."""
+
+import random
+import threading
+
+import pytest
+
+from repro.config import EngineConfig, SanitizerConfig
+from repro.engine.database import Database
+from repro.errors import SerializationFailure
+from repro.server import ReproServer, ServerConfig, connect
+from repro.verify.checker import check_serializable
+
+
+def make_sanitized_server(monkeypatch, **kw):
+    """Server over a database with every runtime sanitizer armed and
+    the history recorder on (so repro.verify can check the run)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    db = Database(EngineConfig(sanitize=SanitizerConfig.all_on(),
+                               record_history=True))
+    assert db.sanitizers is not None
+    config_kw = {"port": 0}
+    config_kw.update(kw)
+    server = ReproServer(db, ServerConfig(**config_kw)).start()
+    return server, db
+
+
+def assert_clean_finish(server, db):
+    assert server.fatal_errors == []
+    leaks = server.stop()
+    assert leaks == {"threads": [], "connections": []}
+    result = check_serializable(db.recorder)
+    assert result.serializable, f"cycle through server: {result.cycle}"
+    return result
+
+
+class TestWriteSkewOverTheWire:
+    def test_exactly_one_40001_and_retry_succeeds(self, monkeypatch):
+        server, db = make_sanitized_server(monkeypatch)
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        boot.sql("INSERT INTO t (k, v) VALUES (1, 10), (2, 10)")
+        boot.close()
+
+        barrier = threading.Barrier(2, timeout=15)
+        clients = {}
+        failures = {}
+
+        def skew(name, read_k, write_k):
+            client = connect(server.address)
+            clients[name] = client
+            client.sql("BEGIN ISOLATION LEVEL SERIALIZABLE")
+            barrier.wait()
+            rows = client.sql(f"SELECT v FROM t WHERE k = {read_k}")
+            barrier.wait()  # both have read before either writes
+            client.sql(f"UPDATE t SET v = {rows[0]['v'] - 5} "
+                       f"WHERE k = {write_k}")
+            barrier.wait()  # both have written before either commits
+            try:
+                client.sql("COMMIT")
+            except SerializationFailure as exc:
+                failures[name] = exc
+                if client.txn in ("open", "failed"):
+                    client.sql("ROLLBACK")
+
+        threads = [threading.Thread(target=skew, args=("a", 1, 2)),
+                   threading.Thread(target=skew, args=("b", 2, 1))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+            assert not t.is_alive()
+
+        # The dangerous structure fires on exactly one side: the first
+        # committer wins (commit-ordering optimization, section 3.3.1).
+        assert len(failures) == 1, f"expected one 40001, got {failures}"
+        (loser, exc), = failures.items()
+        assert exc.sqlstate == "40001"
+        assert exc.retryable is True
+
+        # The client library's retry loop re-runs the loser to success.
+        read_k, write_k = (1, 2) if loser == "a" else (2, 1)
+        client = clients[loser]
+
+        def txn(c):
+            rows = c.sql(f"SELECT v FROM t WHERE k = {read_k}")
+            c.sql(f"UPDATE t SET v = {rows[0]['v'] - 5} "
+                  f"WHERE k = {write_k}")
+
+        client.run_transaction(txn, isolation="serializable")
+
+        # Final state matches the serial order winner-then-loser.
+        values = {row["k"]: row["v"]
+                  for row in client.sql("SELECT * FROM t")}
+        winner_read_k = 2 if loser == "a" else 1
+        assert values[read_k] == 5          # winner's write
+        assert values[winner_read_k] == 0   # loser re-read 5, wrote 0
+        for c in clients.values():
+            c.close()
+        assert_clean_finish(server, db)
+
+
+class TestConcurrentSIBench:
+    TABLE_SIZE = 20
+    CLIENTS = 16
+    TXNS_PER_CLIENT = 6
+
+    @pytest.mark.parametrize("mode", ["threaded", "asyncio"])
+    def test_16_clients_zero_anomalies(self, monkeypatch, mode):
+        server, db = make_sanitized_server(monkeypatch, mode=mode,
+                                           max_connections=self.CLIENTS + 1)
+        boot = connect(server.address)
+        boot.sql("CREATE TABLE sibench (k INT PRIMARY KEY, v INT)")
+        seed_rng = random.Random(42)
+        values = ", ".join(f"({k}, {seed_rng.randrange(10_000)})"
+                           for k in range(self.TABLE_SIZE))
+        boot.sql(f"INSERT INTO sibench (k, v) VALUES {values}")
+        boot.close()
+
+        stats = {"commits": 0, "retries": 0}
+        stats_lock = threading.Lock()
+        errors = []
+
+        def client_loop(worker_id):
+            rng = random.Random(1000 + worker_id)
+            try:
+                client = connect(server.address, isolation="serializable",
+                                 backoff_base=0.002, backoff_cap=0.05)
+                for _ in range(self.TXNS_PER_CLIENT):
+                    if rng.random() < 0.5:
+                        key = rng.randrange(self.TABLE_SIZE)
+                        value = rng.randrange(10_000)
+
+                        def txn(c, key=key, value=value):
+                            c.sql(f"UPDATE sibench SET v = {value} "
+                                  f"WHERE k = {key}")
+
+                        client.run_transaction(txn, max_retries=50)
+                    else:
+                        def txn(c):
+                            rows = c.sql("SELECT * FROM sibench")
+                            assert len(rows) == self.TABLE_SIZE
+                            return min(rows,
+                                       key=lambda r: (r["v"], r["k"]))
+
+                        client.run_transaction(txn, read_only=True,
+                                               max_retries=50)
+                with stats_lock:
+                    stats["commits"] += self.TXNS_PER_CLIENT
+                    stats["retries"] += client.retries
+                client.close()
+            except Exception as exc:  # surface, don't hang the join
+                errors.append((worker_id, exc))
+
+        threads = [threading.Thread(target=client_loop, args=(i,),
+                                    name=f"sibench-client-{i}")
+                   for i in range(self.CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+            assert not t.is_alive(), "sibench client hung"
+        assert errors == []
+        assert stats["commits"] == self.CLIENTS * self.TXNS_PER_CLIENT
+
+        # Zero non-serializable commits: the recorded history's Adya
+        # graph (over committed transactions) must be acyclic.
+        result = assert_clean_finish(server, db)
+        assert result.serial_order is not None
