@@ -80,9 +80,12 @@ def _perf_counters(db: Database) -> dict:
 
 
 def _plan_cache_hit_rate(counters: dict):
+    """Hit rate, or the explicit string "n/a" when the run never
+    touched the plan cache (the toggles-off series) -- a bare JSON
+    null made downstream tooling do None arithmetic."""
     hits = counters.get("perf.plan_cache_hits", 0)
     misses = counters.get("perf.plan_cache_misses", 0)
-    return hits / (hits + misses) if hits + misses else None
+    return hits / (hits + misses) if hits + misses else "n/a"
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +228,118 @@ def rubis(isolation: IsolationLevel, fast: bool, *,
 
 
 # ----------------------------------------------------------------------
+# benchmarks: vectorized executor series (on vs off; all other fast
+# paths stay at their defaults on both sides, so the delta is the
+# batch executor alone)
+# ----------------------------------------------------------------------
+def _vectorized_db(on: bool, *, heap_page_size: int = 256) -> Database:
+    # The seed's 32-tuple pages are sized so page-granularity SIREAD
+    # locks and promotion stay meaningful in small anomaly schedules;
+    # the scan benchmarks use database-realistic page sizes instead so
+    # per-page costs (buffer touch, vismap probe, batch setup) amortize
+    # the way they would over an 8KB heap page. Both sides of each
+    # on/off pair get the same page size, so the delta stays the
+    # executor alone.
+    config = EngineConfig(perf=PerfConfig(vectorized_executor=on),
+                          heap_page_size=heap_page_size)
+    db = Database(config)
+    assert db.sanitizers is None, (
+        f"sanitizers are enabled (is {ENV_FLAG} exported?); "
+        f"unset it before benchmarking")
+    return db
+
+
+def million_row_scan(isolation: IsolationLevel, on: bool, *,
+                     rows: int, repeats: int) -> dict:
+    """Aggregate scans over one wide table through the SQL layer:
+    COUNT(*), a filtered COUNT matching nothing, and a filtered SUM.
+    The vectorized path amortizes visibility + SIREAD coverage per
+    page and feeds aggregates zero-copy rows; the off path is the
+    per-tuple executor with a dict copy per row."""
+    from repro.sql.executor import SQLSession
+
+    db = _vectorized_db(on)
+    # A wide (11-column) analytic table: the per-tuple path pays a
+    # full-row dict copy per tuple, the vectorized path aliases the
+    # stored payload, so the gap grows with row width.
+    filler = [f"c{i}" for i in range(8)]
+    db.create_table("big", ["k", "v", "grp"] + filler, key="k")
+    session = db.session()
+    session.begin(isolation)
+    for k in range(rows):
+        row = {"k": k, "v": k % 1000, "grp": k % 7}
+        for i, name in enumerate(filler):
+            row[name] = k + i
+        session.insert("big", row)
+    session.commit()
+    db.vacuum()
+    sql = SQLSession(db.session())
+    sql.execute("ANALYZE big")
+    queries = [
+        "SELECT COUNT(*) FROM big",
+        "SELECT COUNT(*) FROM big WHERE v < 0",
+        "SELECT SUM(v) FROM big WHERE grp = 3",
+        "SELECT MIN(v), MAX(v) FROM big WHERE v BETWEEN 100 AND 900",
+    ]
+    level = ("SERIALIZABLE" if isolation is IsolationLevel.SERIALIZABLE
+             else "REPEATABLE READ")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sql.execute(f"BEGIN ISOLATION LEVEL {level}")
+        for q in queries:
+            sql.execute(q)
+        sql.execute("COMMIT")
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "rows": rows, "repeats": repeats,
+            "queries": len(queries),
+            "tuples_scanned": rows * repeats * len(queries),
+            "perf_counters": _perf_counters(db)}
+
+
+def reporting_join(isolation: IsolationLevel, on: bool, *,
+                   customers: int, orders: int, repeats: int) -> dict:
+    """The reporting query shape: JOIN + GROUP BY + HAVING + ORDER BY
+    under the requested isolation. Vectorized on runs the planner's
+    hash/merge join; off runs the per-row nested loop (same rows, same
+    order -- the differential suite pins that)."""
+    from repro.sql.executor import SQLSession
+
+    db = _vectorized_db(on)
+    rng = random.Random(11)
+    db.create_table("customers", ["cid", "region", "balance"], key="cid")
+    db.create_table("orders", ["oid", "cid", "amount"], key="oid")
+    db.create_index("orders", "cid")
+    session = db.session()
+    session.begin(isolation)
+    regions = ("north", "south", "east", "west")
+    for cid in range(customers):
+        session.insert("customers", {"cid": cid,
+                                     "region": regions[cid % 4],
+                                     "balance": 0})
+    for oid in range(orders):
+        session.insert("orders", {"oid": oid,
+                                  "cid": rng.randrange(customers),
+                                  "amount": rng.randrange(1, 100)})
+    session.commit()
+    db.vacuum()
+    sql = SQLSession(db.session())
+    sql.execute("ANALYZE")
+    query = ("SELECT region, COUNT(*) AS cnt, SUM(amount) AS total "
+             "FROM orders JOIN customers ON orders.cid = customers.cid "
+             "GROUP BY region HAVING COUNT(*) > 0 ORDER BY region")
+    level = ("SERIALIZABLE" if isolation is IsolationLevel.SERIALIZABLE
+             else "REPEATABLE READ")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        sql.execute(f"BEGIN ISOLATION LEVEL {level}")
+        sql.execute(query)
+        sql.execute("COMMIT")
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "customers": customers, "orders": orders,
+            "repeats": repeats, "perf_counters": _perf_counters(db)}
+
+
+# ----------------------------------------------------------------------
 # benchmark 7: SIBENCH through the real network server (multi-client
 # latency: p50/p95/p99 per transaction plus end-to-end throughput)
 # ----------------------------------------------------------------------
@@ -340,13 +455,19 @@ def main(argv=None) -> int:
                   "churn_rows": 400, "churn_rounds": 3,
                   "workload_ticks": 2000.0, "sibench_table": 50,
                   "skew_rows": 400, "skew_queries": 60,
-                  "server_txns": 12, "server_table": 30}
+                  "server_txns": 12, "server_table": 30,
+                  "vec_rows": 4000, "vec_repeats": 4,
+                  "join_customers": 60, "join_orders": 1200,
+                  "join_repeats": 4}
     else:
         params = {"scan_rows": 1500, "scan_repeats": 80,
                   "churn_rows": 1500, "churn_rounds": 6,
                   "workload_ticks": 8000.0, "sibench_table": 100,
                   "skew_rows": 1500, "skew_queries": 200,
-                  "server_txns": 40, "server_table": 100}
+                  "server_txns": 40, "server_table": 100,
+                  "vec_rows": 40_000, "vec_repeats": 6,
+                  "join_customers": 200, "join_orders": 8000,
+                  "join_repeats": 6}
 
     benchmarks = {
         "repeated_seq_scan": lambda iso, fast: repeated_seq_scan(
@@ -365,6 +486,15 @@ def main(argv=None) -> int:
             iso, fast, max_ticks=params["workload_ticks"]),
         "rubis": lambda iso, fast: rubis(
             iso, fast, max_ticks=params["workload_ticks"]),
+        # "fast"/"slow" here = vectorized executor on/off (all other
+        # fast paths at their defaults on both sides).
+        "million_row_scan": lambda iso, on: million_row_scan(
+            iso, on, rows=params["vec_rows"],
+            repeats=params["vec_repeats"]),
+        "reporting_join": lambda iso, on: reporting_join(
+            iso, on, customers=params["join_customers"],
+            orders=params["join_orders"],
+            repeats=params["join_repeats"]),
     }
 
     results: dict = {}
@@ -384,9 +514,12 @@ def main(argv=None) -> int:
                 entry["sim_throughput_ratio"] = (
                     fast["txns_per_ktick"] / base if base else None)
             results[name][series] = entry
+            speedup = entry["speedup"]
+            speedup_txt = (f"{speedup:.2f}x" if speedup is not None
+                           else "n/a")
             print(f"{name:>18} [{series:>3}]  fast {fast['seconds']:8.3f}s  "
                   f"slow {slow['seconds']:8.3f}s  "
-                  f"speedup {entry['speedup']:.2f}x")
+                  f"speedup {speedup_txt}")
 
     # SIBENCH through the real TCP server at 1/4/16 concurrent clients
     # (fast config; the interesting axis here is concurrency, not the
@@ -422,6 +555,9 @@ def main(argv=None) -> int:
                 "plan_cache": defaults.plan_cache,
                 "parse_cache": defaults.parse_cache,
             },
+            # The million_row_scan / reporting_join series toggle this
+            # instead of the fast-path switches.
+            "vectorized_executor": defaults.vectorized_executor,
         },
         "benchmarks": results,
         # Multi-client latency through the real network server

@@ -1,0 +1,63 @@
+"""CI gate: the vectorized executor must keep its scan speedup.
+
+Runs the million_row_scan benchmark (aggregate scans through the SQL
+layer) with the vectorized executor on and off -- identical
+configurations otherwise -- and fails (exit 1) if on/off speedup falls
+below the pinned floor. The floor is deliberately below the recorded
+full-size speedup in BENCH_PERF.json (>= 3x): shared CI runners add
+noise, but a drop under the floor means the batch path lost its
+reason to exist.
+
+Each side runs ``--reps`` times; minimum elapsed times are compared
+(minimum, not mean: runner noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.engine.isolation import IsolationLevel  # noqa: E402
+
+from run import million_row_scan  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--rows", type=int, default=8000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="pinned floor for on/off speedup "
+                             "(default 2.0; full-size runs record >=3x)")
+    args = parser.parse_args(argv)
+
+    reps = max(1, args.reps)
+    iso = IsolationLevel.SERIALIZABLE
+    on = min(million_row_scan(iso, True, rows=args.rows,
+                              repeats=args.repeats)["seconds"]
+             for _ in range(reps))
+    off = min(million_row_scan(iso, False, rows=args.rows,
+                               repeats=args.repeats)["seconds"]
+              for _ in range(reps))
+    if not on:  # degenerate timing: nothing to gate on
+        print(f"vectorized-on {on!r}s unusable as a baseline; skipping")
+        return 0
+    speedup = off / on
+    verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+    print(f"vectorized-off {off:.3f}s  vectorized-on {on:.3f}s  "
+          f"speedup {speedup:.2f}x (floor {args.min_speedup:.2f}x)  "
+          f"{verdict}")
+    if speedup < args.min_speedup:
+        print(f"vectorized executor speedup {speedup:.2f}x fell below "
+              f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,7 +125,11 @@ class DeterminismRule(Rule):
     #: statistics + predicate: besides the time/random import ban,
     #: they may not let object identity (``id()``) or raw dict-view
     #: iteration order drive a choice (plans must replay identically).
-    PURE_CHOICE_MODULES: Tuple[str, ...] = ("repro.engine.planner",)
+    #: (operators: hash-join/hash-agg bucket iteration must not leak
+    #: set/dict-view or id() order into result order either.)
+    PURE_CHOICE_MODULES: Tuple[str, ...] = ("repro.engine.planner",
+                                            "repro.engine.operators",
+                                            "repro.engine.batch")
 
     def applies_to(self, ctx: FileContext) -> bool:
         if not ctx.in_engine or ctx.module in self.ALLOWED:
@@ -381,7 +385,10 @@ class TogglePurityRule(Rule):
                # parse caches must not charge simulated cost either --
                # they exist to skip (re)planning work, not to shift it.
                "cost_planner", "plan_cache", "parse_cache",
-               "use_cost", "use_cache", "_use_parse_cache"}
+               "use_cost", "use_cache", "_use_parse_cache",
+               # PR 7: the batch executor amortizes per-tuple dispatch;
+               # its fast path must not charge simulated cost either.
+               "vectorized_executor", "use_vectorized"}
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.in_engine

@@ -122,6 +122,22 @@ class PerfConfig:
     #: SQL-layer parse cache: LRU of SQL text -> parsed AST, so
     #: repeated statement strings skip the lexer and parser.
     parse_cache: bool = True
+    #: Vectorized (batch-at-a-time) execution: sequential scans pull a
+    #: whole slotted page into a TupleBatch, apply a compiled batch
+    #: filter, hoist the SSI read-coverage check to once per page, and
+    #: the SQL layer runs joins with hash/merge algorithms and
+    #: aggregates over zero-copy row views. Off, every scan takes the
+    #: seed per-tuple loop byte-for-byte and SQL joins fall back to a
+    #: per-row nested loop; results are identical either way (see
+    #: DESIGN.md, "Vectorized execution"). Automatically disabled
+    #: while event tracing is active so per-tuple read events keep
+    #: appearing in traces.
+    vectorized_executor: bool = True
+    #: Rows per batch for operators not naturally page-bounded (index
+    #: scans chunk their tid lists by this; joins and aggregation
+    #: consume whole inputs). Sequential-scan batches are always one
+    #: heap page.
+    batch_size: int = 256
 
 
 @dataclass

@@ -64,6 +64,7 @@ class Database:
         #: Performance-layer toggles and counters (config.perf).
         self.use_hint_bits = self.config.perf.hint_bits
         self.use_vismap = self.config.perf.visibility_map
+        self.use_vectorized = self.config.perf.vectorized_executor
         self.hint_counter = self.obs.metrics.counter("perf.hint_hits")
         self.vismap_counter = self.obs.metrics.counter("perf.vismap_skips")
         #: ANALYZE statistics catalog + cache-invalidation epoch.

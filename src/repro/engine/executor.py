@@ -26,6 +26,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro import s2pl
+from repro.engine.batch import (BatchAggregator, TupleBatch,
+                                compile_batch_filter)
 from repro.engine.isolation import IsolationLevel
 from repro.engine.predicate import AlwaysTrue, Predicate
 from repro.engine.transaction import Transaction
@@ -89,7 +91,13 @@ class Executor:
               pred: Predicate) -> Iterator:
         """Yields waits; returns the list of visible matching tuples."""
         if txn.isolation.snapshot_based:
-            result = yield from self._scan_snapshot(txn, rel, pred)
+            # The batch path is disabled while a tracer is installed so
+            # per-tuple read events keep appearing in traces (the same
+            # rule as the visibility-map shortcut below).
+            if self.db.use_vectorized and self.db.obs.tracer is None:
+                result = yield from self._scan_snapshot_vec(txn, rel, pred)
+            else:
+                result = yield from self._scan_snapshot(txn, rel, pred)
         else:
             result = yield from self._scan_s2pl(txn, rel, pred)
         self.db.record_read(txn, rel, pred, result)
@@ -179,6 +187,157 @@ class Executor:
                         out.append(tup)
         return out
 
+    def _scan_snapshot_vec(self, txn: Transaction, rel: Relation,
+                           pred: Predicate, sink=None) -> Iterator:
+        """Batch (page-at-a-time) variant of :meth:`_scan_snapshot`.
+
+        Returns the same tuples in the same order, takes the same
+        SIREAD locks, flags the same rw-conflicts, and yields at the
+        same points (page boundaries / every ``yield_pages * 8`` index
+        entries), so schedules recorded against the per-tuple path
+        replay identically. What changes: the live tuples of a page
+        are pulled into one TupleBatch, the predicate is a compiled
+        batch filter, stat increments are batched, and the SSI
+        read-coverage fast path is checked once per page instead of
+        once per tuple (see SSIManager.read_page_covered for why that
+        is equivalent).
+
+        ``sink``, when given, receives each page's matched tuples (in
+        scan order) instead of them being accumulated into the result
+        list -- the aggregate pushdown hook (see scan_aggregate_gen).
+        The return value is then an empty list.
+        """
+        db = self.db
+        sx = txn.sxact
+        out: List[HeapTuple] = []
+        collect = out.extend if sink is None else sink
+        yield_pages = max(1, db.config.scan_yield_pages)
+        snapshot = txn.snapshot
+        view = txn.view()
+        clog = db.clog
+        use_hints = db.use_hint_bits
+        hint_counter = db.hint_counter
+        use_vm = db.use_vismap  # tracer already ruled out by caller
+        vismap = rel.heap.vismap
+        stats = db.stats
+        ssi = db.ssi
+        #: Counter equivalence: the per-tuple path only counts fastpath
+        #: hits for transactions that reach the fast-path check at all.
+        counting = sx is not None and not sx.ro_safe
+        match = compile_batch_filter(pred)
+        index, rng = self._plan_index(rel, pred)
+        if index is not None:
+            if rng.is_equality:
+                res = index.search(rng.lo)
+            else:
+                res = index.range_search(rng.lo, rng.hi, rng.lo_incl,
+                                         rng.hi_incl)
+            if index.supports_predicate_locks:
+                for page_no in res.visited_pages:
+                    self._touch(index.oid, page_no)
+                if (db.config.ssi.index_locking == "nextkey"
+                        and index.supports_key_locking):
+                    ssi.on_index_scan_keys(sx, index.oid, res)
+                else:
+                    for page_no in res.visited_pages:
+                        ssi.on_index_page_read(sx, index.oid, page_no)
+            else:
+                ssi.on_index_rel_read(sx, index.oid)
+            # Index batches: the tid list in yield-cadence chunks. The
+            # per-tuple SIREAD lock is still required (no coarse lock
+            # covers an index scan), so SSI runs per tuple; the batch
+            # win is amortized vismap lookups and stat increments.
+            # Counter attribution must stay window-exact: the simulated
+            # clock charges per-yield deltas, so `seen` flushes before
+            # every YIELD, and the vismap cache resets there too (the
+            # map can only change across a yield, never within one).
+            fetch = rel.heap.fetch
+            matches = pred.matches
+            vm_cache: Dict[int, bool] = {}
+            seen = 0
+            hits: List[HeapTuple] = []
+            try:
+                for n, tid in enumerate(res.tids):
+                    if n and n % (yield_pages * 8) == 0:
+                        stats.tuples_read += seen
+                        seen = 0
+                        vm_cache.clear()
+                        yield YIELD
+                    tup = fetch(tid)
+                    if tup is None:
+                        continue
+                    self._touch(rel.oid, tid.page)
+                    seen += 1
+                    if use_vm:
+                        all_vis = vm_cache.get(tid.page)
+                        if all_vis is None:
+                            all_vis = vismap.is_all_visible(tid.page)
+                            vm_cache[tid.page] = all_vis
+                    else:
+                        all_vis = False
+                    if all_vis:
+                        vis = ALL_VISIBLE
+                        db.vismap_counter.inc()
+                    else:
+                        vis = tuple_visibility(tup, snapshot, view, clog,
+                                               use_hints, hint_counter)
+                    ssi.on_read_tuple(sx, rel.oid, tup, vis)
+                    if vis.visible and matches(tup.data):
+                        hits.append(tup)
+            finally:
+                # Flush even when on_read_tuple aborts the transaction
+                # mid-scan: the per-tuple path counts eagerly, so the
+                # tuples processed before (and including) the aborting
+                # one are already on its meter for this window.
+                stats.tuples_read += seen
+            collect(hits)
+        else:
+            ssi.on_scan_relation(sx, rel.oid)
+            for page_no, page in enumerate(rel.heap.scan_pages()):
+                if page_no and page_no % yield_pages == 0:
+                    yield YIELD
+                self._touch(rel.oid, page.page_no)
+                live = page.live_tuples()
+                if use_vm and vismap.is_all_visible(page.page_no):
+                    # All-visible page: no MVCC checks, and the
+                    # relation SIREAD lock from on_scan_relation covers
+                    # every tuple, so SSI is a no-op -- the whole page
+                    # reduces to one compiled batch filter.
+                    batch = TupleBatch(rel.oid, page.page_no, live,
+                                       all_visible=True)
+                    collect(match(batch.tuples))
+                    stats.tuples_read += len(live)
+                    db.vismap_counter.inc()
+                    continue
+                covered = ssi.read_page_covered(sx, rel.oid, page.page_no)
+                skipped = 0
+                done = 0
+                page_hits: List[HeapTuple] = []
+                try:
+                    for tup in live:
+                        done += 1
+                        vis = tuple_visibility(tup, snapshot, view, clog,
+                                               use_hints, hint_counter)
+                        if (covered and vis.visible
+                                and not vis.deleter_concurrent):
+                            # Same skip rule as on_read_tuple's fast
+                            # path, hoisted: coverage is page-keyed and
+                            # doom was checked by read_page_covered.
+                            skipped += 1
+                        else:
+                            ssi.on_read_tuple(sx, rel.oid, tup, vis)
+                        if vis.visible and pred.matches(tup.data):
+                            page_hits.append(tup)
+                finally:
+                    # Flush even when on_read_tuple aborts mid-page, so
+                    # this window's counters match the per-tuple path's
+                    # eager increments (done == len(live) on success).
+                    stats.tuples_read += done
+                    if skipped and counting:
+                        ssi.note_fastpath_hits(skipped)
+                collect(page_hits)
+        return out
+
     def _scan_s2pl(self, txn: Transaction, rel: Relation,
                    pred: Predicate) -> Iterator:
         db = self.db
@@ -251,6 +410,39 @@ class Executor:
         rel = self.db.relation(rel_name)
         tuples = yield from self._scan(txn, rel, pred)
         return [dict(t.data) for t in tuples]
+
+    def scan_rows_gen(self, txn: Transaction, rel_name: str,
+                      pred: Predicate) -> Iterator:
+        """Like select_gen but returns the live heap row dicts without
+        copying (the vectorized read path). Callers must treat the
+        rows as read-only views that do not outlive the statement."""
+        rel = self.db.relation(rel_name)
+        tuples = yield from self._scan(txn, rel, pred)
+        return [t.data for t in tuples]
+
+    def scan_aggregate_gen(self, txn: Transaction, rel_name: str,
+                           pred: Predicate, specs) -> Iterator:
+        """Vectorized aggregate pushdown: fold COUNT/SUM/MIN/MAX/AVG
+        page-at-a-time *during* the scan instead of materializing the
+        matching rows first. The scan itself is _scan_snapshot_vec with
+        a sink, so it takes the same SIREAD locks, flags the same
+        rw-conflicts and yields at the same points as a plain scan --
+        only the result shape changes (one value per (func, column)
+        spec). Falls back to scan-then-fold whenever the batch scan is
+        unavailable (per-tuple executor, tracer installed, non-snapshot
+        isolation) or a schedule recorder needs the tid list; both
+        routes return identical values (see BatchAggregator)."""
+        db = self.db
+        rel = db.relation(rel_name)
+        agg = BatchAggregator(specs)
+        if (txn.isolation.snapshot_based and db.use_vectorized
+                and db.obs.tracer is None and db.recorder is None):
+            yield from self._scan_snapshot_vec(txn, rel, pred,
+                                               sink=agg.update)
+        else:
+            tuples = yield from self._scan(txn, rel, pred)
+            agg.update(tuples)
+        return agg.finalize()
 
     def select_for_update_gen(self, txn: Transaction, rel_name: str,
                               pred: Predicate) -> Iterator:

@@ -29,6 +29,7 @@ yields the same plan.
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -49,6 +50,41 @@ TUPLE_VISIT = 0.2
 #: Plan-cache capacity (entries). Small: entries are per predicate
 #: *shape*, not per statement, and a workload has few shapes.
 PLAN_CACHE_SIZE = 256
+
+
+def _log2(n: float) -> float:
+    return math.log2(max(2.0, n))
+
+#: Join cost units (same page-touch scale). Building a hash bucket
+#: costs slightly more than probing; a merge join pays a sort per
+#: unordered input; the nested loop pays per row *pair*.
+HASH_BUILD = 1.2
+HASH_PROBE = 1.0
+MERGE_ROW = 1.0
+SORT_FACTOR = 0.05
+NESTLOOP_PAIR = 0.1
+JOIN_OUTPUT = 0.5
+
+
+@dataclass
+class JoinChoice:
+    """The planner's verdict for one binary join."""
+
+    #: "hash" | "merge" | "nestloop".
+    algorithm: str
+    #: Hash build side: "left" | "right" ("" for other algorithms).
+    build: str = ""
+    est_left: Optional[float] = None
+    est_right: Optional[float] = None
+    est_rows: Optional[float] = None
+    cost: Optional[float] = None
+    #: "cost" when statistics priced the choice, "rule" otherwise.
+    source: str = "rule"
+
+    @property
+    def node_name(self) -> str:
+        return {"hash": "Hash Join", "merge": "Merge Join",
+                "nestloop": "Nested Loop"}[self.algorithm]
 
 
 @dataclass
@@ -222,6 +258,84 @@ class Planner:
                 + est_rows * TUPLE_VISIT)
         return est_rows, index_pages + heap_pages, cost
 
+    # ------------------------------------------------------------------
+    # join planning
+    # ------------------------------------------------------------------
+    def estimated_rows(self, rel: Relation,
+                       choice: Optional[ScanChoice] = None) -> float:
+        """Input cardinality for join costing: the scan's own estimate
+        when the cost planner produced one, else ANALYZE live rows,
+        else a page-count upper bound (all deterministic)."""
+        if choice is not None and choice.est_rows is not None:
+            return max(1.0, choice.est_rows)
+        stats = self.db.statscat.get(rel.oid)
+        if stats is not None:
+            return max(1.0, float(stats.live_rows))
+        return max(1.0, float(rel.heap.page_count
+                              * self.db.config.heap_page_size))
+
+    def join_selectivity(self, left_rel: Relation, right_rel: Relation,
+                         left_col: str, right_col: str,
+                         est_left: float, est_right: float) -> float:
+        """Equi-join selectivity from ANALYZE n_distinct: each left row
+        matches ~|R|/ndv right rows, so sel = 1/max(ndv_l, ndv_r)
+        (PostgreSQL's eqjoinsel shape). Without statistics, assume the
+        key is unique on the larger side."""
+        ndvs: List[float] = []
+        for rel, col in ((left_rel, left_col), (right_rel, right_col)):
+            stats = self.db.statscat.get(rel.oid)
+            cstats = stats.column(col) if stats is not None else None
+            if cstats is not None and cstats.n_distinct:
+                ndvs.append(float(cstats.n_distinct))
+        denom = max(ndvs) if ndvs else max(est_left, est_right)
+        return 1.0 / max(1.0, denom)
+
+    def plan_join(self, left_rel: Relation, right_rel: Relation,
+                  left_col: Optional[str], right_col: Optional[str],
+                  left_choice: Optional[ScanChoice] = None,
+                  right_choice: Optional[ScanChoice] = None) -> JoinChoice:
+        """Pick the algorithm and build side for one binary join.
+
+        Vectorized off, or with no equality key pair, the only
+        algorithm is the per-row nested loop. Otherwise hash and merge
+        are priced: the hash join builds on the smaller estimated side
+        (ties break to "right", which preserves natural probe order);
+        the merge join's per-side sort is discounted when an ordered
+        index exists on that side's join column. Every choice changes
+        cost only -- all algorithms emit identical left-major rows.
+        """
+        el = self.estimated_rows(left_rel, left_choice)
+        er = self.estimated_rows(right_rel, right_choice)
+        if left_col is None or right_col is None \
+                or not self.db.use_vectorized:
+            cost = el * er * NESTLOOP_PAIR
+            return JoinChoice("nestloop", est_left=el, est_right=er,
+                              est_rows=el * er if left_col is None
+                              else None, cost=cost, source="rule")
+        sel = self.join_selectivity(left_rel, right_rel, left_col,
+                                    right_col, el, er)
+        est_rows = el * er * sel
+        stats_known = (self.db.statscat.get(left_rel.oid) is not None
+                       or self.db.statscat.get(right_rel.oid) is not None)
+        build = "right" if er <= el else "left"
+        probe_rows = el if build == "right" else er
+        build_rows = er if build == "right" else el
+        hash_cost = (build_rows * HASH_BUILD + probe_rows * HASH_PROBE
+                     + est_rows * JOIN_OUTPUT)
+        merge_cost = (el + er) * MERGE_ROW + est_rows * JOIN_OUTPUT
+        for rel, col, n in ((left_rel, left_col, el),
+                            (right_rel, right_col, er)):
+            index = rel.index_on(col)
+            if index is None or not index.ordered:
+                merge_cost += n * _log2(n) * SORT_FACTOR
+        if merge_cost < hash_cost:
+            return JoinChoice("merge", est_left=el, est_right=er,
+                              est_rows=est_rows, cost=merge_cost,
+                              source="cost" if stats_known else "rule")
+        return JoinChoice("hash", build=build, est_left=el, est_right=er,
+                          est_rows=est_rows, cost=hash_cost,
+                          source="cost" if stats_known else "rule")
+
     @staticmethod
     def _usable(index, rng: IndexRange) -> bool:
         """The seed validity rules from Executor._plan_index."""
@@ -267,6 +381,9 @@ class PlanNode:
     cost: Optional[float] = None
     source: str = "rule"
     filter: Optional[str] = None
+    #: Node-specific annotation (join condition, build side, group
+    #: keys); rendered in the head parenthetical.
+    detail: Optional[str] = None
     #: EXPLAIN ANALYZE actuals (None for plain EXPLAIN).
     actual_rows: Optional[int] = None
     actual_pages: Optional[int] = None
@@ -286,6 +403,8 @@ class PlanNode:
             out["cost"] = round(self.cost, 2)
         if self.filter:
             out["filter"] = self.filter
+        if self.detail:
+            out["detail"] = self.detail
         if self.actual_rows is not None:
             out["actual_rows"] = self.actual_rows
             out["actual_pages"] = self.actual_pages
@@ -308,6 +427,13 @@ class PlanNode:
                 parts.insert(0, f"cost={self.cost:.2f} "
                                 f"rows={self.est_rows:.2f} "
                                 f"pages={self.est_pages:.2f}")
+            head += "  (" + " ".join(parts) + ")"
+        elif self.detail is not None or self.est_rows is not None:
+            parts = []
+            if self.detail is not None:
+                parts.append(self.detail)
+            if self.est_rows is not None:
+                parts.append(f"cost={self.cost:.2f} rows={self.est_rows:.2f}")
             head += "  (" + " ".join(parts) + ")"
         lines = [head]
         if self.filter:

@@ -181,6 +181,34 @@ class Session:
             table, LockMode.ACCESS_SHARE,
             lambda txn: self.db.executor.select_gen(txn, table, pred))
 
+    def scan_rows(self, table: str, where: Optional[Predicate] = None
+                  ) -> List[Dict[str, Any]]:
+        """SELECT returning zero-copy row views (the vectorized read
+        path; same visibility, locking, and ordering as select()).
+
+        The returned dicts are the live heap tuples: callers MUST NOT
+        mutate them or hold them across statements -- copy with
+        ``dict(row)`` for anything longer-lived. The SQL layer uses
+        this for aggregate/join inputs where the seed path's per-row
+        dict copies dominate the profile.
+        """
+        pred = where or AlwaysTrue()
+        return self._statement(
+            table, LockMode.ACCESS_SHARE,
+            lambda txn: self.db.executor.scan_rows_gen(txn, table, pred))
+
+    def scan_aggregate(self, table: str, specs,
+                       where: Optional[Predicate] = None) -> List[Any]:
+        """Aggregate pushdown scan: fold ``specs`` -- (func, column)
+        pairs, column None for COUNT(*) -- page-at-a-time during the
+        scan and return one value per spec. Same visibility, locking,
+        and conflict flagging as select(); no row list is built."""
+        pred = where or AlwaysTrue()
+        return self._statement(
+            table, LockMode.ACCESS_SHARE,
+            lambda txn: self.db.executor.scan_aggregate_gen(
+                txn, table, pred, specs))
+
     def select_for_update(self, table: str,
                           where: Optional[Predicate] = None
                           ) -> List[Dict[str, Any]]:

@@ -17,6 +17,15 @@ schedule per program forever.
 * :func:`read_only_anomaly` -- Fekete, O'Neil & O'Neil's read-only
   transaction anomaly: the two-writer sub-history is serializable and
   only the read-only observer makes the execution non-serializable.
+* :func:`phantom_under_join` -- a reporting join (orders x customers)
+  whose order-side predicate read races a concurrent insert: the
+  reporter writes a total derived from join inputs that are missing a
+  phantom row, the teller's insert is guarded by a read the reporter's
+  write invalidates;
+* :func:`write_skew_via_aggregate` -- write skew carried by an
+  aggregate (COUNT over a predicate read): two clients each admit a
+  new expense only if the department's expense count is under budget,
+  and under SI both see the same count and both insert.
 """
 
 from __future__ import annotations
@@ -128,6 +137,64 @@ def read_only_anomaly() -> Program:
     return Program(tables=tables, clients=[[withdraw], [deposit], [report]])
 
 
+def phantom_under_join() -> Program:
+    """Phantom under a reporting join. The reporter runs the two base
+    scans of ``orders JOIN customers ON cid`` (the SQL layer's join
+    reads exactly these inputs) and records the joined total on the
+    customer row; the teller checks the recorded total is still unset
+    and inserts a new order. Each side's predicate read misses the
+    other's write: the reporter's order scan misses the teller's
+    phantom order, the teller's customer read misses the reporter's
+    total. SI commits both -- a total that never matched any state of
+    the join; SSI's index-gap/relation SIREAD locks on the order scan
+    catch the rw-antidependency pair."""
+    tables = [
+        TableSpec(name="customers", columns=["cid", "region", "total"],
+                  key="cid",
+                  rows=[{"cid": 1, "region": "north", "total": 0}]),
+        TableSpec(name="orders", columns=["oid", "cid", "amount"],
+                  key="oid", indexes=["cid"],
+                  rows=[{"oid": 0, "cid": 1, "amount": 5}]),
+    ]
+    reporter = Txn([
+        Stmt("select", "orders", where=["eq", "cid", 1]),
+        Stmt("select", "customers", where=["eq", "cid", 1]),
+        # 5 = the joined order total of the snapshot the reporter saw
+        # (a literal so the shrinker may drop either read independently).
+        Stmt("update", "customers", where=["eq", "cid", 1],
+             set={"total": 5}, guard={"stmt": 0, "min_rows": 1}),
+    ])
+    teller = Txn([
+        Stmt("select", "customers", where=["eq", "cid", 1]),
+        Stmt("insert", "orders",
+             row={"oid": 1, "cid": 1, "amount": 10},
+             guard={"stmt": 0, "min_rows": 1}),
+    ])
+    return Program(tables=tables, clients=[[reporter], [teller]])
+
+
+def write_skew_via_aggregate() -> Program:
+    """Write skew carried by an aggregate: each client counts the
+    department's expenses (the COUNT(*) the SQL layer folds during the
+    scan) and admits one new expense only while the count is within
+    budget (at most one existing row). Under SI both clients aggregate
+    the same snapshot, both pass the guard, and the department ends two
+    expenses over a budget either serial order would have enforced."""
+    tables = [TableSpec(
+        name="expenses", columns=["eid", "dept", "amount"], key="eid",
+        indexes=["dept"],
+        rows=[{"eid": 0, "dept": "eng", "amount": 60}])]
+    clients = []
+    for i in (1, 2):
+        clients.append([Txn([
+            Stmt("select", "expenses", where=["eq", "dept", "eng"]),
+            Stmt("insert", "expenses",
+                 row={"eid": i, "dept": "eng", "amount": 25},
+                 guard={"stmt": 0, "max_rows": 1}),
+        ])])
+    return Program(tables=tables, clients=clients)
+
+
 #: name -> zero-argument builder (the CLI's --program registry).
 BUILTIN_PROGRAMS: Dict[str, Callable[[], Program]] = {
     "write_skew": write_skew,
@@ -135,6 +202,8 @@ BUILTIN_PROGRAMS: Dict[str, Callable[[], Program]] = {
     "batch_processing": batch_processing,
     "receipt_report": receipt_report,
     "read_only_anomaly": read_only_anomaly,
+    "phantom_under_join": phantom_under_join,
+    "write_skew_via_aggregate": write_skew_via_aggregate,
 }
 
 

@@ -52,6 +52,13 @@ def select(table: str, where=None) -> Op:
     return Op("select", (table, where))
 
 
+def scan_rows(table: str, where=None) -> Op:
+    """Zero-copy read (see Session.scan_rows): the rows alias live
+    tuple payloads, so the program must consume them before its next
+    yield and never mutate them."""
+    return Op("scan_rows", (table, where))
+
+
 def select_for_update(table: str, where=None) -> Op:
     return Op("select_for_update", (table, where))
 

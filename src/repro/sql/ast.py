@@ -81,6 +81,14 @@ class SelectItem:
 
 
 @dataclass(frozen=True)
+class Join:
+    """One INNER JOIN clause: ``JOIN table ON cond``."""
+
+    table: str
+    on: Cond
+
+
+@dataclass(frozen=True)
 class Select:
     items: Tuple[SelectItem, ...]
     table: str
@@ -89,6 +97,12 @@ class Select:
     descending: bool = False
     limit: Optional[int] = None
     for_update: bool = False
+    #: INNER JOIN clauses in FROM order (left-deep join tree).
+    joins: Tuple[Join, ...] = ()
+    #: GROUP BY columns (possibly table-qualified).
+    group_by: Tuple[str, ...] = ()
+    #: HAVING condition over group columns and aggregate outputs.
+    having: Optional[Cond] = None
 
 
 @dataclass(frozen=True)

@@ -17,9 +17,10 @@ planning"):
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.engine import operators
 from repro.engine import predicate as P
 from repro.engine.isolation import IsolationLevel
 from repro.errors import UserError
@@ -118,6 +119,225 @@ def compile_condition(cond) -> P.Predicate:
     raise SQLSyntaxError(f"cannot compile condition {cond!r}")
 
 
+# -- condition analysis (join planning support) ----------------------------
+def _conjuncts(cond) -> List[Any]:
+    """Flatten nested ANDs into a conjunct list (source order)."""
+    if cond is None:
+        return []
+    if isinstance(cond, ast.AndCond):
+        out: List[Any] = []
+        for part in cond.parts:
+            out.extend(_conjuncts(part))
+        return out
+    return [cond]
+
+
+def _expr_columns(expr, acc: List[str]) -> None:
+    if isinstance(expr, ast.ColumnRef):
+        acc.append(expr.name)
+    elif isinstance(expr, ast.BinaryOp):
+        _expr_columns(expr.left, acc)
+        _expr_columns(expr.right, acc)
+
+
+def _cond_columns(cond) -> List[str]:
+    """Every column name referenced by a condition, in source order."""
+    acc: List[str] = []
+
+    def walk(c) -> None:
+        if isinstance(c, ast.Comparison):
+            _expr_columns(c.left, acc)
+            _expr_columns(c.right, acc)
+        elif isinstance(c, ast.BetweenCond):
+            _expr_columns(c.column, acc)
+            _expr_columns(c.lo, acc)
+            _expr_columns(c.hi, acc)
+        elif isinstance(c, ast.NotCond):
+            walk(c.inner)
+        elif isinstance(c, (ast.AndCond, ast.OrCond)):
+            for part in c.parts:
+                walk(part)
+
+    walk(cond)
+    return acc
+
+
+def _map_expr_columns(expr, fn: Callable[[str], str]):
+    if isinstance(expr, ast.ColumnRef):
+        return ast.ColumnRef(fn(expr.name))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _map_expr_columns(expr.left, fn),
+                            _map_expr_columns(expr.right, fn))
+    return expr
+
+
+def _map_cond_columns(cond, fn: Callable[[str], str]):
+    """Rewrite every ColumnRef name through ``fn`` (used to strip table
+    qualifiers before compiling single-table predicates)."""
+    if cond is None:
+        return None
+    if isinstance(cond, ast.Comparison):
+        return ast.Comparison(cond.op, _map_expr_columns(cond.left, fn),
+                              _map_expr_columns(cond.right, fn))
+    if isinstance(cond, ast.BetweenCond):
+        return ast.BetweenCond(_map_expr_columns(cond.column, fn),
+                               _map_expr_columns(cond.lo, fn),
+                               _map_expr_columns(cond.hi, fn))
+    if isinstance(cond, ast.NotCond):
+        return ast.NotCond(_map_cond_columns(cond.inner, fn))
+    if isinstance(cond, ast.AndCond):
+        return ast.AndCond(tuple(_map_cond_columns(p, fn)
+                                 for p in cond.parts))
+    if isinstance(cond, ast.OrCond):
+        return ast.OrCond(tuple(_map_cond_columns(p, fn)
+                                for p in cond.parts))
+    return cond
+
+
+def _base_name(name: str) -> str:
+    """``t.c`` -> ``c``; unqualified names pass through."""
+    return name.split(".", 1)[1] if "." in name else name
+
+
+def _order_key(column: str):
+    """ORDER BY sort key with PostgreSQL NULL placement: NULLs sort
+    last ascending (and, via ``reverse=``, first descending)."""
+    def key(row):
+        value = row.get(column)
+        return (value is None, value)
+    return key
+
+
+def _strip_prefix(name: str, table: str) -> str:
+    if name.startswith(table + "."):
+        return name[len(table) + 1:]
+    return name
+
+
+def _dequalify_select(stmt: ast.Select) -> ast.Select:
+    """For single-table SELECTs, strip ``table.`` qualifiers so the
+    engine sees plain column names; a qualifier naming any other table
+    is an error (there is no FROM-clause entry for it)."""
+    names = _cond_columns(stmt.where) + _cond_columns(stmt.having)
+    names += [i.column for i in stmt.items if i.column is not None]
+    names += list(stmt.group_by)
+    if stmt.order_by is not None:
+        names.append(stmt.order_by)
+    if not any("." in n for n in names):
+        return stmt
+
+    def fn(name: str) -> str:
+        if "." not in name:
+            return name
+        t, c = name.split(".", 1)
+        if t != stmt.table:
+            raise SQLSyntaxError(
+                f"missing FROM-clause entry for table {t!r}")
+        return c
+
+    items = tuple(
+        ast.SelectItem(i.kind,
+                       fn(i.column) if i.column is not None else None,
+                       i.func, i.alias)
+        for i in stmt.items)
+    return ast.Select(
+        items, stmt.table, _map_cond_columns(stmt.where, fn),
+        fn(stmt.order_by) if stmt.order_by is not None else None,
+        stmt.descending, stmt.limit, stmt.for_update, stmt.joins,
+        tuple(fn(g) for g in stmt.group_by),
+        _map_cond_columns(stmt.having, fn))
+
+
+def _equi_key(cond, acc, right_table: str,
+              resolve: Callable[[str], str]):
+    """``(left_owner, left_col, right_col)`` when ``cond`` is an
+    equality between a column of an already-joined table and a column
+    of ``right_table``; None otherwise."""
+    if not isinstance(cond, ast.Comparison) or cond.op != "=":
+        return None
+    lhs, rhs = cond.left, cond.right
+    if not (isinstance(lhs, ast.ColumnRef)
+            and isinstance(rhs, ast.ColumnRef)):
+        return None
+    lt, rt = resolve(lhs.name), resolve(rhs.name)
+    if lt in acc and rt == right_table:
+        return (lt, _base_name(lhs.name), _base_name(rhs.name))
+    if rt in acc and lt == right_table:
+        return (rt, _base_name(rhs.name), _base_name(lhs.name))
+    return None
+
+
+@dataclass
+class _JoinStep:
+    """One left-deep join step: ``(accumulated) JOIN table``."""
+
+    table: str
+    #: Equi-key: owning table / raw column of the left side, raw column
+    #: on the right table (all None for a keyless cross/filter join).
+    l_owner: Optional[str] = None
+    l_col: Optional[str] = None
+    r_col: Optional[str] = None
+    #: Residual predicate over combined rows (None when none apply).
+    residual: Optional[P.Predicate] = None
+
+
+@dataclass
+class _JoinPlan:
+    """The analyzed shape of a join query, shared by execution and
+    EXPLAIN so both always agree."""
+
+    tables: List[str]
+    rels: Dict[str, Any]
+    #: Column names owned by more than one table (never exposed
+    #: unqualified on combined rows).
+    ambiguous: set
+    #: Per-table pushed-down scan predicate (AlwaysTrue when none).
+    scan_preds: Dict[str, P.Predicate]
+    steps: List[_JoinStep] = field(default_factory=list)
+
+
+def _make_combine(left_tables: List[str], right_table: str, rels,
+                  ambiguous) -> Callable:
+    """Build the row combiner for one join step.
+
+    Combined rows carry every column under its qualified
+    ``table.column`` name plus, for columns owned by exactly one
+    table, the bare name -- so residuals, HAVING, ORDER BY and
+    projection can use whichever spelling the query wrote.
+    """
+    rcols = list(rels[right_table].columns)
+    rqual = [f"{right_table}.{c}" for c in rcols]
+    if len(left_tables) == 1:
+        lt = left_tables[0]
+        lcols = list(rels[lt].columns)
+        lqual = [f"{lt}.{c}" for c in lcols]
+
+        def combine(l_row, r_row):
+            out: Dict[str, Any] = {}
+            for c, q in zip(lcols, lqual):
+                v = l_row.get(c)
+                out[q] = v
+                if c not in ambiguous:
+                    out[c] = v
+            for c, q in zip(rcols, rqual):
+                v = r_row.get(c)
+                out[q] = v
+                if c not in ambiguous:
+                    out[c] = v
+            return out
+        return combine
+
+    def combine(l_row, r_row):
+        out = dict(l_row)
+        for c, q in zip(rcols, rqual):
+            v = r_row.get(c)
+            out[q] = v
+            if c not in ambiguous:
+                out[c] = v
+        return out
+    return combine
+
+
 # -- prepared-statement parameter binding ---------------------------------
 def _bind_expr(expr, args: Tuple[Any, ...]):
     if isinstance(expr, ast.Param):
@@ -155,9 +375,13 @@ def bind_statement(stmt, args: Tuple[Any, ...]):
     """Substitute $n parameters with the EXECUTE arguments, returning a
     parameter-free statement of the same shape."""
     if isinstance(stmt, ast.Select):
+        joins = tuple(ast.Join(j.table, _bind_cond(j.on, args))
+                      for j in stmt.joins)
         return ast.Select(stmt.items, stmt.table,
                           _bind_cond(stmt.where, args), stmt.order_by,
-                          stmt.descending, stmt.limit, stmt.for_update)
+                          stmt.descending, stmt.limit, stmt.for_update,
+                          joins, stmt.group_by,
+                          _bind_cond(stmt.having, args))
     if isinstance(stmt, ast.Update):
         assignments = tuple((col, _bind_expr(expr, args))
                             for col, expr in stmt.assignments)
@@ -232,20 +456,61 @@ class SQLSession:
 
     # -- DML -----------------------------------------------------------------
     def _do_select(self, stmt: ast.Select):
-        where = compile_condition(stmt.where)
-        if stmt.for_update:
-            rows = self.session.select_for_update(stmt.table, where)
+        if stmt.for_update and (stmt.joins or stmt.group_by):
+            raise SQLSyntaxError(
+                "FOR UPDATE is not allowed with JOIN or GROUP BY")
+        if stmt.joins:
+            rows = self._join_rows(stmt)
+            copied = True  # combine() built fresh dicts
         else:
-            rows = self.session.select(stmt.table, where)
+            stmt = _dequalify_select(stmt)
+            where = compile_condition(stmt.where)
+            if (self.db.use_vectorized and not stmt.for_update
+                    and not stmt.group_by and stmt.order_by is None
+                    and stmt.items
+                    and all(i.kind == "aggregate" for i in stmt.items)):
+                # Aggregate pushdown: fold during the scan, never
+                # materializing the row list. Matches the fold-after-
+                # scan path value-for-value (BatchAggregator docstring);
+                # ORDER BY disables it only because sorting the input
+                # can change which of several equal-comparing objects
+                # MIN/MAX return first.
+                specs = [(item.func, item.column) for item in stmt.items]
+                values = self.session.scan_aggregate(
+                    stmt.table, specs, where)
+                return [{self._agg_name(item): value
+                         for item, value in zip(stmt.items, values)}]
+            if stmt.for_update:
+                rows = self.session.select_for_update(stmt.table, where)
+                copied = True
+            elif self.db.use_vectorized:
+                # Zero-copy scan: rows alias live heap tuple payloads.
+                # Every downstream consumer here only reads them; the
+                # star projection below copies before returning.
+                rows = self.session.scan_rows(stmt.table, where)
+                copied = False
+            else:
+                rows = self.session.select(stmt.table, where)
+                copied = True
+        if stmt.group_by:
+            grouped = self._grouped_rows(stmt, rows)
+            if stmt.order_by is not None:
+                key = stmt.order_by
+                if grouped and key not in grouped[0]:
+                    key = _base_name(key)
+                grouped.sort(key=_order_key(key), reverse=stmt.descending)
+            if stmt.limit is not None:
+                grouped = grouped[:stmt.limit]
+            return grouped
         if stmt.order_by is not None:
-            rows.sort(key=lambda r: r.get(stmt.order_by),
+            rows.sort(key=_order_key(stmt.order_by),
                       reverse=stmt.descending)
         if any(item.kind == "aggregate" for item in stmt.items):
             return [self._aggregate_row(stmt.items, rows)]
         if stmt.limit is not None:
             rows = rows[:stmt.limit]
         if all(item.kind == "star" for item in stmt.items):
-            return rows
+            return rows if copied else [dict(r) for r in rows]
         projected = []
         for row in rows:
             out: Dict[str, Any] = {}
@@ -257,6 +522,213 @@ class SQLSession:
             projected.append(out)
         return projected
 
+    # -- join execution ----------------------------------------------------
+    def _analyze_join(self, stmt: ast.Select) -> _JoinPlan:
+        """Classify WHERE/ON conjuncts into per-table pushdowns,
+        equi-join keys and residual filters over a left-deep join tree
+        in FROM order. Pure analysis -- execution and EXPLAIN both
+        consume the result, so they cannot disagree."""
+        tables = [stmt.table] + [j.table for j in stmt.joins]
+        if len(set(tables)) != len(tables):
+            raise SQLSyntaxError(
+                "table name repeated in FROM/JOIN "
+                "(table aliases are not supported)")
+        rels = {t: self.db.relation(t) for t in tables}
+        owners: Dict[str, List[str]] = {}
+        for t in tables:
+            for c in rels[t].columns:
+                owners.setdefault(c, []).append(t)
+        ambiguous = {c for c, ts in owners.items() if len(ts) > 1}
+
+        def resolve(name: str) -> str:
+            if "." in name:
+                t, c = name.split(".", 1)
+                if t not in rels:
+                    raise SQLSyntaxError(
+                        f"missing FROM-clause entry for table {t!r}")
+                if c not in rels[t].columns:
+                    raise SQLSyntaxError(
+                        f"column {c!r} of table {t!r} does not exist")
+                return t
+            ts = owners.get(name)
+            if not ts:
+                raise SQLSyntaxError(f"column {name!r} does not exist")
+            if len(ts) > 1:
+                raise SQLSyntaxError(
+                    f"column reference {name!r} is ambiguous")
+            return ts[0]
+
+        # The select list resolves against the same namespace as the
+        # conditions, so bare references to columns owned by more than
+        # one table are rejected up front (PostgreSQL's "column
+        # reference is ambiguous"), not silently projected as NULL.
+        for item in stmt.items:
+            if item.kind != "star" and item.column is not None:
+                resolve(item.column)
+
+        pool = list(_conjuncts(stmt.where))
+        for join in stmt.joins:
+            pool.extend(_conjuncts(join.on))
+
+        single: Dict[str, List[Any]] = {t: [] for t in tables}
+        cross: List[Tuple[set, Any]] = []
+        for cond in pool:
+            ts = {resolve(n) for n in _cond_columns(cond)}
+            if len(ts) <= 1:
+                # Single-table conjunct: push into that table's scan
+                # (qualifier stripped so And.index_range's
+                # equality-preference applies as on any base scan).
+                target = next(iter(ts)) if ts else tables[0]
+                single[target].append(_map_cond_columns(
+                    cond, lambda n, t=target: _strip_prefix(n, t)))
+            else:
+                cross.append((ts, cond))
+
+        def compiled(conds: List[Any]) -> P.Predicate:
+            if len(conds) == 1:
+                return compile_condition(conds[0])
+            return compile_condition(ast.AndCond(tuple(conds)))
+
+        scan_preds = {t: (compiled(single[t]) if single[t]
+                          else P.AlwaysTrue()) for t in tables}
+
+        plan = _JoinPlan(tables, rels, ambiguous, scan_preds)
+        acc = {tables[0]}
+        remaining = cross
+        for right_table in tables[1:]:
+            avail = acc | {right_table}
+            key = None
+            residuals: List[Any] = []
+            rest: List[Tuple[set, Any]] = []
+            for ts, cond in remaining:
+                if not ts <= avail:
+                    rest.append((ts, cond))
+                    continue
+                pair = (None if key is not None
+                        else _equi_key(cond, acc, right_table, resolve))
+                if pair is not None:
+                    key = pair
+                else:
+                    residuals.append(cond)
+            plan.steps.append(_JoinStep(
+                right_table,
+                l_owner=key[0] if key else None,
+                l_col=key[1] if key else None,
+                r_col=key[2] if key else None,
+                residual=compiled(residuals) if residuals else None))
+            acc.add(right_table)
+            remaining = rest
+        return plan
+
+    def _join_step_choice(self, plan: _JoinPlan, step: _JoinStep,
+                          n_left: int):
+        """The planner's algorithm/build-side verdict for one step."""
+        planner = self.db.planner
+        t0 = plan.tables[0]
+        left_choice = (planner.choose(plan.rels[t0], plan.scan_preds[t0])
+                       if n_left == 1 else None)
+        right_choice = planner.choose(plan.rels[step.table],
+                                      plan.scan_preds[step.table])
+        left_rel = plan.rels[step.l_owner] if step.l_owner else plan.rels[t0]
+        return planner.plan_join(left_rel, plan.rels[step.table],
+                                 step.l_col, step.r_col,
+                                 left_choice, right_choice)
+
+    def _join_rows(self, stmt: ast.Select) -> List[Dict[str, Any]]:
+        plan = self._analyze_join(stmt)
+        use_vec = self.db.use_vectorized
+
+        def scan(table: str):
+            pred = plan.scan_preds[table]
+            if use_vec:
+                return self.session.scan_rows(table, pred)
+            return self.session.select(table, pred)
+
+        rows = scan(plan.tables[0])
+        left_tables = [plan.tables[0]]
+        for step in plan.steps:
+            right_rows = scan(step.table)
+            combine = _make_combine(left_tables, step.table, plan.rels,
+                                    plan.ambiguous)
+            cond = (step.residual.matches if step.residual is not None
+                    else (lambda row: True))
+            if step.l_col is not None:
+                # First step joins two base scans (bare column names);
+                # later steps read the qualified name off combined rows.
+                lname = (step.l_col if len(left_tables) == 1
+                         else f"{step.l_owner}.{step.l_col}")
+                lkey = lambda r, n=lname: r.get(n)  # noqa: E731
+                rkey = lambda r, n=step.r_col: r.get(n)  # noqa: E731
+            else:
+                lkey = rkey = None
+            choice = self._join_step_choice(plan, step, len(left_tables))
+            if choice.algorithm == "hash":
+                rows = operators.hash_join(rows, right_rows, lkey, rkey,
+                                           cond, combine,
+                                           build=choice.build)
+            elif choice.algorithm == "merge":
+                rows = operators.merge_join(rows, right_rows, lkey, rkey,
+                                            cond, combine)
+            else:
+                rows = operators.nested_loop_join(rows, right_rows, lkey,
+                                                  rkey, cond, combine)
+            left_tables.append(step.table)
+        return rows
+
+    # -- grouping ----------------------------------------------------------
+    def _grouped_rows(self, stmt: ast.Select,
+                      rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        group_cols = list(stmt.group_by)
+        groups = operators.hash_group(rows, group_cols)
+        having = (compile_condition(stmt.having)
+                  if stmt.having is not None else None)
+        bases = {_base_name(g) for g in group_cols} | set(group_cols)
+        out_rows: List[Dict[str, Any]] = []
+        for key, grows in groups:
+            keyvals = dict(zip(group_cols, key))
+            out: Dict[str, Any] = {}
+            defaults: Dict[str, Any] = {}
+            for item in stmt.items:
+                if item.kind == "star":
+                    raise SQLSyntaxError("cannot use * with GROUP BY")
+                if item.kind == "aggregate":
+                    default = (item.func.lower()
+                               + (f"_{item.column}" if item.column else ""))
+                    value = operators.aggregate_value(item.func,
+                                                      item.column, grows)
+                    defaults[default] = value
+                    out[item.alias or default] = value
+                else:
+                    if (item.column not in group_cols
+                            and _base_name(item.column) not in bases):
+                        raise SQLSyntaxError(
+                            f"column {item.column!r} must appear in the "
+                            f"GROUP BY clause or be used in an aggregate")
+                    value = (keyvals[item.column]
+                             if item.column in keyvals
+                             else grows[0].get(item.column) if grows
+                             else None)
+                    out[item.alias or _base_name(item.column)] = value
+            if having is not None:
+                # HAVING sees group columns (any spelling, via a sample
+                # group row) plus aggregate outputs under their default
+                # names (the parser compiles COUNT(*) in HAVING to the
+                # column ref "count") and any aliases.
+                env = dict(grows[0]) if grows else dict(keyvals)
+                env.update(defaults)
+                env.update(out)
+                if not having.matches(env):
+                    continue
+            out_rows.append(out)
+        return out_rows
+
+    @staticmethod
+    def _agg_name(item) -> str:
+        """Output column name of an aggregate select item (the default
+        the parser also uses for aggregate refs in HAVING)."""
+        return item.alias or (item.func.lower()
+                              + (f"_{item.column}" if item.column else ""))
+
     @staticmethod
     def _aggregate_row(items, rows) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
@@ -266,15 +738,15 @@ class SQLSession:
                     "cannot mix aggregates with plain columns "
                     "(no GROUP BY support)")
             func = item.func
-            name = item.alias or (f"{func.lower()}"
-                                  + (f"_{item.column}" if item.column else ""))
+            name = SQLSession._agg_name(item)
             if func == "COUNT":
                 value = (len(rows) if item.column is None else
                          sum(1 for r in rows if r.get(item.column)
                              is not None))
             else:
-                values = [r.get(item.column) for r in rows
-                          if r.get(item.column) is not None]
+                column = item.column
+                values = [v for r in rows
+                          if (v := r.get(column)) is not None]
                 if not values:
                     value = None
                 elif func == "SUM":
@@ -399,13 +871,30 @@ class SQLSession:
                                 compile_condition(where))
 
         if isinstance(stmt, ast.Select):
-            node = scan_node(stmt.table, stmt.where)
+            if stmt.joins:
+                node = self._join_plan_node(stmt)
+                label = ",".join([stmt.table]
+                                 + [j.table for j in stmt.joins])
+            else:
+                stmt = _dequalify_select(stmt)
+                node = scan_node(stmt.table, stmt.where)
+                label = stmt.table
+            if stmt.group_by:
+                node = PlanNode(
+                    "HashAggregate", label,
+                    detail="group by " + ", ".join(stmt.group_by),
+                    children=[node])
+                if stmt.order_by is not None:
+                    node = PlanNode("Sort", label, children=[node])
+                if stmt.limit is not None:
+                    node = PlanNode("Limit", label, children=[node])
+                return node
             if stmt.order_by is not None:
-                node = PlanNode("Sort", stmt.table, children=[node])
+                node = PlanNode("Sort", label, children=[node])
             if any(item.kind == "aggregate" for item in stmt.items):
-                node = PlanNode("Aggregate", stmt.table, children=[node])
+                node = PlanNode("Aggregate", label, children=[node])
             if stmt.limit is not None:
-                node = PlanNode("Limit", stmt.table, children=[node])
+                node = PlanNode("Limit", label, children=[node])
             return node
         if isinstance(stmt, ast.Update):
             return PlanNode("Update", stmt.table,
@@ -416,6 +905,40 @@ class SQLSession:
         if isinstance(stmt, ast.Insert):
             return PlanNode("Insert", stmt.table)
         return None
+
+    def _join_plan_node(self, stmt: ast.Select):
+        """EXPLAIN subtree for a join query: the same _analyze_join /
+        plan_join calls the executor makes, rendered as nested plan
+        nodes (join condition + hash build side in the detail)."""
+        from repro.engine.planner import PlanNode, explain_scan
+
+        plan = self._analyze_join(stmt)
+        t0 = plan.tables[0]
+        node = explain_scan(self.db, plan.rels[t0], plan.scan_preds[t0])
+        left_tables = [t0]
+        for step in plan.steps:
+            right_node = explain_scan(self.db, plan.rels[step.table],
+                                      plan.scan_preds[step.table])
+            choice = self._join_step_choice(plan, step, len(left_tables))
+            details = []
+            if step.l_col is not None:
+                details.append(f"{step.l_owner}.{step.l_col} = "
+                               f"{step.table}.{step.r_col}")
+            if choice.algorithm == "hash":
+                details.append(f"build={choice.build}")
+            if step.residual is not None:
+                details.append("with residual filter")
+            kwargs: Dict[str, Any] = {}
+            if choice.est_rows is not None and choice.cost is not None:
+                kwargs.update(est_rows=choice.est_rows, est_pages=0.0,
+                              cost=choice.cost)
+            node = PlanNode(choice.node_name,
+                            ",".join(left_tables + [step.table]),
+                            source=choice.source,
+                            detail=" ".join(details) or None,
+                            children=[node, right_node], **kwargs)
+            left_tables.append(step.table)
+        return node
 
     # -- prepared statements -------------------------------------------------------
     def _do_preparestmt(self, stmt: ast.PrepareStmt):

@@ -22,7 +22,7 @@ KEYWORDS = {
     "ASC", "DESC", "LIMIT", "FOR", "COUNT", "SUM", "MIN", "MAX", "AVG",
     "PRIMARY", "KEY", "VACUUM", "AS", "BTREE", "HASH", "ACCESS", "SHARE",
     "ROW", "EXCLUSIVE", "S2PL", "GIST", "ANALYZE", "EXPLAIN", "EXECUTE",
-    "DEALLOCATE", "ALL",
+    "DEALLOCATE", "ALL", "JOIN", "INNER", "GROUP", "HAVING",
 }
 
 SYMBOLS = ("<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "+",

@@ -53,6 +53,14 @@ class _Parser:
         raise SQLSyntaxError(f"expected identifier, got "
                              f"{self.current.value!r}")
 
+    def expect_column(self) -> str:
+        """An optionally table-qualified column: ``c`` or ``t.c``
+        (stored as the dotted string)."""
+        name = self.expect_ident()
+        if self.accept_symbol("."):
+            name = name + "." + self.expect_ident()
+        return name
+
     def expect_string(self) -> str:
         if self.current.kind != "string":
             raise SQLSyntaxError(f"expected string literal, got "
@@ -200,7 +208,25 @@ class _Parser:
             return ast.Param(token.value)
         if token.kind == "ident":
             self.advance()
-            return ast.ColumnRef(token.value)
+            name = token.value
+            if self.accept_symbol("."):
+                name = name + "." + self.expect_ident()
+            return ast.ColumnRef(name)
+        if token.is_keyword("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            # An aggregate inside a condition (HAVING) refers to the
+            # matching SELECT-list aggregate by its output name:
+            # COUNT(*) -> "count", SUM(x) -> "sum_x".
+            func = self.advance().value
+            self.expect_symbol("(")
+            if self.accept_symbol("*"):
+                if func != "COUNT":
+                    raise SQLSyntaxError(f"{func}(*) is not valid")
+                column = None
+            else:
+                column = self.expect_column()
+            self.expect_symbol(")")
+            name = func.lower() + (f"_{column}" if column else "")
+            return ast.ColumnRef(name)
         if token.is_symbol("("):
             self.advance()
             inner = self.expr()
@@ -273,11 +299,29 @@ class _Parser:
             items.append(self.select_item())
         self.expect_keyword("FROM")
         table = self.expect_ident()
+        joins = []
+        while True:
+            if self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+            elif not self.accept_keyword("JOIN"):
+                break
+            join_table = self.expect_ident()
+            self.expect_keyword("ON")
+            joins.append(ast.Join(join_table, self.condition()))
         where = self.condition() if self.accept_keyword("WHERE") else None
+        group_by: list = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expect_column())
+            while self.accept_symbol(","):
+                group_by.append(self.expect_column())
+            if self.accept_keyword("HAVING"):
+                having = self.condition()
         order_by, descending = None, False
         if self.accept_keyword("ORDER"):
             self.expect_keyword("BY")
-            order_by = self.expect_ident()
+            order_by = self.expect_column()
             if self.accept_keyword("DESC"):
                 descending = True
             else:
@@ -294,7 +338,8 @@ class _Parser:
             for_update = True
         self.expect_end()
         return ast.Select(tuple(items), table, where, order_by, descending,
-                          limit, for_update)
+                          limit, for_update, tuple(joins), tuple(group_by),
+                          having)
 
     def select_item(self):
         token = self.current
@@ -309,12 +354,12 @@ class _Parser:
                 if func != "COUNT":
                     raise SQLSyntaxError(f"{func}(*) is not valid")
             else:
-                column = self.expect_ident()
+                column = self.expect_column()
             self.expect_symbol(")")
             alias = self.expect_ident() if self.accept_keyword("AS") else None
             return ast.SelectItem("aggregate", column=column, func=func,
                                   alias=alias)
-        column = self.expect_ident()
+        column = self.expect_column()
         alias = self.expect_ident() if self.accept_keyword("AS") else None
         return ast.SelectItem("column", column=column, alias=alias)
 

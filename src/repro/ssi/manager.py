@@ -268,6 +268,37 @@ class SSIManager:
         if vis.visible:
             self.lockmgr.acquire_tuple(sx, rel_oid, tup.tid)
 
+    def read_page_covered(self, sx: Optional[SerializableXact],
+                          rel_oid: int, page_no: int) -> bool:
+        """Batch-executor hoist of the on_read_tuple read fast path.
+
+        True means: for any tuple on this page whose visibility result
+        is visible-with-no-concurrent-deleter, on_read_tuple would take
+        the fast path (a covering page/relation SIREAD lock is already
+        held, so acquire_tuple would dedupe and there is no conflict to
+        flag) -- the caller may skip those calls for the whole page.
+        Tuples with conflict evidence (invisible, or concurrent
+        deleter) must still go through on_read_tuple individually.
+
+        The coverage check keys on (relation, page), so it cannot
+        change between tuples of one page; the doom check runs once
+        here instead of once per covered tuple, equivalent because no
+        scan yields (and thus no other session runs) mid-page.
+        """
+        if sx is None or sx.ro_safe:
+            return True  # on_read_tuple is a no-op for every tuple
+        if not self._read_fast_path:
+            return False
+        if self.lockmgr.covers_read(sx, rel_oid, page_no):
+            self.ensure_not_doomed(sx)
+            return True
+        return False
+
+    def note_fastpath_hits(self, n: int) -> None:
+        """Batch-count reads skipped via read_page_covered (keeps the
+        perf.siread_fastpath_hits counter meaningful either way)."""
+        self._fastpath_hits.inc(n)
+
     def on_scan_relation(self, sx: Optional[SerializableXact],
                          rel_oid: int) -> None:
         """Sequential scan: relation-granularity SIREAD lock."""

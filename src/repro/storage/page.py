@@ -22,7 +22,7 @@ class HeapPage:
     first-fit placement exactly.
     """
 
-    __slots__ = ("page_no", "capacity", "_slots", "_free")
+    __slots__ = ("page_no", "capacity", "_slots", "_free", "_live_cache")
 
     def __init__(self, page_no: int, capacity: int) -> None:
         self.page_no = page_no
@@ -30,12 +30,15 @@ class HeapPage:
         self._slots: List[Optional[HeapTuple]] = []
         #: Min-heap of vacated slot indexes (each exactly once).
         self._free: List[int] = []
+        #: Memoized live_tuples() result; dropped on any slot change.
+        self._live_cache: Optional[List[HeapTuple]] = None
 
     def has_room(self) -> bool:
         return bool(self._free) or len(self._slots) < self.capacity
 
     def add(self, tup: HeapTuple) -> int:
         """Place a tuple in the lowest free slot; return the slot number."""
+        self._live_cache = None
         if self._free:
             slot = heapq.heappop(self._free)
             self._slots[slot] = tup
@@ -53,12 +56,24 @@ class HeapPage:
     def remove(self, slot: int) -> None:
         if self._slots[slot] is not None:
             self._slots[slot] = None
+            self._live_cache = None
             heapq.heappush(self._free, slot)
 
     def tuples(self) -> Iterator[HeapTuple]:
         for tup in self._slots:
             if tup is not None:
                 yield tup
+
+    def live_tuples(self) -> List[HeapTuple]:
+        """The occupied slots as a list, in slot order (the batch
+        executor's page-at-a-time unit; same tuples, same order as
+        ``tuples()``). The list is shared across calls until the next
+        slot change -- callers must treat it as read-only."""
+        cached = self._live_cache
+        if cached is None:
+            self._live_cache = cached = [tup for tup in self._slots
+                                         if tup is not None]
+        return cached
 
     def __len__(self) -> int:
         return sum(1 for t in self._slots if t is not None)

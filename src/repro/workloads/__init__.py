@@ -11,7 +11,11 @@
   mix (section 8.3), 85% read-only;
 * :mod:`repro.workloads.receipts`, :mod:`repro.workloads.doctors` --
   the paper's motivating anomaly examples (sections 2.1.1-2.1.2) as
-  runnable workloads.
+  runnable workloads;
+* :mod:`repro.workloads.ycsb` -- a YCSB-style Zipfian key-value mix
+  (read fast-path / SIREAD promotion stress);
+* :mod:`repro.workloads.reporting` -- order entry plus join-shaped
+  read-only regional reports (zero-copy scan stress).
 """
 
 from repro.workloads.base import Workload, run_workload
@@ -20,6 +24,8 @@ from repro.workloads.dbt2pp import DBT2PP
 from repro.workloads.rubis import RubisBidding
 from repro.workloads.doctors import DoctorsWorkload
 from repro.workloads.receipts import ReceiptsWorkload
+from repro.workloads.ycsb import YCSB
+from repro.workloads.reporting import ReportingWorkload
 
 __all__ = [
     "Workload",
@@ -29,4 +35,6 @@ __all__ = [
     "RubisBidding",
     "DoctorsWorkload",
     "ReceiptsWorkload",
+    "YCSB",
+    "ReportingWorkload",
 ]

@@ -1,0 +1,119 @@
+"""A YCSB-style key-value mix with Zipfian access skew.
+
+The classic cloud-serving benchmark shape: point reads, read-modify-
+write updates, inserts and short range scans over a single table, with
+key popularity following a Zipfian distribution (a small hot set takes
+most of the traffic). Under SSI the hot keys concentrate rw-conflicts,
+making this the stress workload for the read fast path and the
+tuple-to-page SIREAD promotion paths; it carries no intended anomaly.
+
+The Zipfian draw is a precomputed CDF walked by ``bisect`` on the
+client rng -- deterministic for a given (seed, table_size, theta).
+"""
+
+from __future__ import annotations
+
+import random  # repro: noqa(DET001) -- seeded random.Random(seed) only; deterministic per run
+from bisect import bisect_left
+from typing import List
+
+from repro.engine.isolation import IsolationLevel
+from repro.engine.predicate import Between, Eq
+from repro.sim import ops
+from repro.sim.client import TxnSpec
+from repro.workloads.base import Workload
+
+
+class YCSB(Workload):
+    name = "ycsb"
+
+    def __init__(self, table_size: int = 200, *,
+                 read_fraction: float = 0.5,
+                 update_fraction: float = 0.35,
+                 insert_fraction: float = 0.05,
+                 scan_fraction: float = 0.10,
+                 scan_window: int = 10,
+                 theta: float = 0.8) -> None:
+        total = (read_fraction + update_fraction + insert_fraction
+                 + scan_fraction)
+        self.w_read = read_fraction / total
+        self.w_update = update_fraction / total
+        self.w_insert = insert_fraction / total
+        self.table_size = table_size
+        self.scan_window = scan_window
+        self._next_key = table_size
+        # Zipfian CDF over ranks 1..N: weight(rank) = 1/rank^theta.
+        cdf: List[float] = []
+        acc = 0.0
+        for rank in range(1, table_size + 1):
+            acc += 1.0 / (rank ** theta)
+            cdf.append(acc)
+        self._cdf = cdf
+        self._cdf_total = acc
+
+    def _zipf_key(self, rng: random.Random) -> int:
+        """Rank r (0-based) is the r-th most popular key; identity
+        mapping rank -> key keeps the hot set clustered on low ids
+        (and therefore on few heap pages, the worst case for page-level
+        SIREAD granularity)."""
+        return bisect_left(self._cdf, rng.random() * self._cdf_total)
+
+    def setup(self, db, rng: random.Random) -> None:
+        db.create_table("usertable", ["k", "v", "pad"], key="k")
+        session = db.session()
+        for k in range(self.table_size):
+            session.insert("usertable",
+                           {"k": k, "v": rng.randrange(1000), "pad": k % 7})
+
+    def next_transaction(self, rng: random.Random,
+                         isolation: IsolationLevel) -> TxnSpec:
+        draw = rng.random()
+        if draw < self.w_read:
+            key = self._zipf_key(rng)
+
+            def read(key=key, iso=isolation):
+                yield ops.begin(iso)
+                yield ops.scan_rows("usertable", Eq("k", key))
+                yield ops.commit()
+
+            return ("read", read)
+
+        if draw < self.w_read + self.w_update:
+            key = self._zipf_key(rng)
+            delta = rng.randrange(1, 10)
+
+            def rmw(key=key, delta=delta, iso=isolation):
+                yield ops.begin(iso)
+                rows = yield ops.select("usertable", Eq("k", key))
+                if rows:
+                    yield ops.update("usertable", Eq("k", key),
+                                     lambda r, d=delta: {"v": r["v"] + d})
+                yield ops.commit()
+
+            return ("update", rmw)
+
+        if draw < self.w_read + self.w_update + self.w_insert:
+            self._next_key += 1
+            key = self._next_key
+            value = rng.randrange(1000)
+
+            def insert(key=key, value=value, iso=isolation):
+                yield ops.begin(iso)
+                yield ops.insert("usertable",
+                                 {"k": key, "v": value, "pad": key % 7})
+                yield ops.commit()
+
+            return ("insert", insert)
+
+        start = self._zipf_key(rng)
+
+        def scan(start=start, iso=isolation):
+            yield ops.begin(iso)
+            rows = yield ops.scan_rows(
+                "usertable", Between("k", start,
+                                     start + self.scan_window - 1))
+            # Consume immediately (zero-copy rows must not be held).
+            sum(r["v"] for r in rows)
+            yield ops.commit()
+
+        return ("scan", scan)

@@ -30,7 +30,8 @@ CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
 
 #: The canonical anomalies that must always be present.
 REQUIRED = {"write_skew", "batch_processing", "receipt_report",
-            "read_only_anomaly"}
+            "read_only_anomaly", "phantom_under_join",
+            "write_skew_via_aggregate"}
 
 
 def test_corpus_is_complete():

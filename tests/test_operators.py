@@ -1,0 +1,111 @@
+"""Unit tests for the batch relational operators
+(repro.engine.operators): every join algorithm must agree with the
+nested-loop baseline row-for-row in left-major order, NULL keys must
+join nothing, and grouping/aggregation must be deterministic."""
+
+import pytest
+
+from repro.engine.operators import (aggregate_value, hash_group,
+                                    hash_join, limit_rows, merge_join,
+                                    nested_loop_join, sort_rows)
+
+LEFT = [{"k": 2, "a": "l0"}, {"k": 1, "a": "l1"}, {"k": None, "a": "l2"},
+        {"k": 2, "a": "l3"}, {"k": 3, "a": "l4"}]
+RIGHT = [{"k": 1, "b": "r0"}, {"k": 2, "b": "r1"}, {"k": 2, "b": "r2"},
+         {"k": None, "b": "r3"}, {"k": 5, "b": "r4"}]
+
+
+def _key(row):
+    return row.get("k")
+
+
+def _combine(l_row, r_row):
+    return {"a": l_row["a"], "b": r_row["b"]}
+
+
+def _true(row):
+    return True
+
+
+BASELINE = nested_loop_join(LEFT, RIGHT, _key, _key, _true, _combine)
+
+
+class TestJoinAlgorithmsAgree:
+    def test_baseline_is_left_major_and_null_free(self):
+        # l0/l3 (k=2) each match r1, r2 in right order; l1 (k=1)
+        # matches r0; NULL keys on either side join nothing.
+        assert BASELINE == [
+            {"a": "l0", "b": "r1"}, {"a": "l0", "b": "r2"},
+            {"a": "l1", "b": "r0"},
+            {"a": "l3", "b": "r1"}, {"a": "l3", "b": "r2"}]
+
+    @pytest.mark.parametrize("build", ["right", "left"])
+    def test_hash_join_matches_baseline(self, build):
+        got = hash_join(LEFT, RIGHT, _key, _key, _true, _combine,
+                        build=build)
+        assert got == BASELINE
+
+    def test_merge_join_matches_baseline(self):
+        assert merge_join(LEFT, RIGHT, _key, _key, _true, _combine) \
+            == BASELINE
+
+    def test_residual_condition_applies_after_combine(self):
+        cond = lambda row: row["b"] != "r1"  # noqa: E731
+        expect = [r for r in BASELINE if r["b"] != "r1"]
+        for got in (
+                nested_loop_join(LEFT, RIGHT, _key, _key, cond, _combine),
+                hash_join(LEFT, RIGHT, _key, _key, cond, _combine,
+                          build="left"),
+                merge_join(LEFT, RIGHT, _key, _key, cond, _combine)):
+            assert got == expect
+
+    def test_empty_inputs(self):
+        assert hash_join([], RIGHT, _key, _key, _true, _combine) == []
+        assert hash_join(LEFT, [], _key, _key, _true, _combine) == []
+        assert merge_join([], [], _key, _key, _true, _combine) == []
+
+    def test_cross_join_without_keys(self):
+        got = nested_loop_join(LEFT[:2], RIGHT[:2], None, None, _true,
+                               _combine)
+        assert got == [{"a": "l0", "b": "r0"}, {"a": "l0", "b": "r1"},
+                       {"a": "l1", "b": "r0"}, {"a": "l1", "b": "r1"}]
+
+
+class TestGrouping:
+    ROWS = [{"g": "x", "v": 3}, {"g": "y", "v": 1}, {"g": "x", "v": None},
+            {"g": "y", "v": 5}, {"g": "x", "v": 2}]
+
+    def test_groups_in_first_appearance_order(self):
+        groups = hash_group(self.ROWS, ["g"])
+        assert [key for key, _ in groups] == [("x",), ("y",)]
+        assert [len(grows) for _, grows in groups] == [3, 2]
+
+    def test_aggregate_values_skip_nulls(self):
+        (_, xrows), _ = hash_group(self.ROWS, ["g"])
+        assert aggregate_value("COUNT", None, xrows) == 3
+        assert aggregate_value("COUNT", "v", xrows) == 2
+        assert aggregate_value("SUM", "v", xrows) == 5
+        assert aggregate_value("MIN", "v", xrows) == 2
+        assert aggregate_value("MAX", "v", xrows) == 3
+        assert aggregate_value("AVG", "v", xrows) == 2.5
+
+    def test_aggregates_over_all_null_group(self):
+        rows = [{"v": None}, {"v": None}]
+        assert aggregate_value("COUNT", "v", rows) == 0
+        assert aggregate_value("SUM", "v", rows) is None
+        assert aggregate_value("MIN", "v", rows) is None
+        assert aggregate_value("AVG", "v", rows) is None
+
+
+class TestSortLimit:
+    def test_sort_is_stable(self):
+        rows = [{"k": 1, "i": 0}, {"k": 0, "i": 1}, {"k": 1, "i": 2}]
+        assert [r["i"] for r in sort_rows(list(rows), "k")] == [1, 0, 2]
+        assert [r["i"] for r in sort_rows(list(rows), "k",
+                                          descending=True)] == [0, 2, 1]
+
+    def test_limit(self):
+        rows = [{"i": i} for i in range(5)]
+        assert limit_rows(rows, 2) == rows[:2]
+        assert limit_rows(rows, None) == rows
+        assert limit_rows(rows, 0) == []

@@ -193,6 +193,99 @@ class TestExecution:
         b.execute("COMMIT")
 
 
+class TestJoinsAndGrouping:
+    @pytest.fixture
+    def loaded(self, sql):
+        sql.execute("CREATE TABLE customers (cid INT PRIMARY KEY, "
+                    "region TEXT, balance INT)")
+        sql.execute("CREATE TABLE orders (oid INT PRIMARY KEY, "
+                    "cid INT, amount INT)")
+        sql.execute("INSERT INTO customers (cid, region, balance) VALUES "
+                    "(1, 'north', 10), (2, 'south', 20), (3, 'north', 5)")
+        sql.execute("INSERT INTO orders (oid, cid, amount) VALUES "
+                    "(1, 1, 100), (2, 2, 50), (3, 1, 25), (4, NULL, 9)")
+        return sql
+
+    def test_parser_join_group_having(self):
+        stmt = parse("SELECT region, COUNT(*) FROM orders "
+                     "JOIN customers ON orders.cid = customers.cid "
+                     "GROUP BY region HAVING COUNT(*) > 1")
+        assert stmt.joins[0].table == "customers"
+        assert stmt.group_by == ("region",)
+        assert stmt.having is not None
+
+    def test_join_left_major_order_and_null_keys(self, loaded):
+        rows = loaded.execute(
+            "SELECT oid, region FROM orders "
+            "JOIN customers ON orders.cid = customers.cid")
+        # orders order (left-major); the NULL-cid order joins nothing.
+        assert rows == [{"oid": 1, "region": "north"},
+                        {"oid": 2, "region": "south"},
+                        {"oid": 3, "region": "north"}]
+
+    def test_join_with_where_pushdown(self, loaded):
+        rows = loaded.execute(
+            "SELECT oid FROM orders "
+            "JOIN customers ON orders.cid = customers.cid "
+            "WHERE region = 'north' AND amount > 30")
+        assert rows == [{"oid": 1}]
+
+    def test_group_by_having_order(self, loaded):
+        rows = loaded.execute(
+            "SELECT cid, SUM(amount) AS total FROM orders "
+            "WHERE cid = 1 OR cid = 2 GROUP BY cid "
+            "HAVING SUM(amount) > 60 ORDER BY cid")
+        assert rows == [{"cid": 1, "total": 125}]
+
+    def test_join_then_group(self, loaded):
+        rows = loaded.execute(
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "JOIN customers ON orders.cid = customers.cid "
+            "GROUP BY region ORDER BY region")
+        assert rows == [{"region": "north", "total": 125},
+                        {"region": "south", "total": 50}]
+
+    def test_ambiguous_column_rejected(self, loaded):
+        with pytest.raises(SQLSyntaxError, match="ambiguous"):
+            loaded.execute("SELECT cid FROM orders "
+                           "JOIN customers ON orders.cid = customers.cid")
+
+    def test_unknown_qualifier_rejected(self, loaded):
+        with pytest.raises(SQLSyntaxError, match="missing FROM-clause"):
+            loaded.execute("SELECT oid FROM orders "
+                           "JOIN customers ON orders.cid = nope.cid")
+
+    def test_for_update_with_join_rejected(self, loaded):
+        with pytest.raises(SQLSyntaxError, match="FOR UPDATE"):
+            loaded.execute("SELECT oid FROM orders "
+                           "JOIN customers ON orders.cid = customers.cid "
+                           "FOR UPDATE")
+
+    def test_bare_column_in_group_must_be_grouped(self, loaded):
+        with pytest.raises(SQLSyntaxError, match="GROUP BY"):
+            loaded.execute("SELECT region, amount FROM orders "
+                           "JOIN customers ON orders.cid = customers.cid "
+                           "GROUP BY region")
+
+    def test_order_by_places_nulls_last(self, loaded):
+        loaded.execute("INSERT INTO customers (cid, region, balance) "
+                       "VALUES (4, NULL, 1)")
+        regions = [r["region"] for r in loaded.execute(
+            "SELECT region FROM customers GROUP BY region "
+            "ORDER BY region")]
+        assert regions == ["north", "south", None]
+
+    def test_explain_shows_join_and_agg_nodes(self, loaded):
+        loaded.execute("ANALYZE")
+        plan = "\n".join(loaded.execute(
+            "EXPLAIN SELECT region, SUM(amount) FROM orders "
+            "JOIN customers ON orders.cid = customers.cid "
+            "GROUP BY region ORDER BY region"))
+        assert "Join" in plan
+        assert "HashAggregate" in plan
+        assert "Sort" in plan
+
+
 class TestPaperExamplesInSQL:
     def test_write_skew_in_sql(self, db):
         """Figure 1, verbatim in SQL."""
