@@ -2,12 +2,17 @@
 
 Subcommands::
 
-    lint [PATH ...]     run the static linter (default: src/repro)
-    rules               print the rule catalog
-    smoke [--ticks T]   sanitizer-enabled SIBENCH smoke run
+    lint [PATH ...]         run the static linter (default: src/repro)
+    concurrency [PATH ...]  interprocedural latch-order proof + lockset
+                            race detection (default: src/repro)
+    rules                   print the rule catalog
+    smoke [--ticks T]       sanitizer-enabled SIBENCH smoke run
 
-``lint`` and ``smoke`` exit nonzero on any finding/violation, so both
-can gate CI directly.
+Exit-code contract (all subcommands): 0 = clean -- no findings, no
+parse errors, and for ``concurrency`` no unproven acquisition sites;
+1 = at least one finding / violation / unproven site; 2 = usage error.
+``--json`` changes the output format only, never the exit code, so CI
+can archive the artifact and gate on the status in one invocation.
 """
 
 from __future__ import annotations
@@ -31,6 +36,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "findings": [f.to_dict() for f in report.findings],
             "parse_errors": report.parse_errors,
         }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_concurrency(args: argparse.Namespace) -> int:
+    from repro.analysis.concurrency import analyze_paths
+    paths = args.paths or ["src/repro"]
+    report = analyze_paths(paths)
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render())
@@ -81,17 +102,45 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="static linter + runtime sanitizers for the repro engine")
+        description="static linter + runtime sanitizers for the repro engine",
+        epilog="exit status: 0 = clean (no findings, no parse errors, "
+               "no unproven acquisition sites); 1 = findings, parse "
+               "errors, unproven sites, or a sanitizer violation; "
+               "2 = usage error. --json never changes the exit code.")
     parser.add_argument("--version", action="version",
                         version=f"repro.analysis {ANALYSIS_VERSION}")
     sub = parser.add_subparsers(dest="command")
 
-    lint_p = sub.add_parser("lint", help="run the static invariant linter")
+    lint_p = sub.add_parser(
+        "lint", help="run the static invariant linter",
+        description="Run the per-file lint rules. Exits 0 when no "
+                    "findings and no parse errors; 1 otherwise.")
     lint_p.add_argument("paths", nargs="*",
                         help="files or directories (default: src/repro)")
     lint_p.add_argument("--json", action="store_true",
-                        help="machine-readable output")
+                        help="machine-readable output (same exit code)")
     lint_p.set_defaults(func=_cmd_lint)
+
+    conc_p = sub.add_parser(
+        "concurrency",
+        help="interprocedural latch-order proof + lockset race detection",
+        description="Build the project call graph, propagate held-latch "
+                    "sets from every thread entry point, and check "
+                    "LATCH001/LATCH002 (latch rank order, park/bow/"
+                    "notify discipline) and RACE001/RACE002 (Eraser-"
+                    "style locksets against '# repro: guarded-by' "
+                    "declarations). Exits 0 only when every reachable "
+                    "acquisition is proven in-order and every guarded-"
+                    "by fact is proven or explicitly vacuous; 1 on any "
+                    "finding or unproven site.")
+    conc_p.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    conc_p.add_argument("--json", action="store_true",
+                        help="machine-readable output (same exit code)")
+    conc_p.add_argument("--out", metavar="FILE",
+                        help="also write the JSON report to FILE "
+                             "(CI artifact)")
+    conc_p.set_defaults(func=_cmd_concurrency)
 
     rules_p = sub.add_parser("rules", help="print the rule catalog")
     rules_p.set_defaults(func=_cmd_rules)

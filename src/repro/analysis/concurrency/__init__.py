@@ -1,0 +1,41 @@
+"""Interprocedural concurrency analysis (repro.analysis.concurrency).
+
+Three analyses over one project-wide call graph, all static:
+
+* **call graph** (:mod:`.callgraph`): name/attribute resolution against
+  a cross-file index of classes, methods and attribute types (inferred
+  from annotations and ``self.x = ClassName(...)`` constructor
+  assignments), with method dispatch by receiver-class inference.
+  Dynamic calls (``getattr`` dispatch, computed callees) fail open and
+  are reported as explicit *unresolved edges*.
+* **latch-rank proof** (:mod:`.latchorder`): propagates the set of held
+  latch ranks along every call path from the server/engine thread entry
+  points and reports any path that can acquire a latch at a rank at or
+  below the maximum held rank (LATCH001) -- the static counterpart of
+  the runtime :class:`~repro.engine.latches.LatchOrderError` -- plus
+  the park/bow/notify re-acquisition hazards of
+  :class:`~repro.engine.latches.EngineLatch` (LATCH002).
+* **lockset race detection** (:mod:`.lockset`): Eraser-style candidate
+  locksets for every attribute of the engine-shared classes, seeded and
+  documented by ``# repro: guarded-by(LATCH)`` annotations. RACE001
+  flags an undeclared shared field whose lockset is empty; RACE002
+  flags a declared guard not held on some reachable path.
+
+Entry point: :func:`analyze_paths`; CLI:
+``python -m repro.analysis concurrency``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concurrency.callgraph import (CallGraph, LatchRef,
+                                                  build_graph)
+from repro.analysis.concurrency.lockset import collect_guarded_facts
+from repro.analysis.concurrency.report import (DEFAULT_ENTRIES,
+                                               DEFAULT_SHARED_CLASSES,
+                                               ConcurrencyFinding,
+                                               ConcurrencyReport,
+                                               analyze_paths)
+
+__all__ = ["CallGraph", "ConcurrencyFinding", "ConcurrencyReport",
+           "DEFAULT_ENTRIES", "DEFAULT_SHARED_CLASSES", "LatchRef",
+           "analyze_paths", "build_graph", "collect_guarded_facts"]

@@ -1,0 +1,216 @@
+"""Assembly: run the concurrency analyses and render the report.
+
+:func:`analyze_paths` is the single entry point used by the CLI
+(``python -m repro.analysis concurrency``), the CI gate, and the
+tests. It parses the files with the lint framework (so ``# repro:``
+annotations and noqa suppression behave identically to the linter),
+builds the call graph, propagates hold-sets from the entry points, and
+runs the latch-order proof and the lockset race detector.
+
+The report is **ok** only when there are zero findings *and* zero
+unproven acquisition sites on reachable paths -- "clean" means proven,
+not merely nothing-flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.core import Finding, build_contexts
+from repro.analysis.concurrency.callgraph import (CallGraph, build_graph)
+from repro.analysis.concurrency.latchorder import (check_latch_order,
+                                                   latent_unknown_sites)
+from repro.analysis.concurrency.lockset import check_locksets
+
+#: Functions that real OS threads enter with no latches held, beyond
+#: the auto-detected ``threading.Thread(target=...)`` /
+#: ``run_in_executor(...)`` targets: the asyncio connection handler
+#: (runs on the event-loop thread) and the engine/server public API
+#: (driven directly by benchmark and test threads).
+DEFAULT_ENTRIES = (
+    "repro.server.server._AsyncioFrontend._handle",
+    "repro.server.server.ReproServer.stop",
+    "repro.server.engine.ThreadSafeEngine.execute",
+    "repro.server.engine.ThreadSafeEngine.run",
+    "repro.server.engine.ThreadSafeEngine.open_session",
+    "repro.server.engine.ThreadSafeEngine.close_session",
+    "repro.server.engine.ThreadSafeEngine.shutdown",
+    # The session wait hook is invoked from deep engine code with the
+    # engine latch held (the getattr-dispatch boundary the static call
+    # graph cannot cross); modeling it as a held-ENGINE entry proves
+    # the park/bow re-acquisition edges.
+    ("repro.server.engine.ThreadSafeEngine._make_wait_hook.wait_hook",
+     ("ENGINE",)),
+)
+
+#: Classes whose instances are reachable from more than one OS thread
+#: (the engine singletons behind the engine latch, the server's
+#: connection tables, per-connection plumbing). Classes carrying a
+#: ``# repro: guarded-by(...)`` or ``confined(...)`` fact are added
+#: automatically.
+DEFAULT_SHARED_CLASSES = frozenset({
+    "ReproServer", "ThreadSafeEngine", "EngineSession", "ConnectionCore",
+    "ThreadedConnection", "EngineLatch",
+    "SSIManager", "SIReadLockManager", "LockManager", "VisibilityMap",
+    "StatsCatalog",
+})
+
+
+@dataclass(frozen=True)
+class ConcurrencyFinding(Finding):
+    """A lint :class:`Finding` plus the example call path that
+    reaches the site from a thread entry point."""
+
+    trace: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data["trace"] = list(self.trace)
+        return data
+
+    def render(self, with_hint: bool = True) -> str:
+        text = super().render(with_hint)
+        for hop in self.trace:
+            text += f"\n      via {hop}"
+        return text
+
+
+@dataclass
+class ConcurrencyReport:
+    files: int = 0
+    functions: int = 0
+    classes: int = 0
+    edges: int = 0
+    entries: List[str] = field(default_factory=list)
+    auto_entries: List[str] = field(default_factory=list)
+    reachable_functions: int = 0
+    proven_sites: int = 0
+    findings: List[ConcurrencyFinding] = field(default_factory=list)
+    unproven: List[Dict[str, object]] = field(default_factory=list)
+    latent: List[Dict[str, object]] = field(default_factory=list)
+    unresolved: List[Dict[str, object]] = field(default_factory=list)
+    audit: List[Dict[str, object]] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.findings and not self.unproven
+                and not self.parse_errors)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files": self.files,
+            "functions": self.functions,
+            "classes": self.classes,
+            "edges": self.edges,
+            "entries": list(self.entries),
+            "auto_entries": list(self.auto_entries),
+            "reachable_functions": self.reachable_functions,
+            "proven_sites": self.proven_sites,
+            "findings": [f.to_dict() for f in self.findings],
+            "unproven": list(self.unproven),
+            "latent": list(self.latent),
+            "unresolved_edges": list(self.unresolved),
+            "audit": list(self.audit),
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"call graph: {self.files} file(s), {self.functions} "
+            f"function(s), {self.classes} class(es), {self.edges} "
+            "resolved call edge(s)",
+            f"entries: {len(self.entries)} "
+            f"({len(self.auto_entries)} auto-detected thread target(s)); "
+            f"{self.reachable_functions} function(s) reachable",
+            f"latch proof: {self.proven_sites} site/hold-set pair(s) "
+            f"proven in-order, {len(self.unproven)} unproven, "
+            f"{len(self.unresolved)} unresolved call edge(s) "
+            "(fail-open)",
+        ]
+        for f in self.findings:
+            lines.append(f.render())
+        for item in self.unproven:
+            lines.append(f"{item['path']}:{item['line']}: UNPROVEN "
+                         f"{item['reason']} (in {item['function']})")
+        if self.parse_errors:
+            lines.append(f"{len(self.parse_errors)} parse error(s):")
+            lines.extend(f"  {err}" for err in self.parse_errors)
+        by_status: Dict[str, int] = {}
+        for row in self.audit:
+            by_status[str(row["status"])] = \
+                by_status.get(str(row["status"]), 0) + 1
+        if by_status:
+            summary = ", ".join(f"{n} {s}" for s, n in
+                                sorted(by_status.items()))
+            lines.append(f"shared-state audit: {len(self.audit)} "
+                         f"field(s) ({summary})")
+        lines.append("concurrency: "
+                     + ("clean (all reachable acquisitions proven)"
+                        if self.ok else
+                        f"{len(self.findings)} finding(s), "
+                        f"{len(self.unproven)} unproven site(s)"))
+        return "\n".join(lines)
+
+
+def analyze_paths(paths: Sequence[str],
+                  entries: Optional[Sequence[str]] = None,
+                  shared_classes: Optional[Sequence[str]] = None,
+                  ) -> ConcurrencyReport:
+    """Run the full concurrency analysis over ``paths``."""
+    contexts, errors = build_contexts(paths)
+    graph = build_graph(contexts)
+    report = ConcurrencyReport(
+        files=len(contexts), functions=len(graph.functions),
+        classes=len(graph.classes), edges=graph.edge_count,
+        parse_errors=list(errors))
+
+    def _qname(entry: object) -> str:
+        return entry[0] if isinstance(entry, tuple) else str(entry)
+
+    wanted = [e for e in (entries if entries is not None
+                          else DEFAULT_ENTRIES)
+              if _qname(e) in graph.functions]
+    for auto in graph.auto_entries:
+        if auto not in (_qname(e) for e in wanted):
+            wanted.append(auto)
+    report.entries = [
+        _qname(e) + ("@{" + ",".join(e[1]) + "}"
+                     if isinstance(e, tuple) and e[1] else "")
+        for e in wanted]
+    report.auto_entries = list(graph.auto_entries)
+
+    reach = graph.propagate(wanted)
+    report.reachable_functions = len(reach.states)
+
+    order = check_latch_order(graph, reach)
+    report.proven_sites = order.proven_sites
+    report.unproven = list(order.unproven)
+    report.latent = latent_unknown_sites(graph, reach)
+
+    shared = (shared_classes if shared_classes is not None
+              else sorted(DEFAULT_SHARED_CLASSES))
+    locks = check_locksets(graph, reach, shared)
+    report.audit = [row.to_dict() for row in locks.audit]
+
+    ctx_by_path = graph.ctx_by_path
+    raw = [ConcurrencyFinding(rule=v.rule, path=v.path, line=v.line,
+                              col=0, message=v.message, hint=v.hint,
+                              trace=v.trace)
+           for v in order.violations]
+    raw += [ConcurrencyFinding(rule=r.rule, path=r.path, line=r.line,
+                               col=0, message=r.message, hint=r.hint,
+                               trace=r.trace)
+            for r in locks.races]
+    for finding in raw:
+        ctx = ctx_by_path.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+            continue
+        report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    report.unresolved = [edge.to_dict() for edge in graph.unresolved]
+    return report

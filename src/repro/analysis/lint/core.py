@@ -18,13 +18,18 @@ but ``--strict-noqa`` flags bare (rule-less) suppressions.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
-#: ``# repro: noqa`` / ``# repro: noqa(CLOG001, DET001)``
+#: matches the ``repro: noqa`` / ``repro: noqa(CLOG001, DET001)`` comment forms
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\(([^)]*)\))?")
+#: ``# repro: guarded-by(ENGINE)`` / ``# repro: confined(worker thread)``
+_GUARD_RE = re.compile(r"#\s*repro:\s*guarded-by\(([A-Za-z0-9_]+)\)")
+_CONFINED_RE = re.compile(r"#\s*repro:\s*confined\(([^)]*)\)")
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,13 @@ class FileContext:
     project: ProjectIndex
     #: line number -> suppressed rule ids ("*" = all rules).
     noqa: Dict[int, Set[str]] = field(default_factory=dict)
+    #: line number -> guard name from ``# repro: guarded-by(LATCH)``.
+    guards: Dict[int, str] = field(default_factory=dict)
+    #: line number -> rationale from ``# repro: confined(...)``.
+    confined: Dict[int, str] = field(default_factory=dict)
+    #: line number -> rule ids that actually suppressed a finding there
+    #: (populated by :func:`run_rules`; NOQA001 reads it back).
+    used_noqa: Dict[int, Set[str]] = field(default_factory=dict)
 
     @property
     def in_engine(self) -> bool:
@@ -120,7 +132,10 @@ class FileContext:
 
     def suppressed(self, rule_id: str, line: int) -> bool:
         rules = self.noqa.get(line)
-        return rules is not None and ("*" in rules or rule_id in rules)
+        if rules is not None and ("*" in rules or rule_id in rules):
+            self.used_noqa.setdefault(line, set()).add(rule_id)
+            return True
+        return False
 
 
 class Rule:
@@ -142,6 +157,13 @@ class Rule:
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
         raise NotImplementedError
+
+    def post_check(self, contexts: Sequence[FileContext],
+                   active_ids: Set[str]) -> Iterable[Finding]:
+        """Second phase, run after every per-file rule has finished on
+        every file. Rules that need whole-run facts (NOQA001 reads the
+        used-noqa map) override this; the default contributes nothing."""
+        return ()
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str,
                 hint: Optional[str] = None) -> Finding:
@@ -205,18 +227,46 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                     yield os.path.join(root, fname)
 
 
-def _noqa_map(source: str) -> Dict[int, Set[str]]:
+def iter_comments(source: str) -> Iterator["tuple[int, str]"]:
+    """Yield ``(lineno, comment_text)`` for every real comment token.
+
+    Tokenize-based so ``# repro:`` markers quoted inside string
+    literals (rule hints, docstrings) are not mistaken for live
+    annotations. Falls back to a line scan when the source does not
+    tokenize (the AST parse will have reported the syntax error).
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                yield lineno, line[line.index("#"):]
+
+
+def _comment_maps(source: str) -> "tuple[Dict[int, Set[str]], Dict[int, str], Dict[int, str]]":
+    """Extract the (noqa, guarded-by, confined) annotation maps."""
     noqa: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
-        if match is None:
-            continue
-        rules = match.group(1)
-        if rules is None:
-            noqa[lineno] = {"*"}
-        else:
-            noqa[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
-    return noqa
+    guards: Dict[int, str] = {}
+    confined: Dict[int, str] = {}
+    for lineno, text in iter_comments(source):
+        match = _NOQA_RE.search(text)
+        if match is not None:
+            rules = match.group(1)
+            if rules is None:
+                noqa[lineno] = {"*"}
+            else:
+                noqa[lineno] = {r.strip() for r in rules.split(",")
+                                if r.strip()}
+        match = _GUARD_RE.search(text)
+        if match is not None:
+            guards[lineno] = match.group(1)
+        match = _CONFINED_RE.search(text)
+        if match is not None:
+            confined[lineno] = match.group(1).strip()
+    return noqa, guards, confined
 
 
 def _class_facts(module: str, node: ast.ClassDef) -> ClassFacts:
@@ -278,9 +328,10 @@ def build_contexts(paths: Sequence[str]) -> "tuple[List[FileContext], List[str]]
         except (OSError, SyntaxError) as exc:
             errors.append(f"{path}: {exc}")
             continue
+        noqa, guards, confined = _comment_maps(source)
         ctx = FileContext(path=path, module=module_name_for(path),
                           source=source, tree=tree, project=project,
-                          noqa=_noqa_map(source))
+                          noqa=noqa, guards=guards, confined=confined)
         contexts.append(ctx)
         for node in ast.walk(tree):
             if isinstance(node, ast.ClassDef):
@@ -298,6 +349,21 @@ def run_rules(contexts: Sequence[FileContext],
             for finding in rule.check(ctx):
                 if not ctx.suppressed(finding.rule, finding.line):
                     findings.append(finding)
+    # Whole-run second phase (NOQA001 audits the used-noqa map filled
+    # in above). Post findings honour noqa, but only by *name*: the
+    # rotted escape under audit must not be allowed to suppress its
+    # own audit finding (a stale bare noqa would otherwise silently
+    # excuse itself forever).
+    active_ids = {rule.id for rule in rules}
+    for rule in rules:
+        for finding in rule.post_check(contexts, active_ids):
+            ctx = next((c for c in contexts if c.path == finding.path), None)
+            if ctx is not None and \
+                    finding.rule in ctx.noqa.get(finding.line, set()):
+                ctx.used_noqa.setdefault(finding.line,
+                                         set()).add(finding.rule)
+                continue
+            findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

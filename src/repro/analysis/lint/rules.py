@@ -12,7 +12,15 @@ LOCK002   lock acquired with no release path in the same function
 CFG001    perf-toggle fast path does simulated-cost accounting
 MUT001    mutable default argument
 EXC001    bare ``except:``
+NOQA001   ``# repro: noqa`` that suppresses nothing (rotted escape)
 ========  ===========================================================
+
+The interprocedural concurrency rules (LATCH001/LATCH002 latch-rank
+proof, RACE001/RACE002 lockset races) live in
+:mod:`repro.analysis.concurrency` and run under
+``python -m repro.analysis concurrency``; they honour the same noqa
+convention but need the whole-project call graph, so they are not part
+of the per-file catalog here.
 
 Every rule carries a fix-it hint and honours the
 ``# repro: noqa(RULE)`` escape hatch (see
@@ -483,8 +491,54 @@ class BareExceptRule(Rule):
                 yield self.finding(ctx, node, "bare 'except:' clause")
 
 
+class UnusedNoqaRule(Rule):
+    """A ``# repro: noqa(RULE)`` that suppresses nothing has rotted.
+
+    Suppressions are contracts ("this site is exempt *because* ...");
+    when the code they excused is gone the stale comment keeps the
+    escape hatch open for whatever lands on that line next. This runs
+    as a whole-run post pass over the used-noqa map: a named rule that
+    was checked on this run but suppressed nothing is a finding. Rules
+    not in the active run set (e.g. RACE001 during a plain lint, which
+    only the concurrency analyzer evaluates) are left alone -- another
+    command owns them.
+    """
+
+    id = "NOQA001"
+    name = "unused-noqa"
+    description = "noqa annotation that no longer suppresses any finding"
+    hint = ("delete the stale '# repro: noqa(...)' comment (or the stale "
+            "rule name from its list); if the suppression is owned by "
+            "another analysis command, name that command's rule ids only")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def post_check(self, contexts: Sequence[FileContext],
+                   active_ids: Set[str]) -> Iterable[Finding]:
+        for ctx in contexts:
+            for line, named in sorted(ctx.noqa.items()):
+                used = ctx.used_noqa.get(line, set())
+                if "*" in named:
+                    if not used:
+                        yield Finding(
+                            rule=self.id, path=ctx.path, line=line, col=0,
+                            message="bare '# repro: noqa' suppresses "
+                                    "nothing on this line",
+                            hint=self.hint)
+                    continue
+                for rule_id in sorted((named & active_ids) - {self.id}
+                                      - used):
+                    yield Finding(
+                        rule=self.id, path=ctx.path, line=line, col=0,
+                        message=f"'# repro: noqa({rule_id})' suppresses "
+                                f"nothing on this line",
+                        hint=self.hint)
+
+
 def all_rules() -> Sequence[Rule]:
     """The full rule catalog, in catalog order."""
     return (ClogDisciplineRule(), DeterminismRule(), SlotsConsistencyRule(),
             LockEncapsulationRule(), LockReleasePathRule(),
-            TogglePurityRule(), MutableDefaultRule(), BareExceptRule())
+            TogglePurityRule(), MutableDefaultRule(), BareExceptRule(),
+            UnusedNoqaRule())

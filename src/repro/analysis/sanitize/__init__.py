@@ -8,11 +8,12 @@ lifecycle wiring and the ``ssi_check`` / ``heap_check`` /
 from __future__ import annotations
 
 from repro.analysis.sanitize.heap_check import HeapSanitizer
+from repro.analysis.sanitize.latch_check import LocksetSanitizer
 from repro.analysis.sanitize.locks_check import LockLeakSanitizer
 from repro.analysis.sanitize.runner import ENV_FLAG, SanitizerRunner, env_forced
 from repro.analysis.sanitize.ssi_check import SSISanitizer
 from repro.analysis.sanitize.violations import SanitizerViolation
 
 __all__ = ["ENV_FLAG", "HeapSanitizer", "LockLeakSanitizer",
-           "SSISanitizer", "SanitizerRunner", "SanitizerViolation",
-           "env_forced"]
+           "LocksetSanitizer", "SSISanitizer", "SanitizerRunner",
+           "SanitizerViolation", "env_forced"]

@@ -75,6 +75,22 @@ def _held_stack() -> List["Latch"]:
     return stack
 
 
+# ----------------------------------------------------------------------
+# introspection (used by the dynamic lockset sanitizer and tests)
+# ----------------------------------------------------------------------
+def held_latches() -> List["Latch"]:
+    """A snapshot of the latches the *calling thread* currently holds,
+    outermost first. Thread-local, so safe to call without any lock."""
+    return list(_held_stack())
+
+
+def holds_rank(rank: int) -> bool:
+    """True when the calling thread holds some latch of ``rank`` --
+    the runtime form of a static ``guarded-by`` fact, checked by the
+    lockset sanitizer on every instrumented attribute access."""
+    return any(held.rank == rank for held in _held_stack())
+
+
 class LatchOrderError(AssertionError):
     """A latch was acquired out of rank order (a potential lock-order
     deadlock). An AssertionError on purpose: this is a programming
@@ -156,8 +172,8 @@ class EngineLatch(Latch):
         super().__init__(name, rank)
         self._cond = threading.Condition(self._lock)
         #: Diagnostic counters (read under the latch).
-        self.parks = 0
-        self.park_timeouts = 0
+        self.parks = 0  # repro: guarded-by(ENGINE)
+        self.park_timeouts = 0  # repro: guarded-by(ENGINE)
 
     def park(self, ready: Callable[[], bool], *,
              deadline: Optional[float] = None) -> bool:

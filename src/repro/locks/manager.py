@@ -79,13 +79,13 @@ class LockManager:
     """The shared lock table."""
 
     def __init__(self, obs=None) -> None:
-        self._table: Dict[LockTag, _LockEntry] = {}
+        self._table: Dict[LockTag, _LockEntry] = {}  # repro: guarded-by(ENGINE)
         #: locks held per owner, for fast release_all.
-        self._held: Dict[int, Dict[LockTag, Set[LockMode]]] = {}
+        self._held: Dict[int, Dict[LockTag, Set[LockMode]]] = {}  # repro: guarded-by(ENGINE)
         #: Work-unit counter consumed by the simulator's cost model.
-        self.work_units = 0
+        self.work_units = 0  # repro: guarded-by(ENGINE)
         #: Deadlocks detected (benchmark statistic, cf. RUBiS/Figure 6).
-        self.deadlocks_detected = 0
+        self.deadlocks_detected = 0  # repro: guarded-by(ENGINE)
         #: Observability handle (repro.obs); None disables all tracing
         #: and wait timing at the cost of one ``is not None`` test.
         self._obs = obs if (obs is not None and obs.enabled) else None

@@ -27,7 +27,10 @@ import enum
 import queue
 import socket
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # import cycle: server.py imports this module
+    from repro.server.server import ReproServer
 
 from repro.engine.latches import Latch, RANK_WIRE
 from repro.errors import (AuthenticationError, ProtocolError, ReproError,
@@ -45,12 +48,16 @@ class ConnState(enum.Enum):
 class ConnectionCore:
     """Transport-independent request dispatch for one connection."""
 
-    def __init__(self, server: "Any", conn_id: int) -> None:
+    def __init__(self, server: "ReproServer", conn_id: int) -> None:
         self.server = server
         self.conn_id = conn_id
-        self.state = ConnState.HANDSHAKE
-        self.es: Optional[EngineSession] = None
-        self.statements = 0
+        # One request is in flight per connection at a time -- the
+        # worker thread (threaded transport) or the single _consume
+        # task (asyncio transport, executor handoff gives the
+        # happens-before edge) is the only accessor after construction.
+        self.state = ConnState.HANDSHAKE  # repro: confined(one in-flight request per connection)
+        self.es: Optional[EngineSession] = None  # repro: confined(one in-flight request per connection)
+        self.statements = 0  # repro: confined(one in-flight request per connection)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -145,7 +152,7 @@ class ThreadedConnection:
     """Threaded transport: reader thread + worker thread + bounded
     request queue around one ConnectionCore."""
 
-    def __init__(self, server: "Any", sock: socket.socket,
+    def __init__(self, server: "ReproServer", sock: socket.socket,
                  conn_id: int) -> None:
         self.core = ConnectionCore(server, conn_id)
         self.server = server

@@ -54,7 +54,7 @@ class EngineSession:
         #: Monotonic deadline of the statement currently executing on
         #: this session (set under the engine latch by the one thread
         #: driving this connection; never shared across sessions).
-        self.deadline: Optional[float] = None
+        self.deadline: Optional[float] = None  # repro: guarded-by(ENGINE)
 
     @property
     def txn_status(self) -> str:
@@ -79,10 +79,18 @@ class ThreadSafeEngine:
         self.statement_timeout = statement_timeout
         #: Set by :meth:`shutdown`; parked statements re-check it and
         #: fail with AdminShutdown so worker threads can drain.
-        self.closing = False
+        self.closing = False  # repro: guarded-by(ENGINE)
         metrics = db.obs.metrics
         self._timeout_counter = metrics.counter("server.statement_timeouts")
         self._park_counter = metrics.counter("server.lock_parks")
+        #: Dynamic lockset sanitizer: when the Database runs sanitized
+        #: (REPRO_SANITIZE=1 or EngineConfig.sanitize.enabled), every
+        #: statically-declared guarded-by fact is also enforced at
+        #: runtime on the server threads this engine admits.
+        self._lockset_guard = None
+        if db.sanitizers is not None:
+            from repro.analysis.sanitize.latch_check import LocksetSanitizer
+            self._lockset_guard = LocksetSanitizer().arm()
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -113,6 +121,8 @@ class ThreadSafeEngine:
         with self.latch:
             self.closing = True
             self.latch.notify_all()
+        if self._lockset_guard is not None:
+            self._lockset_guard.disarm()
 
     # ------------------------------------------------------------------
     # statements

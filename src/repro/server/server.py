@@ -76,19 +76,19 @@ class ReproServer:
         self.conn_latch = Latch("connections", RANK_CONNECTIONS)
         #: Guards metric updates from arbitrary server threads.
         self.metrics_latch = Latch("metrics", RANK_METRICS)
-        self._connections: Dict[int, Any] = {}
-        self._next_conn_id = 0
-        self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._async: Optional[_AsyncioFrontend] = None
+        self._connections: Dict[int, Any] = {}  # repro: guarded-by(CONNECTIONS)
+        self._next_conn_id = 0  # repro: guarded-by(CONNECTIONS)
+        self._listener: Optional[socket.socket] = None  # repro: confined(set in start before the accept thread exists; read-only afterwards)
+        self._accept_thread: Optional[threading.Thread] = None  # repro: confined(set in start; read-only afterwards)
+        self._async: Optional[_AsyncioFrontend] = None  # repro: confined(set in start; read-only afterwards)
         self._stopping = threading.Event()
-        self._stopped = False
-        self.address: Optional[Tuple[str, int]] = None
+        self._stopped = False  # repro: guarded-by(CONNECTIONS)
+        self.address: Optional[Tuple[str, int]] = None  # repro: confined(set in start before any server thread exists)
         #: Unexpected exceptions (sanitizer violations, engine bugs)
         #: surfaced by any connection; the CI smoke asserts this empty.
-        self.fatal_errors: List[BaseException] = []
+        self.fatal_errors: List[BaseException] = []  # repro: guarded-by(METRICS)
         metrics = db.obs.metrics
-        self._counters = {
+        self._counters = {  # repro: guarded-by(METRICS)
             name: metrics.counter(name) for name in (
                 "server.connections_accepted",
                 "server.connections_rejected",
@@ -97,7 +97,7 @@ class ReproServer:
                 "server.requests",
                 "server.fatal_errors",
             )}
-        self._latency_hist = metrics.histogram("server.latency_ns")
+        self._latency_hist = metrics.histogram("server.latency_ns")  # repro: guarded-by(METRICS)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -124,9 +124,16 @@ class ReproServer:
         Order matters: wake parked statements first (so worker threads
         can drain), stop accepting, kick live sockets, join.
         """
-        if self._stopped:
-            return {"threads": [], "connections": []}
-        self._stopped = True
+        # Check-and-set under the connection latch: two racing stop()
+        # calls must not both run the teardown sequence (double close
+        # of the listener, double engine shutdown). The latch is
+        # released before engine.shutdown -- ENGINE ranks below
+        # CONNECTIONS, so holding it across the call would be exactly
+        # the out-of-rank acquisition LATCH001 proves absent.
+        with self.conn_latch:
+            if self._stopped:
+                return {"threads": [], "connections": []}
+            self._stopped = True
         self._stopping.set()
         self.engine.shutdown()
         if self._listener is not None:
@@ -213,7 +220,8 @@ class ReproServer:
             self._counters[name].inc()
 
     def record_fatal(self, exc: BaseException) -> None:
-        self.fatal_errors.append(exc)
+        with self.metrics_latch:
+            self.fatal_errors.append(exc)
         self.count("server.fatal_errors")
 
     def timed_execute(self, es: EngineSession, sql: str) -> Any:
@@ -275,13 +283,17 @@ class _AsyncioFrontend:
 
     def __init__(self, server: ReproServer) -> None:
         self.server = server
-        self.loop: Optional[asyncio.AbstractEventLoop] = None
-        self.thread: Optional[threading.Thread] = None
-        self.executor: Optional[ThreadPoolExecutor] = None
-        self.aserver: Optional[asyncio.AbstractServer] = None
-        self.address: Optional[Tuple[str, int]] = None
-        self._writers: set = set()
-        self._start_error: Optional[BaseException] = None
+        # start() publishes loop/executor/thread before the loop thread
+        # runs; aserver/address/_start_error are written by the loop
+        # thread before ready.set() and read by start() only after
+        # ready.wait() -- the Event is the happens-before edge.
+        self.loop: Optional[asyncio.AbstractEventLoop] = None  # repro: confined(set in start before the loop thread exists)
+        self.thread: Optional[threading.Thread] = None  # repro: confined(set in start before the loop thread exists)
+        self.executor: Optional[ThreadPoolExecutor] = None  # repro: confined(set in start before the loop thread exists)
+        self.aserver: Optional[asyncio.AbstractServer] = None  # repro: confined(loop thread writes before ready.set; start reads after ready.wait)
+        self.address: Optional[Tuple[str, int]] = None  # repro: confined(loop thread writes before ready.set; start reads after ready.wait)
+        self._writers: set = set()  # repro: confined(event-loop thread only)
+        self._start_error: Optional[BaseException] = None  # repro: confined(loop thread writes before ready.set; start reads after ready.wait)
 
     def start(self) -> None:
         config = self.server.config

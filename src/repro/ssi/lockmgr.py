@@ -60,25 +60,25 @@ class SIReadLockManager:
     def __init__(self, config: SSIConfig) -> None:
         self._config = config
         #: target -> set of holders.
-        self._locks: Dict[Target, Set[SerializableXact]] = {}
+        self._locks: Dict[Target, Set[SerializableXact]] = {}  # repro: guarded-by(ENGINE)
         #: per-holder reverse index.
-        self._held: Dict[SerializableXact, Set[Target]] = {}
+        self._held: Dict[SerializableXact, Set[Target]] = {}  # repro: guarded-by(ENGINE)
         #: fine-grained targets per (holder, parent target), for
         #: promotion bookkeeping.
-        self._children: Dict[Tuple[SerializableXact, Target], Set[Target]] = {}
+        self._children: Dict[Tuple[SerializableXact, Target], Set[Target]] = {}  # repro: guarded-by(ENGINE)
         #: locks of summarized committed transactions: target -> newest
         #: holder's commit sequence number.
-        self._summary: Dict[Target, float] = {}
+        self._summary: Dict[Target, float] = {}  # repro: guarded-by(ENGINE)
         #: coverage cache for the reader fast path: per holder, the
         #: relation oids and (rel oid, page) pairs it holds coarse
         #: (relation/page granularity) heap SIREAD locks on. Kept in
         #: sync by _add/_remove, so it is exact, not a heuristic.
-        self._cover: Dict[SerializableXact,
+        self._cover: Dict[SerializableXact,  # repro: guarded-by(ENGINE)
                           Tuple[Set[int], Set[Tuple[int, int]]]] = {}
         #: Work-unit counter consumed by the simulator's cost model.
-        self.work_units = 0
+        self.work_units = 0  # repro: guarded-by(ENGINE)
         #: High-water mark of the lock table (memory-bounding benches).
-        self.peak_lock_count = 0
+        self.peak_lock_count = 0  # repro: guarded-by(ENGINE)
 
     # -- size accounting --------------------------------------------------
     @property

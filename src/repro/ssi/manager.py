@@ -67,18 +67,18 @@ class SSIManager:
         self.obs = obs if obs is not None else Observability()
         self.lockmgr = SIReadLockManager(config)
         #: Every live sxact, keyed by each of its xids (top + subs).
-        self._by_xid: Dict[int, SerializableXact] = {}
-        self._active: Set[SerializableXact] = set()
+        self._by_xid: Dict[int, SerializableXact] = {}  # repro: guarded-by(ENGINE)
+        self._active: Set[SerializableXact] = set()  # repro: guarded-by(ENGINE)
         #: Committed sxacts retained for conflict checking, oldest first.
-        self._committed: List[SerializableXact] = []
+        self._committed: List[SerializableXact] = []  # repro: guarded-by(ENGINE)
         #: Summarized committed transactions: xid -> (commit_seq,
         #: earliest committed out-conflict commit_seq or None). Stands
         #: in for PostgreSQL's SLRU-backed OldSerXid log, which made the
         #: table "effectively unlimited" (section 6.2); a plain dict has
         #: the same observable behaviour.
-        self._old_serxid: Dict[int, Tuple[float, Optional[float]]] = {}
-        self._commit_counter = 0
-        self._own_work = 0
+        self._old_serxid: Dict[int, Tuple[float, Optional[float]]] = {}  # repro: guarded-by(ENGINE)
+        self._commit_counter = 0  # repro: guarded-by(ENGINE)
+        self._own_work = 0  # repro: guarded-by(ENGINE)
         self.stats = SSIStats(self.obs.metrics)
         self._tracer = self.obs.tracer
         #: Reader fast path (SSIConfig.siread_fast_path): disabled while

@@ -186,8 +186,8 @@ class StatsCatalog:
     """
 
     def __init__(self) -> None:
-        self._by_oid: Dict[int, RelationStats] = {}
-        self.epoch = 0
+        self._by_oid: Dict[int, RelationStats] = {}  # repro: guarded-by(ENGINE)
+        self.epoch = 0  # repro: guarded-by(ENGINE)
 
     # -- lookups --------------------------------------------------------
     def get(self, oid: int) -> Optional[RelationStats]:

@@ -24,7 +24,7 @@ class VisibilityMap:
     __slots__ = ("_all_visible",)
 
     def __init__(self) -> None:
-        self._all_visible: Set[int] = set()
+        self._all_visible: Set[int] = set()  # repro: guarded-by(ENGINE)
 
     def is_all_visible(self, page_no: int) -> bool:
         return page_no in self._all_visible

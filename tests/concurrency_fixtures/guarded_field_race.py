@@ -1,0 +1,48 @@
+"""Seeded data race: a declared guard ignored, and no guard at all.
+
+``drive`` runs on a spawned thread (the ``threading.Thread(target=...)``
+call below is what makes it a thread entry point for the analyzer) and
+touches ``SharedCounter`` with no latch held:
+
+* ``hits`` declares ``guarded-by(ENGINE)`` but ``record_hit`` mutates
+  it latch-free -- RACE002;
+* ``misses`` declares nothing and its lockset is empty at a reachable
+  write -- RACE001.
+
+Both bugs need the call graph: within any single function there is
+nothing to flag. See README.md -- do not fix.
+"""
+
+import threading
+
+from repro.engine.latches import EngineLatch
+
+
+class SharedCounter:
+    """Cache-hit tally shared between server threads."""
+
+    def __init__(self) -> None:
+        self.latch = EngineLatch()
+        self.hits = 0  # repro: guarded-by(ENGINE)
+        self.misses = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1  # SEEDED RACE002: declared guard, no latch held
+
+    def record_miss(self) -> None:
+        self.misses += 1  # SEEDED RACE001: empty lockset on shared state
+
+    def guarded_total(self) -> int:
+        with self.latch:
+            return self.hits + self.misses
+
+
+def drive(counter: SharedCounter) -> None:
+    counter.record_hit()
+    counter.record_miss()
+
+
+def spawn(counter: SharedCounter) -> threading.Thread:
+    thread = threading.Thread(target=drive, args=(counter,))
+    thread.start()
+    return thread

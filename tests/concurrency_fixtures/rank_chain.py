@@ -1,0 +1,43 @@
+"""Seeded latch-order inversion across a two-call chain.
+
+``serve`` (a thread target) takes the connections latch in
+``run_forever`` and then -- one call deeper -- ``_admit`` takes the
+engine latch. ENGINE (rank 10) must be acquired *before* CONNECTIONS
+(rank 20), so the nested acquisition is out of order: a potential
+lock-order deadlock against any thread acquiring in the documented
+order. Provable only by propagating the held set through the
+``run_forever -> _admit`` call edge (LATCH001); each function on its
+own is disciplined (``with`` blocks, guard honoured), so the per-file
+linter stays silent. See README.md -- do not fix.
+"""
+
+import threading
+
+from repro.engine.latches import RANK_CONNECTIONS, RANK_ENGINE, Latch
+
+
+class ChainServer:
+    """Toy accept loop with an inverted latch order."""
+
+    def __init__(self) -> None:
+        self.conn_latch = Latch("connections", RANK_CONNECTIONS)
+        self.engine_latch = Latch("engine", RANK_ENGINE)
+        self.admitted = 0  # repro: guarded-by(ENGINE)
+
+    def run_forever(self) -> None:
+        with self.conn_latch:
+            self._admit()
+
+    def _admit(self) -> None:
+        with self.engine_latch:  # SEEDED LATCH001: ENGINE under CONNECTIONS
+            self.admitted += 1
+
+
+def serve(server: ChainServer) -> None:
+    server.run_forever()
+
+
+def spawn(server: ChainServer) -> threading.Thread:
+    thread = threading.Thread(target=serve, args=(server,))
+    thread.start()
+    return thread

@@ -1,0 +1,615 @@
+"""The interprocedural concurrency analyzer and its runtime twin.
+
+Covers :mod:`repro.analysis.concurrency` (call-graph construction,
+latch-rank proof LATCH001/LATCH002, Eraser-style lockset races
+RACE001/RACE002, fail-open unresolved edges), the pinned known-race
+fixtures under ``tests/concurrency_fixtures/`` (the analyzer must find
+every seeded bug; the per-file linter must find none), the CLI
+exit-code contract of ``python -m repro.analysis``, and the dynamic
+lockset sanitizer (:mod:`repro.analysis.sanitize.latch_check`).
+"""
+
+import json
+import os
+import textwrap
+import threading
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.concurrency import analyze_paths
+from repro.analysis.lint import lint_paths
+from repro.analysis.sanitize import SanitizerViolation, latch_check
+from repro.engine.latches import (RANK_ENGINE, EngineLatch, Latch,
+                                  held_latches, holds_rank)
+from repro.storage.vismap import VisibilityMap
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(TESTS_DIR, "concurrency_fixtures")
+SRC_REPRO = os.path.join(os.path.dirname(TESTS_DIR), "src", "repro")
+
+
+def analyze_snippet(tmp_path, source, relpath="repro/mod.py", extra=(),
+                    entries=None, shared=None):
+    """Write dedented ``source`` at ``relpath`` (plus ``extra``
+    (relpath, source) files) under tmp_path and analyze them."""
+    paths = []
+    for rel, text in [(relpath, source)] + list(extra):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+        paths.append(str(path))
+    return analyze_paths(paths, entries=entries, shared_classes=shared)
+
+
+def rule_ids(report):
+    return [f.rule for f in report.findings]
+
+
+def marker_line(path, marker):
+    """1-based line of the first source line containing ``marker``."""
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if marker in line:
+                return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+def run_in_thread(fn):
+    """Run ``fn`` on a fresh thread; return {'result': ...} or
+    {'error': exc}."""
+    box = {}
+
+    def runner():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=runner, name="probe")
+    thread.start()
+    thread.join()
+    return box
+
+
+LATCHY = """
+    from repro.engine.latches import (EngineLatch, Latch, RANK_METRICS)
+
+
+    class Waiter:
+        def __init__(self, rank):
+            self.latch = EngineLatch()
+            self.metrics_latch = Latch("metrics", RANK_METRICS)
+            self.odd = Latch("odd", rank)
+
+        def ordered(self):
+            with self.latch:
+                with self.metrics_latch:
+                    pass
+
+        def inverted(self):
+            with self.metrics_latch:
+                with self.latch:
+                    pass
+
+        def bad_notify(self):
+            self.latch.notify_all()
+
+        def parks_fine(self, cond):
+            with self.latch:
+                self.latch.park(cond, deadline=None)
+
+        def parks_nested(self, cond):
+            with self.latch:
+                with self.metrics_latch:
+                    self.latch.park(cond, deadline=None)
+
+        def unknown(self):
+            with self.odd:
+                pass
+    """
+
+
+def analyze_latchy(tmp_path, *methods):
+    return analyze_snippet(
+        tmp_path, LATCHY,
+        entries=[f"repro.mod.Waiter.{m}" for m in methods])
+
+
+class TestLatchOrderProof:
+    def test_in_order_acquisitions_prove_clean(self, tmp_path):
+        report = analyze_latchy(tmp_path, "ordered")
+        assert report.ok
+        assert report.findings == []
+        assert report.proven_sites >= 2
+
+    def test_inverted_acquisition_is_latch001(self, tmp_path):
+        report = analyze_latchy(tmp_path, "inverted")
+        assert rule_ids(report) == ["LATCH001"]
+        finding = report.findings[0]
+        assert "rank" in finding.message
+        assert finding.trace  # the example path from the entry
+        assert "Waiter.inverted" in finding.trace[0]
+
+    def test_notify_without_hold_is_latch002(self, tmp_path):
+        report = analyze_latchy(tmp_path, "bad_notify")
+        assert rule_ids(report) == ["LATCH002"]
+        assert "notify_all" in report.findings[0].message
+
+    def test_park_with_latch_held_is_clean(self, tmp_path):
+        report = analyze_latchy(tmp_path, "parks_fine")
+        assert report.ok, report.render()
+
+    def test_park_reacquisition_hazard_is_latch002(self, tmp_path):
+        # park() drops the engine latch and re-acquires it on wakeup;
+        # holding a higher-ranked latch across the park makes the
+        # re-acquisition out of order.
+        report = analyze_latchy(tmp_path, "parks_nested")
+        assert rule_ids(report) == ["LATCH002"]
+        assert "re-acqui" in report.findings[0].message
+
+    def test_unknown_rank_is_unproven_not_silent(self, tmp_path):
+        # A rank the analyzer cannot resolve must surface as an
+        # unproven site (and fail the run), never be skipped.
+        report = analyze_latchy(tmp_path, "unknown")
+        assert report.findings == []
+        assert len(report.unproven) == 1
+        assert not report.ok
+        assert "not statically resolvable" in report.unproven[0]["reason"]
+
+    def test_unreachable_code_is_not_checked(self, tmp_path):
+        # Only paths from entry points are proven; `inverted` exists
+        # but nothing reaches it when `ordered` is the sole entry.
+        report = analyze_latchy(tmp_path, "ordered")
+        assert report.ok
+
+
+class TestCallGraph:
+    def test_thread_target_becomes_auto_entry(self, tmp_path):
+        report = analyze_snippet(tmp_path, """
+            import threading
+
+            from repro.engine.latches import Latch, RANK_METRICS
+
+
+            class Box:
+                def __init__(self):
+                    self.metrics_latch = Latch("metrics", RANK_METRICS)
+                    self.latch = Latch("engine", 10)
+
+                def loop(self):
+                    with self.metrics_latch:
+                        with self.latch:
+                            pass
+
+
+            def start(box: Box):
+                t = threading.Thread(target=box.loop)
+                t.start()
+                return t
+            """)
+        assert "repro.mod.Box.loop" in report.auto_entries
+        assert rule_ids(report) == ["LATCH001"]
+
+    def test_ambiguous_receiver_fails_open(self, tmp_path):
+        # Two classes define step(); an untyped receiver cannot be
+        # resolved, and the analyzer must *report* the dropped edge.
+        report = analyze_snippet(tmp_path, """
+            class A:
+                def step(self):
+                    return 1
+
+
+            class B:
+                def step(self):
+                    return 2
+
+
+            def drive(thing):
+                return thing.step()
+            """, entries=["repro.mod.drive"])
+        assert report.findings == []
+        assert len(report.unresolved) == 1
+        edge = report.unresolved[0]
+        assert edge["caller"] == "repro.mod.drive"
+        assert "fails open" in edge["reason"]
+
+    def test_annotated_receiver_resolves_across_calls(self, tmp_path):
+        # The two-call chain: drive -> Worker.enter -> Worker._inner,
+        # with the held set propagated through both edges.
+        report = analyze_snippet(tmp_path, """
+            from repro.engine.latches import Latch, RANK_CONNECTIONS
+
+
+            class Worker:
+                def __init__(self):
+                    self.conn_latch = Latch("conn", RANK_CONNECTIONS)
+                    self.latch = Latch("engine", 10)
+
+                def enter(self):
+                    with self.conn_latch:
+                        self._inner()
+
+                def _inner(self):
+                    with self.latch:
+                        pass
+
+
+            def drive(worker: Worker):
+                worker.enter()
+            """, entries=["repro.mod.drive"])
+        assert rule_ids(report) == ["LATCH001"]
+        trace = report.findings[0].trace
+        assert len(trace) == 3  # drive -> enter -> _inner
+        assert "drive" in trace[0]
+        assert "_inner" in trace[-1]
+
+
+RACY = """
+    from repro.engine.latches import EngineLatch
+
+
+    class Shared:
+        def __init__(self):
+            self.latch = EngineLatch()
+            self.good = 0  # repro: guarded-by(ENGINE)
+            self.bad = 0  # repro: guarded-by(ENGINE)
+            self.owned = 0  # repro: confined(set before threads start)
+            self.seen = 0
+
+        def fine(self):
+            with self.latch:
+                self.good += 1
+
+        def sloppy(self):
+            self.bad += 1
+
+        def local(self):
+            self.owned += 1
+
+        def peek(self):
+            return self.seen
+
+
+    def drive(shared: Shared):
+        shared.fine()
+        shared.sloppy()
+        shared.local()
+        shared.peek()
+    """
+
+
+class TestLocksetRaces:
+    def analyze(self, tmp_path, source=RACY):
+        return analyze_snippet(tmp_path, source,
+                               entries=["repro.mod.drive"])
+
+    def test_guarded_access_under_latch_is_proven(self, tmp_path):
+        report = self.analyze(tmp_path)
+        by_attr = {row["attr"]: row for row in report.audit
+                   if row["class"] == "Shared"}
+        assert by_attr["good"]["status"] == "proven"
+
+    def test_latch_free_access_to_guarded_field_is_race002(self, tmp_path):
+        report = self.analyze(tmp_path)
+        races = [f for f in report.findings if f.rule == "RACE002"]
+        assert len(races) == 1
+        assert "Shared.bad" in races[0].message
+        assert any("sloppy" in hop for hop in races[0].trace)
+
+    def test_confined_fields_are_audited_not_flagged(self, tmp_path):
+        report = self.analyze(tmp_path)
+        by_attr = {row["attr"]: row for row in report.audit
+                   if row["class"] == "Shared"}
+        assert by_attr["owned"]["status"] == "confined"
+        assert all("owned" not in f.message for f in report.findings)
+
+    def test_read_only_fields_are_not_race001(self, tmp_path):
+        # Eraser needs at least one write outside __init__; `seen` is
+        # only read, so it is audited read-only, not flagged.
+        report = self.analyze(tmp_path)
+        by_attr = {row["attr"]: row for row in report.audit
+                   if row["class"] == "Shared"}
+        assert by_attr["seen"]["status"] == "read-only"
+        assert all(f.rule != "RACE001" or "seen" not in f.message
+                   for f in report.findings)
+
+    def test_unknown_guard_name_is_race002_at_declaration(self, tmp_path):
+        report = analyze_snippet(tmp_path, """
+            class Shared:
+                def __init__(self):
+                    self.x = 0  # repro: guarded-by(TURNSTILE)
+            """, entries=[], shared=["Shared"])
+        races = [f for f in report.findings if f.rule == "RACE002"]
+        assert len(races) == 1
+        assert "TURNSTILE" in races[0].message
+
+    def test_noqa_suppresses_a_concurrency_finding(self, tmp_path):
+        source = RACY.replace(
+            "self.bad += 1",
+            "self.bad += 1  # repro: noqa(RACE002) -- fixture")
+        report = self.analyze(tmp_path, source)
+        assert all(f.rule != "RACE002" for f in report.findings)
+
+
+class TestKnownRaceFixtures:
+    """The ISSUE-pinned contract: both seeded fixtures are found by the
+    interprocedural analyzer -- with file, line, and call path -- and
+    missed by the per-file linter."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([FIXTURES])
+
+    def test_all_three_seeded_bugs_found(self, report):
+        assert sorted(rule_ids(report)) == ["LATCH001", "RACE001",
+                                            "RACE002"]
+
+    def test_race_findings_point_at_the_seeded_lines(self, report):
+        path = os.path.join(FIXTURES, "guarded_field_race.py")
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["RACE002"].path == path
+        assert by_rule["RACE002"].line == marker_line(path,
+                                                      "SEEDED RACE002")
+        assert by_rule["RACE001"].path == path
+        assert by_rule["RACE001"].line == marker_line(path,
+                                                      "SEEDED RACE001")
+
+    def test_latch_finding_points_at_the_seeded_line(self, report):
+        path = os.path.join(FIXTURES, "rank_chain.py")
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["LATCH001"].path == path
+        assert by_rule["LATCH001"].line == marker_line(path,
+                                                       "SEEDED LATCH001")
+
+    def test_every_finding_carries_a_call_path(self, report):
+        for finding in report.findings:
+            assert finding.trace, finding.render()
+            assert "entry" in finding.trace[0]
+            assert all("(called at line" in hop
+                       for hop in finding.trace[1:])
+
+    def test_latch001_trace_spans_the_two_call_chain(self, report):
+        trace = next(f for f in report.findings
+                     if f.rule == "LATCH001").trace
+        assert [hop.split(" ")[0].rsplit(".", 1)[-1] for hop in trace] \
+            == ["serve", "run_forever", "_admit"]
+
+    def test_thread_targets_were_auto_detected(self, report):
+        assert any(e.endswith(".drive") for e in report.auto_entries)
+        assert any(e.endswith(".serve") for e in report.auto_entries)
+
+    def test_intraprocedural_linter_finds_neither(self):
+        lint = lint_paths([FIXTURES])
+        assert lint.parse_errors == []
+        assert lint.findings == [], lint.render()
+
+
+class TestRealTree:
+    """The acceptance gate: src/repro analyzes clean -- zero findings,
+    zero unproven acquisition paths -- with real coverage, not a
+    vacuous run."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_paths([SRC_REPRO])
+
+    def test_src_repro_is_clean_and_fully_proven(self, report):
+        assert report.parse_errors == []
+        assert report.findings == [], report.render()
+        assert report.unproven == [], report.render()
+        assert report.ok
+
+    def test_the_proof_has_teeth(self, report):
+        # Guard against the analyzer rotting into a no-op: the server
+        # entries must be wired, paths reached, acquisitions proven.
+        assert report.files > 50
+        assert len(report.entries) >= 8
+        assert report.auto_entries  # thread targets were detected
+        assert report.reachable_functions > 50
+        assert report.proven_sites >= 10
+
+    def test_unresolved_edges_are_reported_not_hidden(self, report):
+        # The getattr statement dispatch is a documented fail-open
+        # boundary; the report must disclose the dropped edges.
+        assert report.unresolved
+        for edge in report.unresolved[:5]:
+            assert edge["caller"] and edge["reason"]
+
+    def test_audit_covers_the_declared_facts(self, report):
+        statuses = {row["status"] for row in report.audit}
+        assert "proven" in statuses
+        assert "confined" in statuses
+        assert "violated" not in statuses
+        audited = {(row["class"], row["attr"]) for row in report.audit}
+        assert ("SSIManager", "_by_xid") in audited
+        assert ("VisibilityMap", "_all_visible") in audited
+
+
+class TestCLIContract:
+    """Exit codes: 0 clean, 1 findings/unproven, 2 usage; --json and
+    --out change the output, never the status."""
+
+    def test_no_subcommand_is_a_usage_error(self, capsys):
+        assert analysis_main([]) == 2
+        assert "exit status" in capsys.readouterr().out
+
+    def test_lint_clean_json(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert analysis_main(["lint", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["files_checked"] == 1
+        assert payload["parse_errors"] == []
+        assert "version" in payload
+
+    def test_lint_findings_exit_1_with_and_without_json(
+            self, tmp_path, capsys):
+        path = tmp_path / "repro" / "mod.py"
+        path.parent.mkdir()
+        path.write_text("def f(clog, x):\n    return clog.status(x)\n")
+        assert analysis_main(["lint", str(path)]) == 1
+        assert "CLOG001" in capsys.readouterr().out
+        assert analysis_main(["lint", str(path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in payload["findings"]] == ["CLOG001"]
+
+    def test_concurrency_fixture_run_exits_1_and_writes_artifact(
+            self, tmp_path, capsys):
+        out = tmp_path / "concurrency.json"
+        assert analysis_main(["concurrency", FIXTURES, "--json",
+                              "--out", str(out)]) == 1
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(out.read_text())
+        assert printed == on_disk
+        assert on_disk["ok"] is False
+        assert sorted(f["rule"] for f in on_disk["findings"]) \
+            == ["LATCH001", "RACE001", "RACE002"]
+        for finding in on_disk["findings"]:
+            assert finding["trace"], "JSON findings must keep the path"
+
+    def test_concurrency_clean_run_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "mod.py"
+        path.parent.mkdir()
+        path.write_text("def quiet():\n    return 1\n")
+        assert analysis_main(["concurrency", str(path)]) == 0
+        assert "concurrency: clean" in capsys.readouterr().out
+
+
+class TestHeldLatchIntrospection:
+    def test_held_latches_tracks_the_with_block(self):
+        latch = Latch("probe-engine", RANK_ENGINE)
+        assert latch not in held_latches()
+        with latch:
+            assert held_latches()[-1] is latch
+            assert holds_rank(RANK_ENGINE)
+        assert latch not in held_latches()
+        assert not holds_rank(RANK_ENGINE)
+
+    def test_holds_rank_is_per_rank(self):
+        with Latch("probe-engine", RANK_ENGINE):
+            assert not holds_rank(RANK_ENGINE + 1)
+
+
+class TestDynamicLocksetSanitizer:
+    @pytest.fixture
+    def armed(self):
+        guard = latch_check.LocksetSanitizer().arm()
+        try:
+            yield guard
+        finally:
+            guard.disarm()
+            latch_check.uninstall_all()
+
+    def test_static_facts_are_recovered_from_the_annotations(self):
+        facts = latch_check.static_guard_facts()
+        assert facts[("VisibilityMap", "_all_visible")] == \
+            ("ENGINE", "repro.storage.vismap")
+        assert ("SSIManager", "_by_xid") in facts
+        assert len(facts) >= 20
+
+    def test_unguarded_thread_access_raises(self, armed):
+        vm = VisibilityMap()
+        box = run_in_thread(lambda: vm.is_all_visible(1))
+        violation = box["error"]
+        assert isinstance(violation, SanitizerViolation)
+        assert violation.sanitizer == "latchset"
+        assert "guarded-by(ENGINE)" in str(violation)
+        assert latch_check.stats()["violations"] >= 1
+
+    def test_unguarded_thread_write_raises(self, armed):
+        vm = VisibilityMap()
+
+        def write():
+            vm.set_all_visible(3)
+
+        assert isinstance(run_in_thread(write)["error"],
+                          SanitizerViolation)
+
+    def test_access_under_the_declared_latch_passes(self, armed):
+        vm = VisibilityMap()
+        latch = EngineLatch()
+
+        def guarded():
+            with latch:
+                vm.set_all_visible(3)
+                return vm.is_all_visible(3)
+
+        box = run_in_thread(guarded)
+        assert box.get("result") is True
+
+    def test_main_thread_is_exempt(self, armed):
+        # The deterministic single-threaded engine runs latch-free on
+        # the main thread by design.
+        vm = VisibilityMap()
+        vm.set_all_visible(7)
+        assert vm.is_all_visible(7)
+
+    def test_construction_is_exempt_but_use_after_is_not(self, armed):
+        # __init__ populates guarded fields before the object is
+        # published; the first post-construction access races again.
+        def construct_then_use():
+            vm = VisibilityMap()  # must not raise
+            return vm.is_all_visible(1)
+
+        assert isinstance(run_in_thread(construct_then_use)["error"],
+                          SanitizerViolation)
+
+    def test_uninstall_restores_pristine_classes(self):
+        guard = latch_check.LocksetSanitizer().arm()
+        try:
+            assert guard.stats()["instrumented"] >= 20
+        finally:
+            guard.disarm()
+            latch_check.uninstall_all()
+        assert latch_check.stats()["instrumented"] == 0
+        assert not isinstance(VisibilityMap.__dict__["_all_visible"],
+                              latch_check._GuardedAttribute)
+        vm = VisibilityMap()
+        assert run_in_thread(lambda: vm.is_all_visible(1))["result"] \
+            is False
+
+    def test_arm_is_refcounted_per_handle(self):
+        first = latch_check.LocksetSanitizer().arm()
+        second = latch_check.LocksetSanitizer().arm()
+        try:
+            second.arm()  # double-arm of one handle is a no-op
+            assert latch_check.stats()["armed"] == 2
+            second.disarm()
+            assert latch_check.stats()["armed"] == 1
+            assert first.armed
+        finally:
+            first.disarm()
+            second.disarm()
+            latch_check.uninstall_all()
+        assert latch_check.stats()["armed"] == 0
+
+    def test_threadsafe_engine_arms_and_disarms_the_sanitizer(self):
+        from repro.config import EngineConfig, SanitizerConfig
+        from repro.engine.database import Database
+        from repro.server.engine import ThreadSafeEngine
+
+        config = EngineConfig()
+        config.sanitize = SanitizerConfig.all_on()
+        engine = ThreadSafeEngine(Database(config))
+        try:
+            assert engine._lockset_guard is not None
+            assert engine._lockset_guard.armed
+            assert latch_check.stats()["instrumented"] >= 20
+        finally:
+            engine.shutdown()
+            latch_check.uninstall_all()
+        assert engine._lockset_guard is not None
+        assert not engine._lockset_guard.armed
+
+    def test_unsanitized_engine_does_not_arm(self, monkeypatch):
+        from repro.analysis.sanitize import ENV_FLAG
+        from repro.config import EngineConfig
+        from repro.engine.database import Database
+        from repro.server.engine import ThreadSafeEngine
+
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        engine = ThreadSafeEngine(Database(EngineConfig()))
+        assert engine._lockset_guard is None
+        engine.shutdown()

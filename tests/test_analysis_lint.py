@@ -299,6 +299,32 @@ class TestLockRules:
             """, relpath="repro/server/hack.py")
         assert report.ok
 
+    def test_park_and_bow_are_not_acquisitions(self, tmp_path):
+        # CV parking releases and re-acquires the latch internally;
+        # park()/bow() must not trip the acquire/release pairing rule
+        # even though the function never mentions a release.
+        report = lint_snippet(tmp_path, """
+            def wait_ready(latch, condition, deadline):
+                if latch.park(lambda: condition.ready, deadline=deadline):
+                    return True
+                latch.bow()
+                return False
+            """, relpath="repro/server/hack.py")
+        assert report.ok, report.render()
+
+    def test_leaked_acquire_on_timeout_path_flagged(self, tmp_path):
+        # A bare acquire whose only exits are early returns leaks the
+        # latch on the timeout path: no release anywhere in the
+        # function, so LOCK002 fires.
+        report = lint_snippet(tmp_path, """
+            def begin_wait(latch, deadline_passed):
+                latch.acquire()
+                if deadline_passed():
+                    return False
+                return True
+            """, relpath="repro/server/hack.py")
+        assert rule_ids(report) == ["LOCK002"]
+
 
 class TestTogglePurity:
     def test_work_units_in_fast_path_flagged(self, tmp_path):
@@ -391,18 +417,38 @@ class TestNoqa:
         assert report.ok
 
     def test_wrong_rule_noqa_does_not_suppress(self, tmp_path):
+        # The CLOG001 finding survives, and the DET001 suppression --
+        # which excuses nothing -- is itself flagged as rotted.
         report = lint_snippet(
             tmp_path,
             self.SOURCE.format(comment="  # repro: noqa(DET001)"))
-        assert rule_ids(report) == ["CLOG001"]
+        assert rule_ids(report) == ["NOQA001", "CLOG001"]
 
     def test_noqa_is_line_scoped(self, tmp_path):
+        # The suppression on its own line covers nothing, so the
+        # finding stands -- and the off-target noqa is flagged stale.
         report = lint_snippet(tmp_path, """
             # repro: noqa(CLOG001)
             def visible(clog, tup):
                 return clog.did_commit(tup.xmin)
             """)
-        assert rule_ids(report) == ["CLOG001"]
+        assert rule_ids(report) == ["NOQA001", "CLOG001"]
+
+    def test_unused_bare_noqa_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def fine():
+                return 1  # repro: noqa
+            """)
+        assert rule_ids(report) == ["NOQA001"]
+
+    def test_other_commands_rules_left_alone(self, tmp_path):
+        # RACE002 belongs to the concurrency analyzer's run set; a
+        # plain lint run must not declare its suppressions rotted.
+        report = lint_snippet(tmp_path, """
+            def fine():
+                return 1  # repro: noqa(RACE002)
+            """)
+        assert report.ok, report.render()
 
 
 class TestRealTree:
