@@ -11,11 +11,13 @@ cost model, not the authors' hardware.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
 import pytest
 
-from repro.config import EngineConfig, PerfConfig, SSIConfig
+from repro.config import DurabilityConfig, EngineConfig, PerfConfig, SSIConfig
 from repro.engine.database import Database
 from repro.engine.isolation import IsolationLevel
 from repro.workloads.base import Workload, run_workload
@@ -47,6 +49,15 @@ def _config(series: str, disk_bound: bool = False) -> EngineConfig:
     if disk_bound:
         cfg = EngineConfig.disk_bound(io_miss=10.0, buffer_pages=96, ssi=ssi,
                                       perf=perf)
+        # The disk configuration does *real* IO too: the durability
+        # layer writes pages and WAL underneath the simulated cost
+        # model. fsync stays off (the simulated scheduler serializes
+        # clients, so per-commit fsync stalls would measure the host
+        # disk, not the engine) -- the differential suite pins that
+        # durability never perturbs simulated outcomes either way.
+        cfg.durability = DurabilityConfig(
+            enabled=True, data_dir=tempfile.mkdtemp(prefix="repro-bench-"),
+            fsync=False, max_dirty_pages=96, checkpoint_wal_bytes=1 << 20)
     else:
         cfg = EngineConfig(ssi=ssi, perf=perf)
     return cfg
@@ -76,17 +87,23 @@ def run_series(workload_factory, series: Sequence[str], *,
     results = {}
     for name in series:
         workload = workload_factory()
-        db = Database(_config(name, disk_bound=disk_bound))
-        before = db.obs.metrics.snapshot()
-        result = run_workload(
-            workload,
-            isolation=SERIES_ISOLATION[name],
-            n_clients=n_clients,
-            max_ticks=max_ticks,
-            seed=seed,
-            db=db,
-        )
-        delta = db.obs.metrics.snapshot().diff(before).nonzero()
+        cfg = _config(name, disk_bound=disk_bound)
+        db = Database(cfg)
+        try:
+            before = db.obs.metrics.snapshot()
+            result = run_workload(
+                workload,
+                isolation=SERIES_ISOLATION[name],
+                n_clients=n_clients,
+                max_ticks=max_ticks,
+                seed=seed,
+                db=db,
+            )
+            delta = db.obs.metrics.snapshot().diff(before).nonzero()
+        finally:
+            if cfg.durability.enabled:
+                db.close()
+                shutil.rmtree(cfg.durability.data_dir, ignore_errors=True)
         result.metrics = delta
         _METRIC_DELTAS[(label or type(workload).__name__, name)] = delta
         results[name] = result

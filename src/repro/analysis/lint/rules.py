@@ -6,6 +6,7 @@ Catalog
 ========  ===========================================================
 CLOG001   CLOG status reads outside the visibility layer
 DET001    wall-clock / PRNG use inside the deterministic engine
+DUR001    page-file writes outside the durability layer
 SLOT001   attribute assigned on a slotted class but not declared
 LOCK001   private lock-manager state touched from another package
 LOCK002   lock acquired with no release path in the same function
@@ -202,6 +203,48 @@ class DeterminismRule(Rule):
         return (isinstance(expr, ast.Call)
                 and isinstance(expr.func, ast.Attribute)
                 and expr.func.attr in ("values", "items", "keys"))
+
+
+class DurabilityDisciplineRule(Rule):
+    """Page-file writes are owned by the durability layer.
+
+    The WAL-before-data rule is enforced at exactly one choke point:
+    ``DurabilityManager._write_back`` flushes WAL through a page's
+    recLSN before handing it to ``PageStore.write_page``. A
+    ``write_page`` (or raw positioned ``pwrite``) call anywhere else in
+    the engine can put a page image on disk whose WAL is not durable --
+    the one state ARIES REDO cannot repair. The runtime counterpart is
+    the ``durable`` sanitizer's wal-before-data check.
+    """
+
+    id = "DUR001"
+    name = "durability-discipline"
+    description = ("page-file write (write_page/pwrite) outside "
+                   "repro.storage.durable")
+    hint = ("route the write through DurabilityManager (mark the page "
+            "dirty and let writeback/checkpoint persist it), or add "
+            "'# repro: noqa(DUR001)' with a rationale for why the "
+            "pageLSN rule cannot be violated at this site")
+
+    #: The durability layer owns both entry points.
+    ALLOWED_PREFIXES = ("repro.storage.durable",)
+
+    WRITE_METHODS = {"write_page", "pwrite"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.in_engine
+                and not ctx.module.startswith(self.ALLOWED_PREFIXES))
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr in self.WRITE_METHODS:
+                yield self.finding(
+                    ctx, node,
+                    f"page-file write '{node.func.attr}()' outside the "
+                    f"durability layer (module {ctx.module})")
 
 
 class SlotsConsistencyRule(Rule):
@@ -538,7 +581,8 @@ class UnusedNoqaRule(Rule):
 
 def all_rules() -> Sequence[Rule]:
     """The full rule catalog, in catalog order."""
-    return (ClogDisciplineRule(), DeterminismRule(), SlotsConsistencyRule(),
+    return (ClogDisciplineRule(), DeterminismRule(),
+            DurabilityDisciplineRule(), SlotsConsistencyRule(),
             LockEncapsulationRule(), LockReleasePathRule(),
             TogglePurityRule(), MutableDefaultRule(), BareExceptRule(),
             UnusedNoqaRule())

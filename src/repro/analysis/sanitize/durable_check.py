@@ -1,0 +1,75 @@
+"""Durability-invariant sanitizer (WAL-before-data discipline).
+
+Invariants, checked at transaction boundaries when the engine runs with
+the durability layer enabled:
+
+* ``wal-before-data`` -- no page file frame may carry a pageLSN beyond
+  the durable WAL: a page on disk whose record is not is exactly the
+  torn state ARIES REDO cannot repair;
+* ``dirty-lsn-bounds`` -- every dirty-page-table entry's recLSN must
+  refer to WAL that exists (recLSN <= end of log);
+* ``ack-durable`` -- with ``synchronous_commit`` on, every acknowledged
+  commit's frame must already be durable at acknowledgement (the
+  client was told "committed"; losing it would be a lie).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.analysis.sanitize.violations import SanitizerViolation
+
+Issue = Tuple[str, str, dict]
+
+
+class DurableSanitizer:
+    """Checks the durability layer's ordering invariants; a no-op when
+    the database runs in-memory (``Database.durability is None``)."""
+
+    name = "durable"
+
+    def __init__(self, db) -> None:
+        self._db = db
+
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        for invariant, detail, subject in self._issues():
+            raise SanitizerViolation(self.name, invariant, detail, subject,
+                                     dump=self._dump())
+
+    def _dump(self) -> str:
+        from repro.obs.postmortem import dump_state
+        return dump_state(self._db)
+
+    # ------------------------------------------------------------------
+    def _issues(self) -> Iterator[Issue]:
+        mgr = self._db.durability
+        if mgr is None:
+            return
+        durable = mgr.wal.durable_lsn
+        end = mgr.wal.end_lsn
+        for key, page_lsn in sorted(mgr.store.written_lsns.items()):
+            if page_lsn > durable:
+                yield ("wal-before-data",
+                       f"page {key} was written back with pageLSN "
+                       f"{page_lsn} but WAL is only durable through "
+                       f"{durable}: writeback ran ahead of its fsync",
+                       {"page": list(key), "page_lsn": page_lsn,
+                        "durable_lsn": durable})
+        for key, rec_lsn in sorted(mgr.pool.entries().items()):
+            if rec_lsn > end:
+                yield ("dirty-lsn-bounds",
+                       f"dirty page {key} carries recLSN {rec_lsn} past "
+                       f"the end of the WAL ({end})",
+                       {"page": list(key), "rec_lsn": rec_lsn,
+                        "end_lsn": end})
+        if mgr.cfg.synchronous_commit:
+            for xid, need in sorted(mgr.acked.items()):
+                if need > durable:
+                    yield ("ack-durable",
+                           f"transaction {xid} was acknowledged "
+                           f"committed needing WAL through {need}, but "
+                           f"only {durable} is durable "
+                           f"(synchronous_commit is on)",
+                           {"xid": xid, "needed_lsn": need,
+                            "durable_lsn": durable})

@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 from typing import Dict
 
+from repro.analysis.sanitize.durable_check import DurableSanitizer
 from repro.analysis.sanitize.heap_check import HeapSanitizer
 from repro.analysis.sanitize.locks_check import LockLeakSanitizer
 from repro.analysis.sanitize.ssi_check import SSISanitizer
@@ -39,10 +40,12 @@ class SanitizerRunner:
                       if (config.heap or forced) else None)
         self._locks = (LockLeakSanitizer(db)
                        if (config.locks or forced) else None)
+        self._durable = (DurableSanitizer(db)
+                         if (config.durable or forced) else None)
         self._interval = max(1, config.sweep_interval)
         self._txn_ends = 0
         self._checks: Dict[str, int] = {"ssi": 0, "heap": 0, "locks": 0,
-                                        "sweeps": 0}
+                                        "durable": 0, "sweeps": 0}
 
     # ------------------------------------------------------------------
     def on_txn_end(self, txn) -> None:
@@ -60,6 +63,9 @@ class SanitizerRunner:
         if self._heap is not None and sweep:
             self._checks["heap"] += 1
             self._heap.check()
+        if self._durable is not None:
+            self._checks["durable"] += 1
+            self._durable.check()
         if sweep:
             self._checks["sweeps"] += 1
 
@@ -74,6 +80,9 @@ class SanitizerRunner:
         if self._heap is not None:
             self._checks["heap"] += 1
             self._heap.check()
+        if self._durable is not None:
+            self._checks["durable"] += 1
+            self._durable.check()
 
     def stats(self) -> Dict[str, int]:
         """How many times each sanitizer has run (CI smoke reporting)."""

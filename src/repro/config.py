@@ -171,6 +171,11 @@ class SanitizerConfig:
     #: Lock-leak detector: at transaction end, the heavyweight lock
     #: manager holds nothing for the finished xid.
     locks: bool = True
+    #: Durability sanitizer (no-op for in-memory engines): no page file
+    #: frame carries a pageLSN past the durable WAL (WAL-before-data),
+    #: dirty-page recLSNs stay within the log, and synchronous commits
+    #: are durable when acknowledged.
+    durable: bool = True
     #: Run the O(heap)/O(locktable) sweeps only every Nth transaction
     #: end (per-transaction checks always run). 1 = every time.
     sweep_interval: int = 8
@@ -179,6 +184,57 @@ class SanitizerConfig:
     def all_on(sweep_interval: int = 1) -> "SanitizerConfig":
         return SanitizerConfig(enabled=True, ssi=True, heap=True, locks=True,
                                sweep_interval=sweep_interval)
+
+
+@dataclass
+class DurabilityConfig:
+    """Disk persistence (the repro.storage.durable subsystem).
+
+    Off by default: the engine is the pure in-memory simulator and
+    takes exactly the seed code paths (every durability hook is behind
+    one ``is not None`` test). On, the engine keeps a physical WAL and
+    checksummed page files under ``data_dir`` and can be reopened after
+    a crash with :func:`repro.storage.durable.open_database`, replaying
+    the log ARIES-style (REDO only -- MVCC makes UNDO unnecessary, see
+    DESIGN.md "Durability").
+    """
+
+    #: Master switch. When False every other field is ignored and the
+    #: engine is byte-identical to the in-memory seed behaviour.
+    enabled: bool = False
+    #: Directory holding pages/, wal.log and checkpoint.json.
+    data_dir: str = ""
+    #: On-disk page frame size in bytes (header + JSON payload + zero
+    #: padding). A page whose payload outgrows this raises at writeback.
+    page_bytes: int = 8192
+    #: Commit waits for its WAL record to reach disk (the PostgreSQL
+    #: synchronous_commit knob). False acknowledges commits after the
+    #: in-memory WAL append; a background flusher (or the next
+    #: synchronous event) persists them, so a crash may lose the tail
+    #: of *acknowledged* commits -- but never corrupts.
+    synchronous_commit: bool = True
+    #: Group commit: a committing backend that finds a flush in flight
+    #: queues behind it and one leader fsyncs the whole batch.
+    group_commit: bool = True
+    #: Seconds the async flusher sleeps between flushes when
+    #: synchronous_commit is off. 0 = flush only on demand.
+    commit_delay: float = 0.0
+    #: Call os.fsync after WAL/page writes. Off trades real durability
+    #: for speed (still crash-*consistent* against process kills, just
+    #: not against power loss) -- used by wall-clock benchmarks.
+    fsync: bool = True
+    #: Write a full page image into the WAL the first time a page is
+    #: dirtied after a checkpoint, so REDO can repair a torn page write
+    #: (PostgreSQL full_page_writes).
+    full_page_writes: bool = True
+    #: Take an automatic checkpoint after this many WAL bytes
+    #: (0 = only explicit / shutdown checkpoints).
+    checkpoint_wal_bytes: int = 0
+    #: Dirty pages retained before the clock hand starts writing the
+    #: oldest back (WAL-first) to bound recovery work.
+    max_dirty_pages: int = 512
+    #: Transaction statuses per CLOG segment page.
+    clog_segment_xids: int = 1024
 
 
 @dataclass
@@ -270,6 +326,9 @@ class EngineConfig:
     #: Runtime invariant sanitizers (repro.analysis); all off by
     #: default, force-enabled by the REPRO_SANITIZE env var.
     sanitize: SanitizerConfig = field(default_factory=SanitizerConfig)
+    #: Disk persistence (physical WAL + page files + REDO recovery);
+    #: disabled by default -- the in-memory simulator is the seed path.
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     #: Tuples per heap page; small pages make page-granularity locking
     #: and promotion meaningful at laptop scale.
     heap_page_size: int = 32
@@ -299,4 +358,19 @@ class EngineConfig:
         cfg = EngineConfig(**kw)
         cfg.cost.io_miss = io_miss
         cfg.buffer_pages = buffer_pages
+        return cfg
+
+    @staticmethod
+    def durable(data_dir: str, **kw) -> "EngineConfig":
+        """A disk-backed configuration: physical WAL + page files under
+        ``data_dir``, reopenable after a crash with
+        :func:`repro.storage.durable.open_database`."""
+        durability = kw.pop("durability", None)
+        cfg = EngineConfig(**kw)
+        if durability is None:
+            durability = DurabilityConfig(enabled=True, data_dir=data_dir)
+        else:
+            durability.enabled = True
+            durability.data_dir = data_dir
+        cfg.durability = durability
         return cfg

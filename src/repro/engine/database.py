@@ -90,11 +90,24 @@ class Database:
         #: Runtime invariant sanitizers (repro.analysis); None unless
         #: enabled by config or the REPRO_SANITIZE environment variable.
         #: Lazily imported so the analysis package costs nothing when off.
+        #: Disk persistence (repro.storage.durable): physical WAL +
+        #: page files + crash recovery. None unless the durability
+        #: toggle is on -- every hook below is one ``is not None`` test,
+        #: keeping the off path byte-identical to the in-memory engine.
+        self.durability = None
+        if self.config.durability.enabled:
+            from repro.storage.durable.manager import DurabilityManager
+            self.durability = DurabilityManager(self,
+                                                self.config.durability)
         self.sanitizers = None
         if self.config.sanitize.enabled or os.environ.get("REPRO_SANITIZE"):
             from repro.analysis.sanitize import SanitizerRunner
             self.sanitizers = SanitizerRunner(self)
         self._register_gauges()
+        if self.durability is not None:
+            # Fresh data directory: publish the initial checkpoint that
+            # anchors recovery. No-op while recovery itself runs.
+            self.durability.startup()
 
     def _register_gauges(self) -> None:
         """Derived metrics, evaluated lazily at snapshot time (so they
@@ -136,6 +149,8 @@ class Database:
                        use_fsm=self.config.perf.fsm,
                        track_all_visible=self.config.perf.visibility_map)
         self._relations[name] = rel
+        if self.durability is not None:
+            self.durability.on_create_table(rel)
         if key is not None:
             self.create_index(name, key, name=f"{name}_pkey", unique=True)
         self.statscat.bump_epoch()  # new relation: flush cached plans
@@ -145,6 +160,8 @@ class Database:
         rel = self.relation(name)
         del self._relations[name]
         self.statscat.forget(rel.oid)  # drops stats + bumps the epoch
+        if self.durability is not None:
+            self.durability.on_drop_table(rel)
         # Outstanding SIREAD locks on a dropped table can never
         # conflict again (the oid is never reused).
 
@@ -172,6 +189,8 @@ class Database:
             if not self.clog.did_abort(tup.xmin):  # repro: noqa(CLOG001) -- index build skips aborted inserters; no snapshot exists yet
                 index.insert_entry(tup.data.get(column), tup.tid)
         rel.add_index(index)
+        if self.durability is not None:
+            self.durability.on_create_index(index, table)
         self.statscat.bump_epoch()  # new access path: flush cached plans
         return index
 
@@ -291,6 +310,7 @@ class Database:
                 "txn.commit", txn.xid,
                 commit_seq=(txn.sxact.commit_seq
                             if txn.sxact is not None else None))
+        marker = False
         if txn.wal_changes or not txn.read_only:
             marker = self._snapshot_now_safe()
             self.wal.append(CommitRecord(
@@ -300,6 +320,10 @@ class Database:
                 self.obs.tracer.emit("wal.ship", txn.xid,
                                      changes=len(txn.wal_changes),
                                      safe_snapshot_marker=marker)
+        if self.durability is not None:
+            # Physical WAL: the commit is acknowledged once its frame
+            # is durable (or, with synchronous_commit off, queued).
+            self.durability.on_commit(txn, marker)
         if self.recorder is not None:
             self.recorder.on_commit(txn.xid)
         if self.sanitizers is not None:
@@ -317,6 +341,8 @@ class Database:
             self._prepared.pop(txn.gid, None)
         self.lockmgr.release_all(txn.xid)
         self.stats.aborts += 1
+        if self.durability is not None:
+            self.durability.on_abort(txn)
         if self.obs.tracer is not None:
             self.obs.tracer.emit("txn.abort", txn.xid)
         if self.recorder is not None:
@@ -354,6 +380,10 @@ class Database:
         txn.status = TxnStatus.PREPARED
         txn.gid = gid
         self._prepared[gid] = txn
+        if self.durability is not None:
+            # Section 7.1: the prepare record (snapshot + SIREAD locks +
+            # redo) must be durable before the vote is returned.
+            self.durability.on_prepare(txn)
 
     def commit_prepared(self, gid: str) -> None:
         txn = self._get_prepared(gid)
@@ -402,6 +432,22 @@ class Database:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Durability checkpoint: flush WAL, write back dirty pages and
+        the CLOG/old-serxid segments, publish checkpoint.json. No-op
+        (returns None) when durability is off."""
+        if self.durability is not None:
+            return self.durability.checkpoint()
+        return None
+
+    def close(self) -> None:
+        """Clean shutdown. With durability on: drain acknowledged
+        commits, take a shutdown checkpoint, close the data files.
+        Otherwise a no-op -- the in-memory engine has nothing to
+        release."""
+        if self.durability is not None:
+            self.durability.close()
+
     def vacuum(self, table: Optional[str] = None) -> int:
         """Remove dead tuple versions and their index entries."""
         horizon = min((txn.snapshot.xmin for txn in self._active.values()
@@ -507,5 +553,7 @@ class Database:
 
     def record_write(self, txn: Transaction, rel, kind: str, old, new) -> None:
         self.statscat.note_write(rel.oid, kind)
+        if self.durability is not None:
+            self.durability.on_write(txn, rel, kind, old, new)
         if self.recorder is not None:
             self.recorder.on_write(txn.xid, rel.oid, kind, old, new)

@@ -227,6 +227,38 @@ class CapacityExceededError(ReproError):
     sqlstate = "53200"
 
 
+class DataCorruptionError(ReproError):
+    """On-disk data failed validation (SQLSTATE XX001, data_corrupted).
+
+    Raised when a page frame's checksum, magic, or header does not
+    match its contents -- a torn write, bit rot, or truncation. The
+    durability layer raises this *instead of* deserializing the frame,
+    so corruption can never silently surface as wrong rows. Carries
+    structured context naming the damaged frame so operators (and the
+    fault-injection tests) can pinpoint it.
+    """
+
+    sqlstate = "XX001"
+
+    def __init__(self, msg: str, *, path: str = "", kind: str = "",
+                 page_no: "int | None" = None,
+                 reason: str = "") -> None:
+        super().__init__(msg)
+        #: File holding the damaged frame.
+        self.path = path
+        #: Frame kind: "heap", "clog", "serxid", "wal", "checkpoint".
+        self.kind = kind
+        #: Page number within the file (None for non-paged files).
+        self.page_no = page_no
+        #: Machine-readable failure: "checksum", "magic", "short",
+        #: "version", "overflow".
+        self.reason = reason
+
+    def details(self) -> dict:
+        return {"path": self.path, "kind": self.kind,
+                "page_no": self.page_no, "reason": self.reason}
+
+
 class WouldBlock(Exception):
     """Internal control-flow signal: the current statement must wait.
 

@@ -242,15 +242,19 @@ class Program:
     def build_db(self, *, record_history: bool = True,
                  sanitize: bool = False,
                  perf: Optional[PerfConfig] = None,
-                 analyze: bool = False) -> Database:
+                 analyze: bool = False,
+                 config: Optional[EngineConfig] = None) -> Database:
         """Fresh database loaded with the initial state.
 
         ``perf`` overrides the performance toggles (the differential
         planner suite runs the same program with the cost planner on
         and off); ``analyze`` collects catalog statistics after the
-        initial load so the cost planner has something to price with.
+        initial load so the cost planner has something to price with;
+        ``config`` replaces the whole EngineConfig (the durability
+        differential tests run programs against a disk-backed engine).
         """
-        config = EngineConfig(record_history=record_history)
+        if config is None:
+            config = EngineConfig(record_history=record_history)
         if sanitize:
             config.sanitize = SanitizerConfig.all_on(sweep_interval=4)
         if perf is not None:

@@ -61,6 +61,22 @@ class CommitLog:
         for xid in xids:
             self._status[xid] = XidStatus.ABORTED
 
+    # -- durability snapshot (repro.storage.durable) ----------------------
+    def entries(self) -> Dict[int, XidStatus]:
+        """Every recorded status, for the checkpoint's CLOG segments."""
+        return dict(self._status)
+
+    def parents(self) -> Dict[int, int]:
+        """The subtrans map, for the checkpoint's CLOG segments."""
+        return dict(self._parent)
+
+    def restore(self, statuses: Dict[int, XidStatus],
+                parents: Dict[int, int]) -> None:
+        """Merge recovered segment contents (REDO base state)."""
+        self._status.update(statuses)
+        self._parent.update({xid: parent for xid, parent in parents.items()
+                             if parent != INVALID_XID})
+
     # -- queries ----------------------------------------------------------
     def status(self, xid: int) -> XidStatus:
         return self._status.get(xid, XidStatus.IN_PROGRESS)

@@ -23,6 +23,11 @@ class CommitRecord:
     xid: int
     changes: List[Change] = field(default_factory=list)
     safe_snapshot_marker: bool = False
+    #: Byte offset of this commit's frame in the physical WAL
+    #: (repro.storage.durable); None when the engine runs in-memory.
+    #: Monotonic in commit order, so replicas can use it as a
+    #: resume/acknowledge cursor.
+    lsn: Optional[int] = None
 
     def to_event(self) -> Dict[str, Any]:
         """Payload shape shared with the ``wal.ship`` trace event

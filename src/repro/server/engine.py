@@ -91,6 +91,11 @@ class ThreadSafeEngine:
         if db.sanitizers is not None:
             from repro.analysis.sanitize.latch_check import LocksetSanitizer
             self._lockset_guard = LocksetSanitizer().arm()
+        if db.durability is not None:
+            # Group commit: WAL fsyncs run with the engine latch
+            # released, so concurrent backends keep executing and their
+            # commits batch under one fsync leader (WALFile.flush).
+            db.durability.flush_gate = self._flush_gate
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -123,6 +128,29 @@ class ThreadSafeEngine:
             self.latch.notify_all()
         if self._lockset_guard is not None:
             self._lockset_guard.disarm()
+
+    def _flush_gate(self, fn):
+        """Run a WAL flush with the engine latch released.
+
+        By the time the durability layer flushes, the commit is fully
+        applied in-memory (CLOG, locks released) -- only the client ack
+        waits on the fsync. Dropping the latch here is what lets other
+        backends reach their own commits and ride the same fsync
+        (WALFile's leader/follower batching). The latch may be held
+        reentrantly; release exactly as many times as this thread holds
+        it, and re-take it before returning to the engine.
+        """
+        from repro.engine.latches import held_latches
+        depth = sum(1 for held in held_latches() if held is self.latch)
+        if depth:
+            self.latch.notify_all()
+        for _ in range(depth):
+            self.latch.release()
+        try:
+            return fn()
+        finally:
+            for _ in range(depth):
+                self.latch.acquire()
 
     # ------------------------------------------------------------------
     # statements

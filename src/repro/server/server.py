@@ -174,6 +174,13 @@ class ReproServer:
             leaked_threads.append("accept")
         if self._async is not None and self._async.leaked():
             leaked_threads.append("asyncio-loop")
+        if self.engine.db.durability is not None:
+            # Workers are joined, so no new WAL appends: drain the
+            # group-commit queue now. An acknowledged commit (notably
+            # under synchronous_commit=off) must be durable before
+            # stop() returns -- a stop racing an in-flight flush used
+            # to close with acked frames still unfsynced.
+            self.engine.db.durability.drain()
         with self.conn_latch:
             leaked_conns = [str(cid) for cid in self._connections]
         return {"threads": leaked_threads, "connections": leaked_conns}

@@ -170,6 +170,18 @@ class SSIManager:
         sx.earliest_out_commit_seq = 0.0
         return sx
 
+    def restore_recovered_state(self, commit_counter: int,
+                                old_serxid: "dict") -> None:
+        """Install durable SSI facts after crash recovery (called by
+        repro.storage.durable.recovery before any new transaction
+        begins): the commit-sequence counter, so post-recovery commit
+        ordering stays monotonic with pre-crash commits, and the
+        old-committed-serializable-xid table (section 6.2 summaries) so
+        conflicts against summarized pre-crash writers are still
+        detected."""
+        self._commit_counter = max(self._commit_counter, int(commit_counter))
+        self._old_serxid.update(old_serxid)
+
     # ------------------------------------------------------------------
     # doom handling
     # ------------------------------------------------------------------

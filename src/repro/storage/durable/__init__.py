@@ -1,0 +1,29 @@
+"""Disk persistence: physical WAL, checksummed page files, REDO recovery.
+
+The in-memory engine is the source of truth while running; this package
+makes its state *durable*:
+
+* :mod:`pagefmt` -- the fixed-size checksummed page frame (heap pages,
+  CLOG segments, the old-committed-serializable-xid table);
+* :mod:`walfile` -- the physical log: LSN-addressed frames with group
+  commit (leader/follower fsync batching);
+* :mod:`pagestore` / :mod:`bufferpool` -- page files plus the dirty-page
+  table with clock eviction, every writeback ordered WAL-before-data by
+  the pageLSN rule;
+* :mod:`manager` -- the engine-facing hooks (commit/prepare/abort/DDL)
+  and checkpoints;
+* :mod:`recovery` -- ARIES-style REDO: replay the log from the last
+  checkpoint into an identical database, including prepared-2PC SSI
+  state per the paper's section 6 / 7.1 rule.
+
+Everything is reached through one ``Database.durability`` attribute that
+is None unless ``EngineConfig.durability.enabled`` -- the off path is
+byte-identical to the in-memory engine.
+"""
+
+from repro.storage.durable.io import DurableIO, SimulatedCrash
+from repro.storage.durable.manager import DurabilityManager
+from repro.storage.durable.recovery import open_database
+
+__all__ = ["DurableIO", "SimulatedCrash", "DurabilityManager",
+           "open_database"]

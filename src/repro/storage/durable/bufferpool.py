@@ -1,0 +1,98 @@
+"""Dirty-page table with clock (second-chance) eviction.
+
+The in-memory heap *is* the buffer pool's contents -- what this layer
+adds, on top of the accounting-only :class:`repro.storage.buffer.
+BufferManager`, is the durability bookkeeping: which pages have changes
+not yet on disk (and up to which WAL position), and a clock sweep that
+writes the coldest ones back when the dirty set outgrows
+``max_dirty_pages`` -- bounding how much WAL a crash must replay.
+
+Every writeback goes through the manager-provided callback, which
+enforces the pageLSN rule: flush WAL through the page's recLSN *first*,
+then write the page stamped with it. Data never gets ahead of the log.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+#: (kind, table oid, page_no)
+PageKey = Tuple[int, int, int]
+
+
+class DirtyPageTable:
+    def __init__(self, max_dirty: int,
+                 writeback: Callable[[PageKey, int], None]) -> None:
+        self.max_dirty = max_dirty
+        self._writeback = writeback
+        #: key -> LSN of the latest WAL record that dirtied the page.
+        self._lsn: Dict[PageKey, int] = {}
+        #: Clock state: insertion-ordered ring + second-chance bits.
+        self._ring: List[PageKey] = []
+        self._ref: Dict[PageKey, bool] = {}
+        self._hand = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._lsn)
+
+    def entries(self) -> Dict[PageKey, int]:
+        return dict(self._lsn)
+
+    def rec_lsn(self, key: PageKey) -> int:
+        return self._lsn.get(key, -1)
+
+    # ------------------------------------------------------------------
+    def mark_dirty(self, key: PageKey, lsn: int) -> None:
+        if key in self._lsn:
+            if lsn > self._lsn[key]:
+                self._lsn[key] = lsn
+            self._ref[key] = True  # recently used: survives one sweep
+            return
+        self._lsn[key] = lsn
+        self._ref[key] = False
+        self._ring.append(key)
+        if self.max_dirty and len(self._lsn) > self.max_dirty:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Classic clock: skip-and-clear referenced pages, write back
+        the first unreferenced one."""
+        sweeps = 0
+        while self._ring and sweeps < 2 * len(self._ring) + 1:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            key = self._ring[self._hand]
+            if key not in self._lsn:  # stale ring entry (flushed)
+                self._ring.pop(self._hand)
+                continue
+            if self._ref.get(key):
+                self._ref[key] = False
+                self._hand += 1
+                sweeps += 1
+                continue
+            self._ring.pop(self._hand)
+            lsn = self._lsn.pop(key)
+            self._ref.pop(key, None)
+            self.evictions += 1
+            self._writeback(key, lsn)
+            return
+
+    # ------------------------------------------------------------------
+    def discard(self, key_filter: Callable[[PageKey], bool]) -> None:
+        """Forget entries (dropped table) without writing them back."""
+        for key in [k for k in self._lsn if key_filter(k)]:
+            del self._lsn[key]
+            self._ref.pop(key, None)
+
+    def flush_all(self) -> List[PageKey]:
+        """Write back everything (checkpoint); returns the keys written
+        in deterministic order."""
+        keys = sorted(self._lsn)
+        for key in keys:
+            self._writeback(key, self._lsn[key])
+        self._lsn.clear()
+        self._ref.clear()
+        self._ring.clear()
+        self._hand = 0
+        return keys

@@ -1,0 +1,106 @@
+"""The physical IO seam: every durable byte goes through DurableIO.
+
+One class owns positioned writes, fsyncs and truncation for the whole
+durability layer, for two reasons:
+
+* **fault injection** -- tests install :attr:`DurableIO.fault_hook`,
+  which sees every IO operation *before* it happens and may cut power:
+  raise :class:`SimulatedCrash`, or return a byte count ``k`` to tear
+  the write (the first ``k`` bytes reach the file, then the "machine
+  dies"). Enumerating hook call sites enumerates every crash point.
+* **accounting** -- the hot-path counters (writes, fsyncs, bytes) that
+  the group-commit benchmark and the durability sanitizer read.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, Callable, Optional
+
+
+class SimulatedCrash(BaseException):
+    """The simulated power cut.
+
+    Deliberately a BaseException: no ``except Exception`` handler in
+    the engine may swallow it, so it unwinds to the test harness with
+    the on-disk state frozen exactly at the crash point.
+    """
+
+    def __init__(self, op: str, path: str, detail: str = "") -> None:
+        super().__init__(f"simulated crash at {op} {path} {detail}".rstrip())
+        self.op = op
+        self.path = path
+
+
+class DurableIO:
+    """Positioned file IO with an injectable power-cut hook.
+
+    The hook signature is ``hook(op, path, nbytes) -> Optional[int]``
+    where ``op`` is ``"write"``, ``"fsync"`` or ``"truncate"``. It may:
+
+    * return None -- the operation proceeds in full;
+    * raise SimulatedCrash -- the operation never happens;
+    * return an int ``k`` (write ops only) -- the first ``k`` bytes are
+      written, then SimulatedCrash is raised: a torn write.
+    """
+
+    def __init__(self, *, fsync: bool = True) -> None:
+        self.do_fsync = fsync
+        self.fault_hook: Optional[Callable[[str, str, int],
+                                           Optional[int]]] = None
+        self.writes = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def pwrite(self, f: BinaryIO, path: str, offset: int,
+               data: bytes) -> None:
+        """Write ``data`` at ``offset``, flushed to the OS (safe against
+        process kill; an fsync is still needed against power loss)."""
+        torn = None
+        if self.fault_hook is not None:
+            torn = self.fault_hook("write", path, len(data))
+        f.seek(offset)
+        if torn is None:
+            f.write(data)
+            f.flush()
+            self.writes += 1
+            self.bytes_written += len(data)
+            return
+        f.write(data[:torn])
+        f.flush()
+        raise SimulatedCrash("write", path, f"torn at {torn}/{len(data)}")
+
+    def append(self, f: BinaryIO, path: str, data: bytes) -> None:
+        """Append at the file's current end (WAL frames)."""
+        f.seek(0, os.SEEK_END)
+        self.pwrite(f, path, f.tell(), data)
+
+    def fsync(self, f: BinaryIO, path: str) -> None:
+        if self.fault_hook is not None:
+            torn = self.fault_hook("fsync", path, 0)
+            if torn is not None:
+                raise SimulatedCrash("fsync", path)
+        f.flush()
+        if self.do_fsync:
+            os.fsync(f.fileno())
+        self.fsyncs += 1
+
+    def truncate(self, f: BinaryIO, path: str, size: int) -> None:
+        """Cut a torn WAL tail so post-recovery appends are contiguous."""
+        if self.fault_hook is not None:
+            torn = self.fault_hook("truncate", path, size)
+            if torn is not None:
+                raise SimulatedCrash("truncate", path)
+        f.truncate(size)
+        f.flush()
+
+    def fsync_dir(self, path: str) -> None:
+        """Persist a directory entry (after create/rename)."""
+        if not self.do_fsync:
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

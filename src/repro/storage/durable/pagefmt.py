@@ -1,0 +1,129 @@
+"""On-disk page frame format.
+
+Every durable page -- heap pages, CLOG segments, the old-serxid table
+-- is one fixed-size frame::
+
+    <4s B B H I I Q I I>  = 32-byte header
+    magic  version  kind  reserved  oid  page_no  page_lsn  len  crc32
+
+followed by a compact-JSON payload and zero padding up to
+``page_bytes``. The CRC covers the header (with the crc field zeroed)
+plus the payload, so a torn write, a bit flip anywhere in the frame, or
+a frame written for the wrong page all surface as
+:class:`~repro.errors.DataCorruptionError` -- never as wrong rows. An
+all-zero frame decodes to None ("no page here"): page files are written
+at ``page_no * page_bytes`` offsets and may legitimately contain holes.
+
+``page_lsn`` is the WAL position of the last record applied to the
+page when it was written back; recovery's REDO pass skips any log
+record at or below it (the ARIES pageLSN rule), which is what makes
+replay idempotent over pages that already reached disk.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+from repro.errors import DataCorruptionError
+
+MAGIC = b"RPG1"
+VERSION = 1
+
+KIND_HEAP = 1
+KIND_CLOG = 2
+KIND_SERXID = 3
+KIND_NAMES = {KIND_HEAP: "heap", KIND_CLOG: "clog", KIND_SERXID: "serxid"}
+
+HEADER = struct.Struct("<4sBBHIIQII")
+
+
+def encode_page(kind: int, oid: int, page_no: int, page_lsn: int,
+                payload: Any, page_bytes: int) -> bytes:
+    """Serialize one frame, zero-padded to exactly ``page_bytes``."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if HEADER.size + len(body) > page_bytes:
+        raise DataCorruptionError(
+            f"page payload ({len(body)} bytes) exceeds page_bytes="
+            f"{page_bytes} for {KIND_NAMES.get(kind, kind)} page "
+            f"{oid}/{page_no}",
+            kind=KIND_NAMES.get(kind, str(kind)), page_no=page_no,
+            reason="overflow")
+    head0 = HEADER.pack(MAGIC, VERSION, kind, 0, oid, page_no,
+                        page_lsn, len(body), 0)
+    crc = zlib.crc32(head0 + body) & 0xFFFFFFFF
+    head = HEADER.pack(MAGIC, VERSION, kind, 0, oid, page_no,
+                       page_lsn, len(body), crc)
+    return head + body + b"\x00" * (page_bytes - HEADER.size - len(body))
+
+
+def decode_page(frame: bytes, *, path: str = "",
+                expect_kind: Optional[int] = None
+                ) -> Optional[Tuple[int, int, int, int, Any]]:
+    """Validate and parse one frame.
+
+    Returns ``(kind, oid, page_no, page_lsn, payload)``, or None for an
+    all-zero (never-written) frame. Raises DataCorruptionError with a
+    machine-readable ``reason`` on any mismatch.
+    """
+    if not any(frame):
+        return None
+    kind_name = KIND_NAMES.get(expect_kind, "page")
+    if len(frame) < HEADER.size:
+        raise DataCorruptionError(
+            f"short page frame in {path}: {len(frame)} bytes",
+            path=path, kind=kind_name, reason="short")
+    (magic, version, kind, _res, oid, page_no, page_lsn,
+     length, crc) = HEADER.unpack_from(frame)
+    if magic != MAGIC:
+        raise DataCorruptionError(
+            f"bad page magic {magic!r} in {path}",
+            path=path, kind=kind_name, reason="magic")
+    if version != VERSION:
+        raise DataCorruptionError(
+            f"unsupported page version {version} in {path}",
+            path=path, kind=kind_name, page_no=page_no, reason="version")
+    if HEADER.size + length > len(frame):
+        raise DataCorruptionError(
+            f"truncated page {oid}/{page_no} in {path}: payload length "
+            f"{length} overruns the {len(frame)}-byte frame",
+            path=path, kind=kind_name, page_no=page_no, reason="short")
+    body = frame[HEADER.size:HEADER.size + length]
+    head0 = HEADER.pack(MAGIC, version, kind, 0, oid, page_no,
+                        page_lsn, length, 0)
+    if zlib.crc32(head0 + body) & 0xFFFFFFFF != crc:
+        raise DataCorruptionError(
+            f"checksum mismatch on {KIND_NAMES.get(kind, kind)} page "
+            f"{oid}/{page_no} in {path} (torn or corrupt write)",
+            path=path, kind=KIND_NAMES.get(kind, str(kind)),
+            page_no=page_no, reason="checksum")
+    if expect_kind is not None and kind != expect_kind:
+        raise DataCorruptionError(
+            f"expected {kind_name} page, found "
+            f"{KIND_NAMES.get(kind, kind)} in {path}",
+            path=path, kind=kind_name, page_no=page_no, reason="magic")
+    return kind, oid, page_no, page_lsn, json.loads(body.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+# ----------------------------------------------------------------------
+def encode_tuple(tup) -> list:
+    """HeapTuple -> JSON slot entry. Hint bits are deliberately not
+    persisted: they are a cache of CLOG verdicts and recovery recomputes
+    them lazily."""
+    nxt = [tup.next_tid.page, tup.next_tid.slot] if tup.next_tid else None
+    return [tup.data, tup.xmin, tup.cmin, tup.xmax, tup.cmax,
+            1 if tup.xmax_lock_only else 0, nxt]
+
+
+def decode_tuple(entry: list, page_no: int, slot: int):
+    from repro.storage.tuple import TID, HeapTuple
+    data, xmin, cmin, xmax, cmax, lock_only, nxt = entry
+    return HeapTuple(tid=TID(page_no, slot), data=data, xmin=xmin,
+                     cmin=cmin, xmax=xmax, cmax=cmax,
+                     xmax_lock_only=bool(lock_only),
+                     next_tid=TID(nxt[0], nxt[1]) if nxt else None)

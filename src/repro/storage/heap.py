@@ -96,6 +96,25 @@ class Heap:
         self._pages.append(page)
         return page
 
+    def attach_pages(self, pages: List[HeapPage]) -> None:
+        """Install recovered pages (crash recovery only; the heap must
+        be empty). Rebuilds free-space tracking from the pages' own
+        room; the visibility map starts empty -- all-visible bits are a
+        VACUUM byproduct and are conservatively dropped, so scans fall
+        back to per-tuple checks until the next VACUUM."""
+        assert not self._pages, "attach_pages on a non-empty heap"
+        self._pages = list(pages)
+        self.vismap = VisibilityMap()
+        self._free_pages = []
+        self._free_set = set()
+        self._room_hint = 0
+        for page in self._pages[:-1] if self._pages else []:
+            # Interior pages advertise room only via vacuumed slots
+            # (matching _note_free semantics); the tail page is always
+            # probed directly.
+            if page.has_room():
+                self._note_free(page.page_no)
+
     # -- scans -------------------------------------------------------------
     def scan(self) -> Iterator[HeapTuple]:
         """All tuple versions, in physical order (sequential scan)."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.storage.tuple import HeapTuple
 
@@ -47,6 +47,33 @@ class HeapPage:
             raise ValueError(f"page {self.page_no} is full")
         self._slots.append(tup)
         return len(self._slots) - 1
+
+    def slots(self) -> List[Optional[HeapTuple]]:
+        """The raw slot array (copy), None for freed slots -- what the
+        durability layer serializes: slot numbers are physical identity
+        (TIDs, SIREAD lock targets), so pages must round-trip
+        slot-exactly, not just tuple-exactly."""
+        return list(self._slots)
+
+    @classmethod
+    def restore(cls, page_no: int, capacity: int,
+                slots: List[Optional[HeapTuple]],
+                free: Iterable[int] = ()) -> "HeapPage":
+        """Rebuild a page from recovered slot contents.
+
+        ``free`` lists the slots open for reuse (vacuumed before the
+        page was written back). Trailing/interior None slots *not* in
+        ``free`` stay unusable -- they belonged to crashed transactions
+        whose inserts never reached the WAL, and the uncrashed engine
+        would still have them occupied (by invisible tuples), so
+        leaving them dead keeps post-recovery placement equivalent.
+        """
+        page = cls(page_no, capacity)
+        page._slots = list(slots)
+        page._free = [s for s in set(free)
+                      if 0 <= s < len(slots) and slots[s] is None]
+        heapq.heapify(page._free)
+        return page
 
     def get(self, slot: int) -> Optional[HeapTuple]:
         if 0 <= slot < len(self._slots):

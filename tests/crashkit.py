@@ -1,0 +1,230 @@
+"""Crash-point fault-injection harness for the durability tests.
+
+The durability layer funnels every durable byte through
+:class:`repro.storage.durable.io.DurableIO`, whose ``fault_hook`` sees
+each write/fsync/truncate *before* it happens. :class:`CrashInjector`
+counts those operations and cuts power at a chosen one -- either a
+clean power cut (the operation never happens) or a torn write (a
+prefix of the bytes lands, then the machine dies). Counting a fresh
+run's operations enumerates every crash point, which is what the
+exhaustive sweep in test_crash_injection.py iterates over.
+
+The crash model is process-kill + lost-partial-write: bytes the engine
+successfully wrote (``f.write`` + flush) survive, the injected
+operation and everything after it never happen. Torn-write injection
+covers the stronger power-loss case where a sector-spanning write is
+cut mid-way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import DurabilityConfig, EngineConfig
+from repro.engine.isolation import IsolationLevel
+from repro.explore.explorer import canonical_state
+from repro.explore.program import Program
+from repro.storage.durable import SimulatedCrash, open_database
+
+#: When set (CI does), a failing crash point's whole data directory --
+#: page files, checkpoint.json, the WAL, plus report.json and a hex
+#: dump of the WAL tail -- is copied under this directory before the
+#: sweep's tempdir cleanup, so the exact broken byte state ships as a
+#: build artifact instead of evaporating with the tempdir.
+ARTIFACT_ENV = "REPRO_CRASH_ARTIFACTS"
+
+
+def preserve_failure(data_dir: str, report: dict, *,
+                     torn: bool = False) -> Optional[str]:
+    """Copy a failing crash point's data dir into $REPRO_CRASH_ARTIFACTS
+    (no-op when unset). Returns the destination path, also recorded in
+    ``report["artifact"]``."""
+    dest_root = os.environ.get(ARTIFACT_ENV)
+    if not dest_root:
+        return None
+    name = f"crash-{report.get('crash_at', 'unknown')}" + \
+        ("-torn" if torn else "")
+    dest = os.path.join(dest_root, name)
+    shutil.copytree(data_dir, dest, dirs_exist_ok=True)
+    wal_path = os.path.join(data_dir, "wal.log")
+    if os.path.exists(wal_path):
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "rb") as fh:
+            fh.seek(max(0, size - 4096))
+            tail = fh.read()
+        with open(os.path.join(dest, "wal.tail.hex"), "w") as fh:
+            fh.write(f"# last {len(tail)} of {size} WAL bytes\n")
+            fh.write(tail.hex())
+    report["artifact"] = dest
+    with open(os.path.join(dest, "report.json"), "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=str)
+    return dest
+
+
+class CrashInjector:
+    """DurableIO fault hook that cuts power at IO operation number
+    ``crash_at`` (1-based). With ``torn=True`` and the fatal operation
+    being a multi-byte write, only the first half of the bytes land
+    (a torn write) before the crash."""
+
+    def __init__(self, crash_at: int, *, torn: bool = False) -> None:
+        self.crash_at = crash_at
+        self.torn = torn
+        self.count = 0
+        self.fired = False
+
+    def __call__(self, op: str, path: str, nbytes: int) -> Optional[int]:
+        self.count += 1
+        if self.count == self.crash_at:
+            self.fired = True
+            if self.torn and op == "write" and nbytes > 1:
+                return nbytes // 2
+            raise SimulatedCrash(op, path, f"(op #{self.count})")
+        return None
+
+
+class OpCounter:
+    """Fault hook that only counts (the dry run that sizes the sweep)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, op: str, path: str, nbytes: int) -> Optional[int]:
+        self.count += 1
+        return None
+
+
+def durable_config(data_dir: str, **durability_kw) -> EngineConfig:
+    """Test config: durability on, OS-level fsync off (the crash model
+    is process-kill, so os.fsync only costs time), small auto-checkpoint
+    threshold so sweeps cross checkpoint boundaries."""
+    durability_kw.setdefault("fsync", False)
+    durability_kw.setdefault("checkpoint_wal_bytes", 2000)
+    cfg = EngineConfig.durable(
+        data_dir,
+        durability=DurabilityConfig(**durability_kw))
+    return cfg
+
+
+def run_serial_workload(program: Program, data_dir: str,
+                        isolation: IsolationLevel,
+                        hook: Optional[Callable] = None,
+                        **durability_kw) -> Tuple[int, bool, object]:
+    """Build a durable database for ``program`` and run its
+    transactions serially (client order). The fault hook is installed
+    *after* the initial load, so crash points index the workload's own
+    IO. Returns ``(completed_txn_count, crashed, db)``; on a
+    SimulatedCrash the on-disk state is frozen -- the crashed db must
+    be abandoned, never closed (close would checkpoint and repair it).
+    """
+    cfg = durable_config(data_dir, **durability_kw)
+    db = program.build_db(config=cfg)
+    if hook is not None:
+        db.durability.io.fault_hook = hook
+    session = db.session()
+    done = 0
+    try:
+        for _name, txn in program.all_txns():
+            program.run_txn_directly(session, txn, isolation)
+            done += 1
+    except SimulatedCrash:
+        return done, True, db
+    return done, False, db
+
+
+def reference_states(program: Program,
+                     isolation: IsolationLevel) -> List[tuple]:
+    """Canonical state after each serially-committed transaction on the
+    in-memory engine: ``states[i]`` is the state once the first ``i``
+    transactions committed (``states[0]`` = initial load)."""
+    db = program.build_db()
+    session = db.session()
+    states = [canonical_state(db, program)]
+    for _name, txn in program.all_txns():
+        program.run_txn_directly(session, txn, isolation)
+        states.append(canonical_state(db, program))
+    return states
+
+
+def sweep_crash_points(program: Program, isolation: IsolationLevel, *,
+                       crash_points, torn: bool = False,
+                       **durability_kw) -> List[dict]:
+    """Crash the serial workload at each crash point, recover, and
+    check the recovered database:
+
+    * the recovered state is a *committed prefix* of the uncrashed
+      run: equal to the reference state after ``c`` or ``c+1``
+      transactions, where ``c`` transactions had committed before the
+      power cut (only the in-flight commit may go either way);
+    * re-running the remaining transactions on the recovered database
+      reproduces the uncrashed run's final state exactly.
+
+    Returns one report dict per crash point (tests assert on them).
+    """
+    states = reference_states(program, isolation)
+    txns = program.all_txns()
+    reports = []
+    for crash_at in crash_points:
+        data_dir = tempfile.mkdtemp(prefix="repro-crash-")
+        try:
+            injector = CrashInjector(crash_at, torn=torn)
+            completed, crashed, _db = run_serial_workload(
+                program, data_dir, isolation, hook=injector,
+                **durability_kw)
+            recovered = open_database(
+                data_dir, durable_config(data_dir, **durability_kw))
+            state = canonical_state(recovered, program)
+            if state == states[completed + 1 if crashed else completed]:
+                resume_from = completed + 1 if crashed else completed
+            elif crashed and state == states[completed]:
+                resume_from = completed
+            else:
+                report = {"crash_at": crash_at, "ok": False,
+                          "why": "recovered state is not a "
+                                 "committed prefix",
+                          "completed": completed}
+                preserve_failure(data_dir, report, torn=torn)
+                reports.append(report)
+                recovered.close()
+                continue
+            session = recovered.session()
+            for _name, txn in txns[resume_from:]:
+                program.run_txn_directly(session, txn, isolation)
+            final = canonical_state(recovered, program)
+            report = {
+                "crash_at": crash_at, "ok": final == states[-1],
+                "why": "" if final == states[-1]
+                       else "resumed run diverged from uncrashed final "
+                            "state",
+                "completed": completed, "resume_from": resume_from,
+                "crashed": crashed,
+                "recovery": recovered.durability.last_recovery,
+            }
+            if not report["ok"]:
+                preserve_failure(data_dir, report, torn=torn)
+            recovered.close()
+            reports.append(report)
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    return reports
+
+
+def count_workload_ops(program: Program,
+                       isolation: IsolationLevel,
+                       **durability_kw) -> int:
+    """Size the exhaustive sweep: total fault-hook operations in one
+    uncrashed serial run of the workload."""
+    data_dir = tempfile.mkdtemp(prefix="repro-count-")
+    try:
+        counter = OpCounter()
+        _done, _crashed, db = run_serial_workload(
+            program, data_dir, isolation, hook=counter, **durability_kw)
+        db.durability.io.fault_hook = None
+        db.close()
+        return counter.count
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)

@@ -83,6 +83,43 @@ class TestClogDiscipline:
         assert "repro.mvcc.visibility" in rendered
 
 
+class TestDurabilityDiscipline:
+    def test_flags_page_write_outside_durable_layer(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def sneak(store, payload):
+                store.write_page(1, 2, 0, 99, payload)
+            """, relpath="repro/engine/hack.py")
+        assert rule_ids(report) == ["DUR001"]
+
+    def test_flags_raw_pwrite(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def sneak(io, f):
+                io.pwrite(f, "x.pg", 0, b"data")
+            """, relpath="repro/storage/heap_patch.py")
+        assert rule_ids(report) == ["DUR001"]
+
+    def test_durable_layer_owns_the_entry_points(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def write_back(store, payload):
+                store.write_page(1, 2, 0, 99, payload)
+            """, relpath="repro/storage/durable/manager.py")
+        assert report.ok
+
+    def test_tests_and_scripts_are_ignored(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def poke(store):
+                store.write_page(1, 2, 0, 99, {})
+            """, relpath="scripts/poke.py")
+        assert report.ok
+
+    def test_hint_mentions_pagelsn_rule(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def sneak(store):
+                store.write_page(1, 2, 0, 99, {})
+            """, relpath="repro/engine/hack.py")
+        assert "pageLSN" in report.findings[0].render()
+
+
 class TestDeterminism:
     def test_flags_time_and_random_imports(self, tmp_path):
         report = lint_snippet(tmp_path, """

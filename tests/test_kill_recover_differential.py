@@ -1,0 +1,199 @@
+"""Kill-and-recover differential suite (ISSUE 9 satellite).
+
+Every corpus program runs twice under its pinned schedule: once on the
+in-memory engine, once on a disk-backed engine. The two runs must be
+indistinguishable (same commit verdicts, same committed rows, same
+Adya-graph serializability verdict) -- durability may not perturb the
+engine. Then the disk-backed run is *killed* (abandoned without a
+clean shutdown) and reopened: recovery must reproduce the exact
+committed state, under both the anomaly-preserving snapshot-isolation
+replay and the abort-inducing SERIALIZABLE replay.
+
+The 2PC tests pin the section 7.1 state machine across a kill: a
+prepared serializable transaction survives with its SIREAD locks and
+conservative conflict flags, still blocks writers, still dooms
+overlapping serializable readers, and can be resolved either way.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import DurabilityConfig, EngineConfig
+from repro.engine import Database, Eq, IsolationLevel
+from repro.errors import SerializationFailure, WouldBlock
+from repro.explore import load_replay
+from repro.explore.explorer import canonical_state, execute_schedule
+from repro.explore.replay import FixedSchedulePolicy
+from repro.storage.durable import open_database
+
+CORPUS_DIR = Path(__file__).resolve().parent / "explore_corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+SER = IsolationLevel.SERIALIZABLE
+
+
+def durable_cfg(data_dir, **kw) -> EngineConfig:
+    return EngineConfig.durable(
+        str(data_dir), record_history=True,
+        durability=DurabilityConfig(fsync=False, **kw))
+
+
+def run_pair(replay, isolation, data_dir):
+    """Execute the pinned schedule on the in-memory and the disk-backed
+    engine; returns (mem_record, dur_record, durable_db)."""
+    strict = isolation is replay.isolation
+    mem_policy = FixedSchedulePolicy(replay.schedule, strict=strict)
+    mem = execute_schedule(replay.program, isolation, mem_policy.pick)
+    dur_policy = FixedSchedulePolicy(replay.schedule, strict=strict)
+    db = replay.program.build_db(config=durable_cfg(data_dir))
+    dur = execute_schedule(replay.program, isolation, dur_policy.pick,
+                           db=db)
+    return mem, dur, db
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_durable_run_matches_in_memory_and_survives_kill(path, tmp_path):
+    """Snapshot-isolation replay: the pinned anomaly must reproduce
+    identically on disk, and the kill must not lose it."""
+    replay = load_replay(str(path))
+    mem, dur, db = run_pair(replay, replay.isolation, tmp_path)
+    assert mem.complete and dur.complete, (mem.error, dur.error)
+    assert dur.committed_txns == mem.committed_txns
+    assert dur.state == mem.state
+    assert dur.check.serializable == mem.check.serializable
+    assert not dur.check.serializable, \
+        f"{path.stem}: pinned anomaly vanished under durability"
+    # Kill: abandon the db object (no close -- close would checkpoint).
+    del db
+    recovered = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert canonical_state(recovered, replay.program) == dur.state, \
+        f"{path.stem}: recovery lost or invented committed rows"
+    recovered.close()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_serializable_replay_matches_and_survives_kill(path, tmp_path):
+    """SERIALIZABLE replay: SSI's abort decisions must be identical on
+    the disk-backed engine (same doomed transactions, same survivors),
+    and the post-abort state must survive the kill."""
+    replay = load_replay(str(path))
+    mem, dur, db = run_pair(replay, SER, tmp_path)
+    assert mem.complete and dur.complete, (mem.error, dur.error)
+    assert dur.committed_txns == mem.committed_txns
+    assert dur.serialization_failures == mem.serialization_failures
+    assert dur.state == mem.state
+    assert dur.check.serializable and mem.check.serializable
+    del db
+    recovered = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert canonical_state(recovered, replay.program) == dur.state
+    recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# prepared-transaction (section 7.1) state across a kill
+# ---------------------------------------------------------------------------
+def _prepared_db(data_dir) -> Database:
+    db = Database(durable_cfg(data_dir))
+    db.create_table("r", ["k", "v"], key="k")
+    db.create_table("ip", ["k", "v"], key="k")
+    s = db.session()
+    for k in range(3):
+        s.insert("r", {"k": k, "v": 0})
+    s.begin(SER)
+    s.select("r", Eq("k", 1))
+    s.insert("ip", {"k": 1, "v": 10})
+    s.update("r", Eq("k", 2), {"v": 1})
+    s.prepare_transaction("pp")
+    return db
+
+
+def test_prepared_txn_survives_kill(tmp_path):
+    db = _prepared_db(tmp_path)
+    del db  # kill
+    rec = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert rec.prepared_gids() == ["pp"]
+    txn = rec._prepared["pp"]
+    # Recovered with the paper's conservative summary flags: treated as
+    # having both conflicts in and out, since the graph died with the
+    # process.
+    assert txn.sxact is not None
+    assert txn.sxact.prepared
+    assert txn.sxact.summary_conflict_out
+    # Its SIREAD locks came back from the prepare record.
+    assert txn.persisted_siread
+    rec.close()
+    # Still prepared after a *clean* cycle too (checkpoint carries it).
+    rec2 = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert rec2.prepared_gids() == ["pp"]
+    rec2.rollback_prepared("pp")
+    rec2.close()
+
+
+def test_recovered_prepared_txn_still_blocks_and_dooms(tmp_path):
+    db = _prepared_db(tmp_path)
+    del db
+    rec = open_database(str(tmp_path), durable_cfg(tmp_path))
+    # Writers targeting its updated row still block on the xid lock.
+    w = rec.session()
+    w.begin(IsolationLevel.REPEATABLE_READ)
+    with pytest.raises(WouldBlock):
+        w.update("r", Eq("k", 2), {"v": 99})
+    w.rollback()
+    # A serializable reader overlapping its SIREAD/write set is doomed
+    # by the conservative flags (the section 7.1 trade-off).
+    r = rec.session()
+    r.begin(SER)
+    with pytest.raises(SerializationFailure):
+        r.select("ip", Eq("k", 1))
+        r.update("r", Eq("k", 1), {"v": 5})
+        r.commit()
+    rec.rollback_prepared("pp")
+    rec.close()
+
+
+def test_commit_prepared_after_kill(tmp_path):
+    db = _prepared_db(tmp_path)
+    del db
+    rec = open_database(str(tmp_path), durable_cfg(tmp_path))
+    rec.commit_prepared("pp")
+    s = rec.session()
+    s.begin(IsolationLevel.READ_COMMITTED)
+    assert s.select("ip", Eq("k", 1)) == [{"k": 1, "v": 10}]
+    s.commit()
+    del rec  # kill again: the cprep record must be replayed
+    rec2 = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert rec2.prepared_gids() == []
+    assert rec2.session().select("ip", Eq("k", 1)) == [{"k": 1, "v": 10}]
+    rec2.close()
+
+
+def test_rollback_prepared_after_kill(tmp_path):
+    db = _prepared_db(tmp_path)
+    del db
+    rec = open_database(str(tmp_path), durable_cfg(tmp_path))
+    rec.rollback_prepared("pp")
+    assert rec.session().select("ip") == []
+    del rec
+    rec2 = open_database(str(tmp_path), durable_cfg(tmp_path))
+    assert rec2.prepared_gids() == []
+    assert rec2.session().select("ip") == []
+    rec2.close()
+
+
+def test_recovered_database_answers_programs_identically(tmp_path):
+    """End-to-end differential: run a corpus program serially on a
+    recovered database and on a fresh in-memory database -- identical
+    answers row for row."""
+    replay = load_replay(str(CORPUS_DIR / "write_skew.json"))
+    program = replay.program
+    db = program.build_db(config=durable_cfg(tmp_path))
+    del db  # kill right after the initial load
+    recovered = open_database(str(tmp_path), durable_cfg(tmp_path))
+    fresh = program.build_db()
+    for target in (recovered, fresh):
+        session = target.session()
+        for _name, txn in program.all_txns():
+            program.run_txn_directly(session, txn, SER)
+    assert (canonical_state(recovered, program)
+            == canonical_state(fresh, program))
+    recovered.close()
