@@ -86,13 +86,32 @@ class DirtyPageTable:
             self._ref.pop(key, None)
 
     def flush_all(self) -> List[PageKey]:
-        """Write back everything (checkpoint); returns the keys written
-        in deterministic order."""
+        """Write back everything dirty at entry (checkpoint); returns
+        the keys written in deterministic order.
+
+        The writeback callback may block on a WAL fsync with the engine
+        latch released, so concurrent backends can commit and
+        ``mark_dirty`` mid-flush. Those entries must survive: only a key
+        whose recLSN is unchanged after its own writeback is dropped --
+        anything added or re-dirtied during the flush stays in the table
+        for the next writeback."""
         keys = sorted(self._lsn)
         for key in keys:
-            self._writeback(key, self._lsn[key])
-        self._lsn.clear()
-        self._ref.clear()
-        self._ring.clear()
+            lsn = self._lsn.get(key)
+            if lsn is None:  # discarded concurrently (dropped table)
+                continue
+            self._writeback(key, lsn)
+            if self._lsn.get(key) == lsn:
+                del self._lsn[key]
+                self._ref.pop(key, None)
+        # Compact the ring to the surviving entries (dedup: a key popped
+        # above and re-dirtied during a later writeback re-entered it).
+        seen = set()
+        survivors = []
+        for key in self._ring:
+            if key in self._lsn and key not in seen:
+                survivors.append(key)
+                seen.add(key)
+        self._ring = survivors
         self._hand = 0
         return keys

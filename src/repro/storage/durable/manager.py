@@ -100,6 +100,12 @@ class DurabilityManager:
         self.flush_gate = None
         self.checkpoints = 0
         self._wal_bytes_at_ckpt = 0
+        #: Serializes checkpoints: the engine latch is released around
+        #: WAL fsyncs inside a checkpoint, so a second backend crossing
+        #: the auto-checkpoint threshold could otherwise start an
+        #: overlapping one (racing generation switches and the
+        #: checkpoint.json publish).
+        self._ckpt_lock = threading.Lock()
         self._closed = False
         self._flusher: Optional[threading.Thread] = None
         self._flusher_stop = threading.Event()
@@ -115,8 +121,19 @@ class DurabilityManager:
             lambda: self.wal.durable_lsn)
         m.gauge("durable.group_commit_rides").set_function(
             lambda: self.wal.piggybacked)
-        if (not cfg.synchronous_commit and cfg.commit_delay > 0
-                and not self.replaying):
+        if not self.replaying:
+            self.start_flusher()
+
+    def start_flusher(self) -> None:
+        """Start the background WAL flusher if the config wants one and
+        it is not already running. Recovery constructs the manager with
+        ``replaying=True`` (suppressing the ``__init__`` start), so
+        ``open_database`` calls this again once replay finishes."""
+        if (self.cfg.synchronous_commit or self.cfg.commit_delay <= 0
+                or self.replaying or self._closed):
+            return
+        if self._flusher is None or not self._flusher.is_alive():
+            self._flusher_stop.clear()
             self._flusher = threading.Thread(
                 target=self._flusher_loop, name="wal-flusher", daemon=True)
             self._flusher.start()
@@ -288,16 +305,33 @@ class DurabilityManager:
         self._c_records.inc()
         return lsn
 
+    def _over_checkpoint_threshold(self) -> bool:
+        return bool(self.cfg.checkpoint_wal_bytes
+                    and not self.replaying
+                    and self.wal.end_lsn - self._wal_bytes_at_ckpt
+                    >= self.cfg.checkpoint_wal_bytes)
+
     def maybe_auto_checkpoint(self) -> None:
         """Take a checkpoint once enough WAL accumulated. Called from
         Database *between* transactions -- never mid-record, so a
         checkpoint's redo_lsn can't split a commit from its dirty
-        pages."""
-        if (self.cfg.checkpoint_wal_bytes
-                and not self.replaying
-                and self.wal.end_lsn - self._wal_bytes_at_ckpt
-                >= self.cfg.checkpoint_wal_bytes):
-            self.checkpoint()
+        pages. Non-blocking: if another backend's checkpoint is in
+        flight (possible because the engine latch is released around
+        its WAL fsyncs), that one covers us -- blocking here while
+        holding the engine latch would deadlock against the in-flight
+        checkpointer reacquiring it."""
+        if not self._over_checkpoint_threshold():
+            return
+        if not self._ckpt_lock.acquire(blocking=False):
+            return
+        try:
+            # Re-check: the checkpoint we contended with may have
+            # finished (resetting the WAL-bytes baseline) between the
+            # threshold test and the acquire.
+            if self._over_checkpoint_threshold():
+                self._checkpoint_locked()
+        finally:
+            self._ckpt_lock.release()
 
     def _flush(self, upto: Optional[int] = None) -> None:
         before = self.wal.flushes
@@ -306,6 +340,11 @@ class DurabilityManager:
         else:
             self.wal.flush(upto)
         self._c_fsyncs.inc(self.wal.flushes - before)
+        if self.acked:
+            durable = self.wal.durable_lsn
+            for xid in [x for x, need in self.acked.items()
+                        if need <= durable]:
+                del self.acked[xid]
 
     def _ack(self, txn, lsn: int) -> None:
         self.acked[txn.xid] = self.wal.end_lsn
@@ -362,7 +401,18 @@ class DurabilityManager:
         """Flush WAL, write back all dirty pages and the CLOG/serxid
         segments, then atomically publish checkpoint.json. REDO after a
         crash starts at the returned ``redo_lsn``."""
+        with self._ckpt_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Dict[str, Any]:
         db = self.db
+        # Commits can land *during* the checkpoint (the flush gate
+        # releases the engine latch around WAL fsyncs in the flushes
+        # below). Their pages stay in the dirty table, so redo must
+        # start no later than the WAL end captured here -- a record
+        # appended after this point may have neither its page on disk
+        # nor (with an end-of-flush redo_lsn) a replay covering it.
+        start_lsn = self.wal.end_lsn
         self._flush()
         self.pool.flush_all()
         # CLOG / serxid segments go to a *new* generation of files; the
@@ -370,11 +420,12 @@ class DurabilityManager:
         # tearing these writes) leaves the previous checkpoint's
         # generation untouched and fully usable.
         old_names = dict(self.store.special_names)
-        self.store.special_names = self._next_segment_names()
+        self.store.begin_special_generation(self._next_segment_names())
         self._write_clog_pages()
         self._write_serxid_pages()
         self.store.fsync_touched()
-        doc = self._checkpoint_doc()
+        redo_lsn = min([start_lsn, *self.pool.entries().values()])
+        doc = self._checkpoint_doc(redo_lsn)
         path = self.checkpoint_path()
         tmp = path + ".tmp"
         with open(tmp, "wb") as f:
@@ -404,7 +455,7 @@ class DurabilityManager:
             seq = 1
         return {"clog": f"clog.{seq}.pg", "serxid": f"serxid.{seq}.pg"}
 
-    def _checkpoint_doc(self) -> Dict[str, Any]:
+    def _checkpoint_doc(self, redo_lsn: int) -> Dict[str, Any]:
         db = self.db
         tables = []
         indexes = []
@@ -448,7 +499,7 @@ class DurabilityManager:
             "old_serxid": old_serxid,
             "prepared": prepared,
             "segment_files": dict(self.store.special_names),
-            "redo_lsn": self.wal.end_lsn,
+            "redo_lsn": redo_lsn,
         }
 
     def _write_clog_pages(self) -> None:

@@ -68,6 +68,29 @@ class PageStore:
         self.written_lsns[(kind, oid, page_no)] = page_lsn
         self._touched.add(path)
 
+    def begin_special_generation(self, names: Dict[str, str]) -> None:
+        """Switch to a fresh CLOG/serxid generation.
+
+        A crash mid-checkpoint can leave an unpublished generation file
+        on disk under the same name the next checkpoint picks (recovery
+        restarts numbering from the *published* checkpoint's names), and
+        ``write_page`` opens existing files ``r+b`` -- stale frames from
+        the crashed attempt would survive past the rewritten prefix. So
+        any leftover file under a new name is truncated here, and marked
+        touched so the truncation is fsynced before the checkpoint that
+        references it publishes."""
+        self.special_names = dict(names)
+        for name in names.values():
+            path = os.path.join(self.dir, name)
+            f = self._files.pop(path, None)
+            if f is not None and not f.closed:
+                f.close()
+            if os.path.exists(path):
+                f = open(path, "r+b")
+                self._files[path] = f
+                self.io.truncate(f, path, 0)
+                self._touched.add(path)
+
     def fsync_touched(self) -> None:
         """Persist every file written since the last call (checkpoint
         step: after all writebacks, before the checkpoint record)."""

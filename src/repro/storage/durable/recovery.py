@@ -86,6 +86,7 @@ def open_database(data_dir: str,
         del cfg.durability._recovering
     mgr.replaying = False
     mgr.checkpoint()  # end-of-recovery checkpoint
+    mgr.start_flusher()  # __init__ skipped it while replaying
     mgr.last_recovery = report
     return db
 
@@ -165,15 +166,22 @@ def _replay(db, mgr, doc: Dict[str, Any]) -> Dict[str, Any]:
         db._next_oid = t["oid"]
         rel = db.create_table(t["name"], t["columns"])
         assert rel.oid == t["oid"]
+    # Replay can overlap the checkpoint doc: redo_lsn is the WAL end at
+    # checkpoint *start*, and DDL may land while the checkpoint's WAL
+    # fsyncs run with the engine latch released -- such a record is both
+    # in the doc and in the replayed log, so each DDL op here tolerates
+    # already being applied.
     for _lsn, rec in replay:
         if rec.get("t") != "ddl":
             continue
         if rec["op"] == "create_table":
-            db._next_oid = rec["oid"]
-            rel = db.create_table(rec["name"], rec["columns"])
-            assert rel.oid == rec["oid"]
+            if rec["name"] not in db.relations():
+                db._next_oid = rec["oid"]
+                rel = db.create_table(rec["name"], rec["columns"])
+                assert rel.oid == rec["oid"]
         elif rec["op"] == "drop_table":
-            db.drop_table(rec["name"])
+            if rec["name"] in db.relations():
+                db.drop_table(rec["name"])
         elif rec["op"] == "create_index":
             deferred_indexes.append(rec)
     live_rels = {rel.oid: rel for rel in db.relations().values()}
@@ -306,6 +314,10 @@ def _replay(db, mgr, doc: Dict[str, Any]) -> Dict[str, Any]:
                 commit_counter = max(commit_counter, int(rec["seq"]))
             commits_replayed += 1
         elif kind == "prepare":
+            # A prepare that landed mid-checkpoint is also in the doc's
+            # prepared set; the replayed frame (identical content) wins
+            # so the survivor is not restored twice.
+            ckpt_prepared.pop(rec["gid"], None)
             register_xids(rec)
             for xid in rec["c"]:
                 if xid not in db.clog.entries():
@@ -418,7 +430,12 @@ def _replay(db, mgr, doc: Dict[str, Any]) -> Dict[str, Any]:
     # catalog state only -- a dropped table's indexes died with it
     # ------------------------------------------------------------------
     next_oid = doc["next_oid"]
-    for ix in sorted(deferred_indexes, key=lambda i: i["oid"]):
+    # Dedupe by oid: an index created mid-checkpoint appears both in the
+    # doc and as a replayed DDL record.
+    unique_indexes: Dict[int, Dict[str, Any]] = {}
+    for ix in deferred_indexes:
+        unique_indexes.setdefault(ix["oid"], ix)
+    for ix in sorted(unique_indexes.values(), key=lambda i: i["oid"]):
         db._next_oid = ix["oid"]
         index = db.create_index(ix["table"], ix["column"], name=ix["name"],
                                 unique=bool(ix["unique"]),

@@ -10,6 +10,7 @@ lost by a graceful stop).
 """
 
 import os
+import time
 
 import pytest
 
@@ -177,6 +178,35 @@ class TestDirtyPageTable:
         assert len(pool) == 0
         assert sorted(written) == [("h", 1, p) for p in range(5)]
 
+    def test_flush_all_keeps_pages_dirtied_mid_flush(self):
+        # A checkpoint's writebacks release the engine latch around WAL
+        # fsyncs, so a concurrent backend can commit mid-flush. The
+        # callback below plays that backend: while page 1 is being
+        # written it dirties a brand-new page, re-dirties page 0 (whose
+        # writeback already completed), and re-dirties page 1 itself.
+        # None of those may be wiped by flush_all -- they are not on
+        # disk.
+        pool = None
+        written = []
+
+        def writeback(key, lsn):
+            written.append((key, lsn))
+            if key == ("h", 1, 1) and len(written) == 2:
+                pool.mark_dirty(("h", 1, 9), 99)   # new page
+                pool.mark_dirty(("h", 1, 0), 99)   # already flushed
+                pool.mark_dirty(("h", 1, 1), 99)   # mid-own-writeback
+
+        pool = DirtyPageTable(8, writeback)
+        pool.mark_dirty(("h", 1, 0), 10)
+        pool.mark_dirty(("h", 1, 1), 20)
+        pool.flush_all()
+        assert pool.entries() == {("h", 1, 9): 99, ("h", 1, 0): 99,
+                                  ("h", 1, 1): 99}
+        assert written == [(("h", 1, 0), 10), (("h", 1, 1), 20)]
+        # The survivors drain normally on the next flush.
+        pool.flush_all()
+        assert len(pool) == 0
+
 
 # ---------------------------------------------------------------------------
 # clean shutdown / reopen round trips
@@ -327,6 +357,118 @@ class TestSegmentGenerations:
         assert len(rec.clog.entries()) == n_xids
         assert len(rec.session().select("t")) == n_rows
         rec.close()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint vs concurrent commits (review regressions)
+# ---------------------------------------------------------------------------
+class TestCheckpointConcurrency:
+    def test_commit_landing_mid_checkpoint_survives_crash(self, tmp_path):
+        """The server's flush gate releases the engine latch around WAL
+        fsyncs inside a checkpoint's writebacks, so a backend can commit
+        mid-flush. Played here by a writeback hook that commits a row
+        while the dirty-page flush is running: the checkpoint must
+        neither wipe that page's dirty entry nor publish a redo_lsn past
+        the commit's record, or a crash silently loses committed data."""
+        db = small_db(tmp_path)
+        mgr = db.durability
+        orig = mgr.pool._writeback
+        fired = []
+
+        def writeback(key, lsn):
+            orig(key, lsn)
+            if not fired:
+                fired.append(key)
+                db.session().insert("t", {"k": 100, "v": 1})
+
+        mgr.pool._writeback = writeback
+        doc = mgr.checkpoint()
+        assert fired, "writeback hook never ran: no dirty pages?"
+        mgr.pool._writeback = orig
+        commit_lsn = max(r.lsn for r in db.wal if r.lsn is not None)
+        assert doc["redo_lsn"] <= commit_lsn, \
+            "redo_lsn past a commit that landed mid-checkpoint"
+        del db  # kill without close: only the checkpoint + WAL survive
+        rec = open_database(str(tmp_path), cfg_for(tmp_path))
+        assert rec.session().select("t", Eq("k", 100)) == \
+            [{"k": 100, "v": 1}]
+        assert len(rec.session().select("t")) == 7
+        rec.close()
+
+    def test_auto_checkpoint_skips_while_one_in_flight(self, tmp_path):
+        """maybe_auto_checkpoint runs under the engine latch; blocking
+        on an in-flight checkpoint (which must reacquire that latch
+        after its fsyncs) would deadlock, and proceeding would overlap
+        generation switches. It must skip."""
+        db = small_db(tmp_path)
+        mgr = db.durability
+        mgr.cfg.checkpoint_wal_bytes = 1
+        mgr._wal_bytes_at_ckpt = -(10 ** 9)
+        before = mgr.checkpoints
+        assert mgr._ckpt_lock.acquire(blocking=False)
+        try:
+            mgr.maybe_auto_checkpoint()   # in flight elsewhere: skip
+            assert mgr.checkpoints == before
+        finally:
+            mgr._ckpt_lock.release()
+        mgr.maybe_auto_checkpoint()       # lock free again: fire
+        assert mgr.checkpoints == before + 1
+        mgr.cfg.checkpoint_wal_bytes = 0
+        db.close()
+
+    def test_crashed_generation_leftover_is_truncated(self, tmp_path):
+        """A crash mid-checkpoint can leave an unpublished generation
+        file under the very name the next checkpoint picks; its stale
+        frames must not survive past the rewritten prefix (write_page
+        opens existing files r+b)."""
+        db = small_db(tmp_path)
+        mgr = db.durability
+        leftovers = mgr._next_segment_names()
+        pages_dir = os.path.join(str(tmp_path), "pages")
+        for name in leftovers.values():
+            with open(os.path.join(pages_dir, name), "wb") as f:
+                f.write(b"\xff" * (mgr.cfg.page_bytes * 4))
+        db.close()   # shutdown checkpoint reuses exactly those names
+        assert dict(mgr.store.special_names) == leftovers
+        assert os.path.getsize(os.path.join(
+            pages_dir, leftovers["clog"])) < mgr.cfg.page_bytes * 4
+        rec = open_database(str(tmp_path), cfg_for(tmp_path))
+        assert len(rec.session().select("t")) == 6
+        rec.close()
+
+
+# ---------------------------------------------------------------------------
+# post-recovery housekeeping (review regressions)
+# ---------------------------------------------------------------------------
+class TestDurabilityHousekeeping:
+    def test_recovery_restarts_async_flusher(self, tmp_path):
+        kw = {"synchronous_commit": False, "commit_delay": 0.005}
+        db = small_db(tmp_path, **kw)
+        assert db.durability._flusher is not None
+        db.close()
+        rec = open_database(str(tmp_path), cfg_for(tmp_path, **kw))
+        mgr = rec.durability
+        assert mgr._flusher is not None and mgr._flusher.is_alive(), \
+            "recovered async-commit database has no walwriter"
+        rec.session().insert("t", {"k": 50, "v": 5})
+        deadline = time.time() + 5
+        while (mgr.wal.durable_lsn < mgr.wal.end_lsn
+               and time.time() < deadline):
+            time.sleep(0.005)
+        assert mgr.wal.durable_lsn == mgr.wal.end_lsn, \
+            "background flusher never persisted the acked commit"
+        rec.close()
+
+    def test_acked_commits_pruned_once_durable(self, tmp_path):
+        db = small_db(tmp_path)   # synchronous_commit=True
+        mgr = db.durability
+        assert mgr.acked == {}, \
+            "acked entries must be pruned once their WAL is durable"
+        s = db.session()
+        for k in range(20, 40):
+            s.insert("t", {"k": k, "v": 0})
+        assert mgr.acked == {}
+        db.close()
 
 
 # ---------------------------------------------------------------------------
