@@ -1,0 +1,74 @@
+"""CI gate: sharding must keep its scale-up.
+
+Runs the DBT-2++ shard benchmark (shard_bench.py) at 1 and 4 shards
+under the quick scale and fails (exit 1) if 4-shard throughput falls
+below the pinned floor over 1-shard. The floor (2x) is deliberately
+below the recorded full-size speedup in BENCH_PERF.json["shards"]
+(>= 3x at 4 shards): shared CI runners add noise, but a drop under
+the floor means cross-shard coordination (2PC, global certification,
+snapshot-coherence restarts) started eating the parallel-WAL win.
+
+The benchmark is disk-bound by construction -- every WAL fsync sleeps
+a modeled device latency with the GIL released -- so the gate measures
+scaling of the sharding architecture, not the CI host's disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from shard_bench import bench  # noqa: E402
+
+QUICK_SCALE = dict(warehouses=8, districts=4, customers_per_district=20,
+                   items=100)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--txns", type=int, default=12,
+                        help="transactions per client")
+    parser.add_argument("--clients-per-shard", type=int, default=2)
+    parser.add_argument("--flush-latency", type=float, default=0.02,
+                        help="modeled WAL device sync latency (s)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="pinned floor for 4-shard/1-shard throughput "
+                             "(default 2.0; full-size runs record >=3x)")
+    args = parser.parse_args(argv)
+
+    reps = max(1, args.reps)
+
+    def best(n_shards: int) -> float:
+        # Maximum over reps (noise only ever subtracts throughput).
+        return max(
+            bench(n_shards, scale=QUICK_SCALE,
+                  clients_per_shard=args.clients_per_shard,
+                  txns_per_client=args.txns,
+                  flush_latency=args.flush_latency)["commits_per_s"]
+            for _ in range(reps))
+
+    base = best(1)
+    wide = best(4)
+    if not base:  # degenerate timing: nothing to gate on
+        print(f"1-shard throughput {base!r} unusable as a baseline; "
+              "skipping")
+        return 0
+    speedup = wide / base
+    verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+    print(f"1-shard {base:.1f} commits/s  4-shard {wide:.1f} commits/s  "
+          f"speedup {speedup:.2f}x (floor {args.min_speedup:.2f}x)  "
+          f"{verdict}")
+    if speedup < args.min_speedup:
+        print(f"4-shard scale-up {speedup:.2f}x fell below the "
+              f"{args.min_speedup:.2f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -235,6 +235,12 @@ class DurabilityConfig:
     max_dirty_pages: int = 512
     #: Transaction statuses per CLOG segment page.
     clog_segment_xids: int = 1024
+    #: Modeled device sync latency in seconds, slept inside every WAL /
+    #: page fsync (after the real one, GIL released). Benchmarks set it
+    #: so commit cost reflects a fixed storage device instead of the
+    #: host page cache, making shard scale-up measurements (N shards =
+    #: N independent WAL devices) meaningful on one machine.
+    modeled_flush_latency: float = 0.0
 
 
 @dataclass

@@ -15,7 +15,9 @@ PostgreSQL: SSI on each participant plus atomic commit across them.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.engine.isolation import IsolationLevel
 from repro.errors import InvalidTransactionStateError, ReproError
@@ -24,6 +26,59 @@ from repro.errors import InvalidTransactionStateError, ReproError
 class Decision(enum.Enum):
     COMMITTED = "committed"
     ABORTED = "aborted"
+
+
+class DecisionLog:
+    """The coordinator's decision log: append-only (gid, decision).
+
+    With a ``path`` every append is written as one JSON line and
+    fsynced before returning -- the append IS the commit point of the
+    two-phase protocol, so it must survive a coordinator crash. A new
+    coordinator pointed at the same path replays the log on
+    construction and can resolve in-doubt prepared branches
+    (:meth:`Coordinator.recover`). Without a path the log is in-memory
+    only (the seed behaviour, still used by single-process tests).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        import threading
+        self.path = path
+        # Concurrent client threads of the shard router append
+        # decisions; the log write + list append must stay atomic.
+        self._mutex = threading.Lock()
+        self._entries: List[Tuple[str, Decision]] = []
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    self._entries.append(
+                        (rec["gid"], Decision(rec["decision"])))
+
+    def append(self, entry: Tuple[str, Decision]) -> None:
+        gid, decision = entry
+        with self._mutex:
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps({"gid": gid,
+                                         "decision": decision.value}) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            self._entries.append((gid, decision))
+
+    def __iter__(self) -> Iterator[Tuple[str, Decision]]:
+        return iter(self._entries)
+
+    def __reversed__(self) -> Iterator[Tuple[str, Decision]]:
+        return reversed(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, idx):
+        return self._entries[idx]
 
 
 class DistributedTransaction:
@@ -52,29 +107,10 @@ class DistributedTransaction:
         re-raised: atomicity across databases.
         """
         self._check_active()
-        prepared: List[str] = []
         try:
-            for name, session in self.sessions.items():
-                if session.in_transaction():
-                    session.prepare_transaction(self._branch_gid(name))
-                    prepared.append(name)
-        except ReproError:
-            for name in prepared:
-                self.coordinator.databases[name].rollback_prepared(
-                    self._branch_gid(name))
-            for session in self.sessions.values():
-                if session.in_transaction():
-                    session.rollback()
+            self.coordinator.commit_branches(self.gid, self.sessions)
+        finally:
             self._finished = True
-            self.coordinator.log.append((self.gid, Decision.ABORTED))
-            raise
-        # The decision record is the commit point: branches prepared
-        # after this line are committed even across a coordinator crash.
-        self.coordinator.log.append((self.gid, Decision.COMMITTED))
-        for name in prepared:
-            self.coordinator.databases[name].commit_prepared(
-                self._branch_gid(name))
-        self._finished = True
 
     def rollback(self) -> None:
         self._check_active()
@@ -96,10 +132,12 @@ class DistributedTransaction:
 class Coordinator:
     """Drives distributed transactions over named databases."""
 
-    def __init__(self, databases: Dict[str, "object"]) -> None:
+    def __init__(self, databases: Dict[str, "object"],
+                 log_path: Optional[str] = None) -> None:
         self.databases = dict(databases)
-        #: Durable decision log: (gid, decision), append-only.
-        self.log: List = []
+        #: Durable decision log: (gid, decision), append-only. With a
+        #: ``log_path`` it survives coordinator restarts (JSONL replay).
+        self.log = DecisionLog(log_path)
         self._next_gid = 1
 
     def transaction(self, gid: Optional[str] = None,
@@ -109,6 +147,51 @@ class Coordinator:
             gid = f"dtx{self._next_gid}"
             self._next_gid += 1
         return DistributedTransaction(self, gid, isolation)
+
+    def commit_branches(self, gid: str, sessions: Dict[str, "object"], *,
+                        on_prepared=None, before_commit=None,
+                        commit_prepared=None) -> List[str]:
+        """Two-phase-commit externally supplied branch sessions.
+
+        Generalizes :meth:`DistributedTransaction.commit` for callers
+        (the shard router) that manage their own branch sessions:
+        prepare every in-transaction branch, run ``on_prepared()`` --
+        the distributed-SSI certification hook; if it raises, every
+        prepared branch is rolled back and ABORTED is logged -- then
+        run ``before_commit()`` (visibility bookkeeping that must
+        precede the first branch commit), log the COMMITTED decision
+        (the commit point), and commit the prepared branches.
+        ``commit_prepared(name, branch_gid)`` overrides the default
+        per-branch commit call so callers can fan it out in parallel
+        or route it through per-shard engine latches.
+        """
+        prepared: List[str] = []
+        try:
+            for name, session in sessions.items():
+                if session.in_transaction():
+                    session.prepare_transaction(f"{gid}:{name}")
+                    prepared.append(name)
+            if on_prepared is not None:
+                on_prepared()
+        except ReproError:
+            for name in prepared:
+                self.databases[name].rollback_prepared(f"{gid}:{name}")
+            for session in sessions.values():
+                if session.in_transaction():
+                    session.rollback()
+            self.log.append((gid, Decision.ABORTED))
+            raise
+        if before_commit is not None:
+            before_commit()
+        # The decision record is the commit point: branches prepared
+        # after this line are committed even across a coordinator crash.
+        self.log.append((gid, Decision.COMMITTED))
+        for name in prepared:
+            if commit_prepared is not None:
+                commit_prepared(name, f"{gid}:{name}")
+            else:
+                self.databases[name].commit_prepared(f"{gid}:{name}")
+        return prepared
 
     def decision_for(self, gid: str) -> Optional[Decision]:
         for logged_gid, decision in reversed(self.log):

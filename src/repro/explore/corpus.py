@@ -195,6 +195,37 @@ def write_skew_via_aggregate() -> Program:
     return Program(tables=tables, clients=clients)
 
 
+def cross_shard_write_skew() -> Program:
+    """Write skew whose two rw-antidependency edges live on *different*
+    shards of a 2-shard deployment (repro.shard): the two accounts are
+    chosen so the hash partitioner places them on shard 0 and shard 1.
+    Each client reads both accounts and debits its own, so each shard
+    sees exactly one edge of the cycle and neither branch ever carries
+    both conflict flags -- per-shard SSI plus 2PC commits the anomaly
+    ("A Critique of Snapshot Isolation"'s cross-node write skew), and
+    only the coordinator-level exchange of branch conflict summaries
+    (the GlobalCertifier) can doom the pivot. On one shard it is plain
+    Figure-1 write skew and local SSI catches it."""
+    from repro.shard.partition import shard_for
+    acct_a = next(i for i in range(64) if shard_for(i, 2) == 0)
+    acct_b = next(i for i in range(64) if shard_for(i, 2) == 1)
+    tables = [TableSpec(
+        name="accounts", columns=["id", "bal"], key="id",
+        rows=[{"id": acct_a, "bal": 50}, {"id": acct_b, "bal": 50}])]
+    clients = []
+    for own in (acct_a, acct_b):
+        clients.append([Txn([
+            Stmt("select", "accounts", where=["eq", "id", acct_a]),
+            Stmt("select", "accounts", where=["eq", "id", acct_b]),
+            # Withdraw against the *combined* balance: legal only while
+            # both reads still see a row (joint funds >= the debit).
+            Stmt("update", "accounts", where=["eq", "id", own],
+                 set={"bal": add("bal", -90)},
+                 guard={"stmt": 0 if own == acct_b else 1, "min_rows": 1}),
+        ])])
+    return Program(tables=tables, clients=clients)
+
+
 #: name -> zero-argument builder (the CLI's --program registry).
 BUILTIN_PROGRAMS: Dict[str, Callable[[], Program]] = {
     "write_skew": write_skew,
@@ -204,6 +235,7 @@ BUILTIN_PROGRAMS: Dict[str, Callable[[], Program]] = {
     "read_only_anomaly": read_only_anomaly,
     "phantom_under_join": phantom_under_join,
     "write_skew_via_aggregate": write_skew_via_aggregate,
+    "cross_shard_write_skew": cross_shard_write_skew,
 }
 
 

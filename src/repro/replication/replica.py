@@ -20,12 +20,13 @@ mirroring DEFERRABLE behaviour on the master.
 from __future__ import annotations
 
 import enum
+import time  # repro: noqa(DET001) -- the WAIT-mode deadline is wall-clock by nature; it gates an error path, never the logical history
 from typing import Any, Dict, List, Optional
 
 from typing import TYPE_CHECKING
 
 from repro.config import EngineConfig
-from repro.errors import FeatureNotSupportedError
+from repro.errors import FeatureNotSupportedError, StatementTimeout
 from repro.replication.wal import CommitRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
@@ -40,6 +41,10 @@ class ReplicaReadMode(enum.Enum):
     LATEST = "latest"
     #: Serializable: read the most recent safe snapshot (may be stale).
     LATEST_SAFE = "latest_safe"
+    #: Serializable, DEFERRABLE-style: catch up and wait (bounded) for
+    #: a safe snapshot if none exists yet; raises retryable 57014 on
+    #: timeout instead of spinning when the master emits no marker.
+    WAIT_SAFE = "wait_safe"
 
 
 class Replica:
@@ -56,6 +61,11 @@ class Replica:
         self._applied = 0          # records applied to `latest`
         self._safe_applied = 0     # records applied to `safe`
         self._last_safe_point: Optional[int] = None
+        # Staleness of serializable reads, observable on the master's
+        # metrics registry alongside the engine gauges.
+        self.master.obs.metrics.gauge(
+            "replica.safe_snapshot_lag", replica=name).set_function(
+            lambda: self.safe_snapshot_lag)
 
     def _mirror_catalog(self, db) -> None:
         for name, rel in self.master.relations().items():
@@ -116,12 +126,21 @@ class Replica:
         return self._applied - self._safe_applied
 
     def query(self, table: str, where=None, *,
-              mode: ReplicaReadMode = ReplicaReadMode.LATEST
-              ) -> List[Dict[str, Any]]:
-        """Run a read-only query on the standby."""
+              mode: ReplicaReadMode = ReplicaReadMode.LATEST,
+              wait_timeout: float = 1.0) -> List[Dict[str, Any]]:
+        """Run a read-only query on the standby.
+
+        ``WAIT_SAFE`` catches up and, when no safe snapshot exists yet,
+        polls the master's log for up to ``wait_timeout`` seconds
+        before raising a *retryable* :class:`StatementTimeout` (57014)
+        -- a master that never goes quiescent emits no marker, and a
+        DEFERRABLE query must not spin forever on it.
+        """
         if mode is ReplicaReadMode.LATEST:
             db = self._latest
         else:
+            if mode is ReplicaReadMode.WAIT_SAFE:
+                self._wait_for_safe_snapshot(wait_timeout)
             if not self.has_safe_snapshot:
                 raise FeatureNotSupportedError(
                     "cannot use serializable mode on standby: no safe "
@@ -129,6 +148,24 @@ class Replica:
             db = self._safe
         session = db.session()
         return session.select(table, where)
+
+    def _wait_for_safe_snapshot(self, timeout: float) -> None:
+        """DEFERRABLE-style wait (section 4.3, on the standby): poll
+        the shipped log until a safe-snapshot marker appears, bounded
+        by ``timeout`` seconds of wall-clock."""
+        self.catch_up()
+        if self.has_safe_snapshot:
+            return
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            time.sleep(min(0.001, max(timeout, 0.0) / 64 + 1e-6))
+            self.catch_up()
+            if self.has_safe_snapshot:
+                return
+        raise StatementTimeout(
+            f"canceling statement on standby {self.name!r}: no safe "
+            f"snapshot appeared within {timeout:.3f}s (master emitted "
+            f"no safe-snapshot marker)")
 
 
 def _whole_row_pred(row: Dict[str, Any]) -> Predicate:

@@ -21,11 +21,12 @@ Quickstart::
     server.stop()
 """
 
-from repro.server.client import ReproClient, connect
+from repro.server.client import ClientPool, ReproClient, connect
 from repro.server.engine import EngineSession, ThreadSafeEngine
 from repro.server.server import ReproServer, ServerConfig
 
 __all__ = [
+    "ClientPool",
     "EngineSession",
     "ReproClient",
     "ReproServer",

@@ -18,10 +18,12 @@ graceful degradation instead of client-visible failure.
 
 from __future__ import annotations
 
+import contextlib
 import random  # repro: noqa(DET001) -- retry jitter decorrelates real clients; it never feeds back into the logical history
 import socket
+import threading
 import time  # repro: noqa(DET001) -- backoff sleeps are wall-clock by nature
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (ProtocolError, RetryableError, TooManyConnections)
 from repro.server import protocol
@@ -195,6 +197,141 @@ class ReproClient:
                     self.backoff_base * (2 ** (attempt - 1)))
         # Full jitter: sleep U(delay/2, delay) to decorrelate retriers.
         time.sleep(delay * (0.5 + self._rng.random() / 2))
+
+
+class ClientPool:
+    """A bounded pool of :class:`ReproClient` connections.
+
+    At most ``size`` connections exist at any moment; they are dialed
+    lazily and reused across :meth:`acquire`/:meth:`release` cycles. An
+    :meth:`acquire` that cannot get a connection within
+    ``acquire_timeout`` raises :class:`TooManyConnections` -- the same
+    retryable 53300 the server's own admission control uses, so the one
+    retry loop callers already have (``run_transaction``) covers
+    pool exhaustion too. Dead connections (server restart, network
+    error) are detected on release and re-dialed on next acquire, so
+    the pool self-heals without ever exceeding its bound.
+    """
+
+    def __init__(self, address: Tuple[str, int], *, size: int = 8,
+                 acquire_timeout: float = 5.0, **client_kw: Any) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.address = tuple(address)
+        self.size = size
+        self.acquire_timeout = acquire_timeout
+        self._client_kw = client_kw
+        self._cond = threading.Condition()
+        self._idle: List[ReproClient] = []
+        self._created = 0
+        self._closed = False
+        #: Acquires that had to wait for a connection (gauge for tests).
+        self.waits = 0
+        #: Acquires rejected with TooManyConnections.
+        self.exhausted = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> ReproClient:
+        """Check a connection out of the pool, dialing one lazily while
+        under the bound; raises TooManyConnections after ``timeout``."""
+        if timeout is None:
+            timeout = self.acquire_timeout
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            waited = False
+            while True:
+                if self._closed:
+                    raise OSError("connection pool is closed")
+                if self._idle:
+                    client = self._idle.pop()
+                    break
+                if self._created < self.size:
+                    # Reserve the slot before dialing (the dial happens
+                    # outside the lock); a failed dial releases it.
+                    self._created += 1
+                    client = None
+                    break
+                if not waited:
+                    waited = True
+                    self.waits += 1
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    self.exhausted += 1
+                    raise TooManyConnections(
+                        f"connection pool exhausted: {self.size} "
+                        f"connections busy for {timeout:.3f}s")
+        if client is None:
+            try:
+                client = ReproClient(self.address,
+                                     **self._client_kw).connect()
+            except BaseException:
+                with self._cond:
+                    self._created -= 1
+                    self._cond.notify()
+                raise
+        elif client._sock is None:
+            try:
+                client.connect()
+            except BaseException:
+                with self._cond:
+                    self._created -= 1
+                    self._cond.notify()
+                raise
+        return client
+
+    def release(self, client: ReproClient) -> None:
+        """Return a connection. A connection inside a transaction is
+        rolled back first; a dead one is dropped (its slot frees up)."""
+        if client.txn in ("open", "failed"):
+            try:
+                client.sql("ROLLBACK")
+            except (OSError, ProtocolError, RetryableError):
+                client._teardown()
+        with self._cond:
+            if self._closed or client._sock is None:
+                self._created -= 1
+                if client._sock is not None:
+                    client.close()
+            else:
+                self._idle.append(client)
+            self._cond.notify()
+
+    @contextlib.contextmanager
+    def connection(self, timeout: Optional[float] = None):
+        client = self.acquire(timeout)
+        try:
+            yield client
+        finally:
+            self.release(client)
+
+    def run_transaction(self, fn: Callable[[ReproClient], Any],
+                        **kw: Any) -> Any:
+        """Acquire, run ``client.run_transaction(fn, **kw)``, release."""
+        with self.connection() as client:
+            return client.run_transaction(fn, **kw)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {"size": self.size, "created": self._created,
+                    "idle": len(self._idle),
+                    "in_use": self._created - len(self._idle),
+                    "waits": self.waits, "exhausted": self.exhausted}
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._created -= len(idle)
+            self._cond.notify_all()
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def connect(address: Tuple[str, int], **kw: Any) -> ReproClient:

@@ -1,0 +1,19 @@
+"""repro.shard: hash-partitioned scale-out with distributed SSI.
+
+An N-shard database built from the existing single-node pieces: each
+shard is a full :class:`repro.engine.Database`, tables hash-partition
+by primary key, cross-shard transactions two-phase-commit through
+:class:`repro.engine.coordinator.Coordinator`, and every commit is
+certified against cross-shard dangerous structures by the
+:class:`~repro.shard.certifier.GlobalCertifier` (per-branch
+rw-antidependency summaries exchanged at PREPARE time, keyed by global
+transaction id). See DESIGN.md, "Sharding".
+"""
+
+from repro.shard.certifier import GlobalCertifier
+from repro.shard.database import ShardedDatabase
+from repro.shard.partition import Partitioner, shard_for
+from repro.shard.session import ShardedSession
+
+__all__ = ["GlobalCertifier", "Partitioner", "ShardedDatabase",
+           "ShardedSession", "shard_for"]

@@ -1,0 +1,327 @@
+"""Sharded differential exploration: pinned schedules over N shards.
+
+Extends the cross-isolation sweep oracle of :mod:`repro.explore` to
+sharded deployments. A *schedule* here is a sequence of client ids;
+at each step the named client performs its next action (implicit
+BEGIN, one statement, or COMMIT) on its :class:`ShardedSession`. The
+same pinned schedule replayed against a 1-shard and a 2-shard
+deployment must produce identical commit verdicts and identical final
+rows -- sharding is supposed to change *where* data lives, never what
+histories are admitted -- and under SERIALIZABLE every run's merged
+Adya graph must be acyclic (zero non-serializable commits, the
+tentpole acceptance bar).
+
+Schedules are generated deterministically (no randomness -- they are
+part of the logical history): the serial order for every client
+permutation, a round-robin rotation per starting client, the
+"overlap" schedule that interleaves every transaction's statements
+before any commit (the classic anomaly shape), and a lexicographic
+enumeration of full interleavings up to a cap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import EngineConfig
+from repro.engine.isolation import IsolationLevel
+from repro.errors import ReproError, RetryableError, WouldBlock
+from repro.explore.program import Program, txn_name
+from repro.shard.database import ShardedDatabase
+
+
+# ---------------------------------------------------------------------------
+# building a sharded deployment from a Program
+# ---------------------------------------------------------------------------
+def build_sharded_db(program: Program, n_shards: int,
+                     *, record_history: bool = True) -> ShardedDatabase:
+    configs = [EngineConfig(record_history=record_history)
+               for _ in range(n_shards)]
+    sdb = ShardedDatabase(n_shards, configs)
+    for spec in program.tables:
+        sdb.create_table(spec.name, spec.columns, key=spec.key)
+        for column in spec.indexes:
+            sdb.create_index(spec.name, column)
+        if spec.rows:
+            sdb.load_rows(spec.name, spec.rows)
+    return sdb
+
+
+# ---------------------------------------------------------------------------
+# the pinned-schedule driver
+# ---------------------------------------------------------------------------
+class _Client:
+    """One client's cursor through its transaction list."""
+
+    def __init__(self, cid: int, txns) -> None:
+        self.cid = cid
+        self.txns = txns
+        self.txn_idx = 0
+        self.stmt_idx = -1          # -1: BEGIN pending
+        self.results: List[Any] = []
+        self.session = None
+        self.awaiting_stmt = False  # a statement is suspended
+
+    @property
+    def done(self) -> bool:
+        return self.txn_idx >= len(self.txns)
+
+    @property
+    def txn(self):
+        return self.txns[self.txn_idx]
+
+
+class ShardedRun:
+    """Outcome of one schedule on one deployment."""
+
+    def __init__(self, verdicts: Dict[str, str],
+                 rows: Dict[str, list], check) -> None:
+        #: txn name -> "committed" | "aborted".
+        self.verdicts = verdicts
+        #: table -> final rows, canonically sorted.
+        self.rows = rows
+        #: merged-graph ShardedCheckResult (None without history).
+        self.check = check
+
+    def summary(self) -> Dict[str, Any]:
+        return {"verdicts": dict(sorted(self.verdicts.items())),
+                "serializable": (None if self.check is None
+                                 else self.check.serializable)}
+
+
+def run_schedule(program: Program, n_shards: int,
+                 schedule: Sequence[int],
+                 isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
+                 *, record_history: bool = True,
+                 max_extra_rounds: int = 1000) -> ShardedRun:
+    """Replay one pinned schedule on a fresh ``n_shards`` deployment.
+
+    After the pinned steps run out, remaining work finishes in
+    round-robin order (every schedule is a prefix; the tail keeps
+    verdicts deterministic). A step naming a finished client is a
+    no-op; a step naming a blocked client attempts resume.
+    """
+    sdb = build_sharded_db(program, n_shards,
+                           record_history=record_history)
+    clients = [_Client(cid, txns) for cid, txns in enumerate(program.clients)]
+    verdicts: Dict[str, str] = {}
+
+    def step(client: _Client) -> bool:
+        """Run one action; returns True on progress."""
+        if client.done:
+            return False
+        name = txn_name(client.cid, client.txn_idx)
+        sess = client.session
+        try:
+            if sess is not None and sess.blocked:
+                value = sess.resume()
+                client.results.append(value)
+                client.awaiting_stmt = False
+                client.stmt_idx += 1
+                return True
+            if client.stmt_idx == -1:
+                client.session = sess = sdb.session(isolation)
+                sess.begin(isolation, read_only=client.txn.read_only)
+                client.results = []
+                client.stmt_idx = 0
+                return True
+            if client.stmt_idx < len(client.txn.stmts):
+                stmt = client.txn.stmts[client.stmt_idx]
+                if not stmt.guard_passes(client.results):
+                    client.results.append(None)
+                    client.stmt_idx += 1
+                    return True
+                op = stmt.to_op(client.results)
+                client.awaiting_stmt = True
+                value = getattr(sess, op.method)(*op.args, **op.kwargs)
+                client.awaiting_stmt = False
+                client.results.append(value)
+                client.stmt_idx += 1
+                return True
+            ok = sess.commit()
+            verdicts[name] = "committed" if ok else "aborted"
+            client.txn_idx += 1
+            client.stmt_idx = -1
+            return True
+        except WouldBlock:
+            return True  # parked; progress resumes via resume()
+        except RetryableError:
+            if sess is not None and sess.in_transaction():
+                sess.rollback()
+            verdicts[name] = "aborted"
+            client.awaiting_stmt = False
+            client.txn_idx += 1
+            client.stmt_idx = -1
+            return True
+        except ReproError:
+            if sess is not None and sess.in_transaction():
+                sess.rollback()
+            verdicts[name] = "aborted"
+            client.awaiting_stmt = False
+            client.txn_idx += 1
+            client.stmt_idx = -1
+            return True
+
+    for cid in schedule:
+        step(clients[cid])
+    # Fairness tail: drain remaining work round-robin.
+    rounds = 0
+    while any(not c.done for c in clients):
+        rounds += 1
+        if rounds > max_extra_rounds:
+            raise RuntimeError(
+                "schedule drain did not converge (livelocked clients)")
+        for client in clients:
+            step(client)
+
+    rows = _final_rows(sdb, program)
+    check = sdb.check_serializable() if record_history else None
+    return ShardedRun(verdicts, rows, check)
+
+
+def _final_rows(sdb: ShardedDatabase, program: Program) -> Dict[str, list]:
+    out: Dict[str, list] = {}
+    sess = sdb.session(IsolationLevel.REPEATABLE_READ)
+    for spec in program.tables:
+        rows = sess.run_transaction(
+            lambda s, name=spec.name: s.select(name))
+        out[spec.name] = sorted((dict(r) for r in rows),
+                                key=lambda r: sorted(r.items(),
+                                                     key=str))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# deterministic schedule generation
+# ---------------------------------------------------------------------------
+def client_steps(program: Program, cid: int) -> int:
+    """Pinned steps client ``cid`` needs: per txn, BEGIN + statements
+    + COMMIT."""
+    return sum(1 + len(txn.stmts) + 1 for txn in program.clients[cid])
+
+
+def schedules_for(program: Program,
+                  max_interleavings: int = 64) -> List[List[int]]:
+    """The pinned-schedule suite for one program (deterministic)."""
+    n = len(program.clients)
+    steps = [client_steps(program, cid) for cid in range(n)]
+    out: List[List[int]] = []
+    seen = set()
+
+    def emit(schedule: List[int]) -> None:
+        key = tuple(schedule)
+        if key not in seen:
+            seen.add(key)
+            out.append(schedule)
+
+    # Serial orders: every client permutation.
+    for perm in itertools.permutations(range(n)):
+        emit([cid for cid in perm for _ in range(steps[cid])])
+    # Round-robin from every starting client.
+    for start in range(n):
+        order = [(start + i) % n for i in range(n)]
+        schedule: List[int] = []
+        remaining = list(steps)
+        while any(remaining):
+            for cid in order:
+                if remaining[cid]:
+                    remaining[cid] -= 1
+                    schedule.append(cid)
+        emit(schedule)
+    # Overlap: everyone BEGINs and runs all statements, then commits in
+    # client order -- the canonical anomaly shape.
+    overlap: List[int] = []
+    for cid in range(n):
+        overlap.extend([cid] * (steps[cid] - 1))
+    overlap.extend(range(n))
+    emit(overlap)
+    # Lexicographic enumeration of full interleavings, capped.
+    budget = max_interleavings
+
+    def dfs(remaining: List[int], prefix: List[int]) -> None:
+        nonlocal budget
+        if budget <= 0:
+            return
+        if not any(remaining):
+            emit(list(prefix))
+            budget -= 1
+            return
+        for cid in range(n):
+            if remaining[cid]:
+                remaining[cid] -= 1
+                prefix.append(cid)
+                dfs(remaining, prefix)
+                prefix.pop()
+                remaining[cid] += 1
+
+    dfs(list(steps), [])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the sweep oracle
+# ---------------------------------------------------------------------------
+def differential_sweep(program: Program, *,
+                       shard_counts: Tuple[int, int] = (1, 2),
+                       isolation: IsolationLevel =
+                       IsolationLevel.SERIALIZABLE,
+                       max_interleavings: int = 64,
+                       schedules: Optional[List[List[int]]] = None
+                       ) -> Dict[str, Any]:
+    """Replay every pinned schedule on both deployments and compare.
+
+    Returns a report; raises AssertionError on the first divergence
+    (verdicts or rows differing between shard counts) or, under
+    SERIALIZABLE, on any non-serializable merged Adya graph.
+    """
+    lo, hi = shard_counts
+    if schedules is None:
+        schedules = schedules_for(program,
+                                  max_interleavings=max_interleavings)
+    anomalies = 0
+    for idx, schedule in enumerate(schedules):
+        run_lo = run_schedule(program, lo, schedule, isolation)
+        run_hi = run_schedule(program, hi, schedule, isolation)
+        tag = f"schedule {idx} ({len(schedule)} steps)"
+        assert run_lo.verdicts == run_hi.verdicts, (
+            f"{tag}: verdicts diverged between {lo}-shard "
+            f"{run_lo.verdicts} and {hi}-shard {run_hi.verdicts}")
+        assert run_lo.rows == run_hi.rows, (
+            f"{tag}: final rows diverged between {lo}-shard and "
+            f"{hi}-shard deployments")
+        for shards, run in ((lo, run_lo), (hi, run_hi)):
+            if not run.check.serializable:
+                anomalies += 1
+                if isolation.uses_ssi:
+                    raise AssertionError(
+                        f"{tag}: non-serializable commit on {shards}-shard "
+                        f"deployment under {isolation.value}: cycle "
+                        f"{run.check.cycle}")
+    return {"schedules": len(schedules), "anomalies": anomalies}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: sweep the whole corpus (the `shards` CI job)."""
+    import argparse
+    from repro.explore.corpus import BUILTIN_PROGRAMS
+
+    parser = argparse.ArgumentParser(
+        description="sharded differential sweep over the explore corpus")
+    parser.add_argument("--programs", nargs="*",
+                        default=sorted(BUILTIN_PROGRAMS))
+    parser.add_argument("--max-interleavings", type=int, default=24)
+    parser.add_argument("--shards", type=int, nargs=2, default=(1, 2))
+    args = parser.parse_args(argv)
+    for name in args.programs:
+        program = BUILTIN_PROGRAMS[name]()
+        report = differential_sweep(
+            program, shard_counts=tuple(args.shards),
+            max_interleavings=args.max_interleavings)
+        print(f"{name}: {report['schedules']} schedules, "
+              f"verdict/row parity OK, SI anomalies {report['anomalies']}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ durability layer, for two reasons:
 from __future__ import annotations
 
 import os
+import time  # repro: noqa(DET001) -- the modeled flush latency is a wall-clock sleep standing in for a storage device; it never feeds back into the logical history
 from typing import BinaryIO, Callable, Optional
 
 
@@ -44,8 +45,14 @@ class DurableIO:
       written, then SimulatedCrash is raised: a torn write.
     """
 
-    def __init__(self, *, fsync: bool = True) -> None:
+    def __init__(self, *, fsync: bool = True,
+                 flush_latency: float = 0.0) -> None:
         self.do_fsync = fsync
+        #: Modeled device sync latency (seconds) added to every fsync.
+        #: The sleep releases the GIL, so one slow "device" per shard
+        #: overlaps with work on other shards -- exactly the resource
+        #: the shard benchmark scales out.
+        self.flush_latency = flush_latency
         self.fault_hook: Optional[Callable[[str, str, int],
                                            Optional[int]]] = None
         self.writes = 0
@@ -84,6 +91,8 @@ class DurableIO:
         f.flush()
         if self.do_fsync:
             os.fsync(f.fileno())
+        if self.flush_latency > 0.0:
+            time.sleep(self.flush_latency)
         self.fsyncs += 1
 
     def truncate(self, f: BinaryIO, path: str, size: int) -> None:

@@ -79,7 +79,9 @@ class DurabilityManager:
         self.db = db
         self.cfg = cfg
         os.makedirs(cfg.data_dir, exist_ok=True)
-        self.io = DurableIO(fsync=cfg.fsync)
+        self.io = DurableIO(
+            fsync=cfg.fsync,
+            flush_latency=getattr(cfg, "modeled_flush_latency", 0.0))
         self.wal = WALFile(os.path.join(cfg.data_dir, "wal.log"), self.io,
                            group_commit=cfg.group_commit)
         self.store = PageStore(cfg.data_dir, self.io, cfg.page_bytes)
@@ -221,7 +223,11 @@ class DurabilityManager:
                                 "c": sorted(txn.live_xids()),
                                 "m": 1 if marker else 0, "seq": seq})
             self._stamp_logical(txn, lsn)
-            self._ack(txn, lsn)
+            if txn.wal_changes:
+                self._ack(txn, lsn)
+            # A branch with no redo needs no synchronous flush: losing
+            # the frame leaves the prepare in doubt and the coordinator
+            # decision log re-resolves it identically.
             return
         if not txn.wal_changes:
             # Nothing written: no redo, and recovery marking the xid
@@ -260,7 +266,15 @@ class DurabilityManager:
                 getattr(txn, "persisted_siread", ()))})
         lsn = self._append(record)
         self._mark_dirty(txn, lsn)
-        self._flush()
+        if txn.wal_changes:
+            self._flush()
+        # No redo: the record still goes to the WAL (in-doubt
+        # bookkeeping + SIREAD targets) but the vote need not wait for
+        # the device. If the unflushed record is lost in a crash the
+        # branch simply vanishes -- it had no effects to make atomic,
+        # and its SIREAD locks are moot because no pre-crash reader
+        # survives recovery as active (the same argument that lets
+        # single-node recovery drop committed transactions' SIREADs).
 
     def on_abort(self, txn) -> None:
         if self.replaying:

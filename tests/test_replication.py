@@ -1,10 +1,14 @@
 """Streaming replication and safe snapshots on replicas (section 7.2)."""
 
+import threading
+import time
+
 import pytest
 
 from repro.config import EngineConfig
 from repro.engine import Database, Eq, IsolationLevel
-from repro.errors import FeatureNotSupportedError
+from repro.errors import (FeatureNotSupportedError, RetryableError,
+                          StatementTimeout)
 from repro.replication import Replica, ReplicaReadMode
 
 SER = IsolationLevel.SERIALIZABLE
@@ -148,3 +152,64 @@ class TestSafeSnapshotsOnReplica:
             "receipts", Eq("batch", 1),
             mode=ReplicaReadMode.LATEST_SAFE))
         assert (safe_ctrl[0]["batch"], safe_total) in ((1, 0), (2, 10))
+
+
+class TestWaitSafeMode:
+    """SERIALIZABLE READ ONLY DEFERRABLE on the standby: WAIT_SAFE
+    waits (bounded) for a safe snapshot instead of failing fast."""
+
+    def busy_master(self):
+        """A master that never produced a safe point: a serializable
+        r/w transaction has been active since before its first commit."""
+        db = Database(EngineConfig())
+        db.create_table("control", ["id", "batch"], key="id")
+        hog = db.session()
+        hog.begin(SER)
+        hog.insert("control", {"id": 99, "batch": 0})
+        s = db.session()
+        s.insert("control", {"id": 0, "batch": 1})  # marker: unsafe
+        return db, hog
+
+    def test_wait_safe_reads_when_marker_exists(self, master):
+        replica = Replica(master)
+        rows = replica.query("control", mode=ReplicaReadMode.WAIT_SAFE)
+        assert rows[0]["batch"] == 1
+
+    def test_wait_safe_timeout_raises_retryable_57014(self):
+        db, hog = self.busy_master()
+        replica = Replica(db)
+        with pytest.raises(StatementTimeout) as exc:
+            replica.query("control", mode=ReplicaReadMode.WAIT_SAFE,
+                          wait_timeout=0.05)
+        assert exc.value.sqlstate == "57014"
+        assert isinstance(exc.value, RetryableError)
+        hog.rollback()
+
+    def test_wait_absorbs_marker_appearing_mid_wait(self):
+        db, hog = self.busy_master()
+        replica = Replica(db)
+
+        def finish():
+            time.sleep(0.05)
+            hog.commit()          # master quiesces
+            db.session().insert("control", {"id": 1, "batch": 2})
+
+        t = threading.Thread(target=finish)
+        t.start()
+        rows = replica.query("control", mode=ReplicaReadMode.WAIT_SAFE,
+                             wait_timeout=5.0)
+        t.join()
+        assert {r["id"] for r in rows} >= {0, 99}
+
+    def test_safe_snapshot_lag_gauge_tracks_staleness(self):
+        db, hog = self.busy_master()
+        replica = Replica(db, name="standby-1")
+        gauge = db.obs.metrics.gauge("replica.safe_snapshot_lag",
+                                     replica="standby-1")
+        replica.catch_up()
+        assert gauge.read() == replica.safe_snapshot_lag > 0
+        hog.commit()
+        db.session().insert("control", {"id": 1, "batch": 2})
+        replica.catch_up()
+        assert replica.has_safe_snapshot
+        assert gauge.read() == 0

@@ -12,7 +12,8 @@ from repro.engine.database import Database
 from repro.errors import (AuthenticationError, LockNotAvailable,
                           ProtocolError, ReproError, SerializationFailure,
                           TooManyConnections)
-from repro.server import ReproClient, ReproServer, ServerConfig, connect
+from repro.server import (ClientPool, ReproClient, ReproServer,
+                          ServerConfig, connect)
 from repro.server import protocol
 
 
@@ -401,4 +402,90 @@ class TestNoFatalErrors:
             lambda c: c.sql("INSERT INTO t (k, v) VALUES (1, 1)"))
         client.close()
         assert server.fatal_errors == []
+        assert_clean_stop(server)
+
+
+class TestClientPool:
+    def test_connections_are_reused_within_bound(self):
+        server = make_server()
+        with ClientPool(server.address, size=2) as pool:
+            c1 = pool.acquire()
+            pool.release(c1)
+            c2 = pool.acquire()
+            assert c2 is c1                      # reuse, not re-dial
+            pool.release(c2)
+            assert pool.stats()["created"] == 1  # never above demand
+        assert_clean_stop(server)
+
+    def test_exhaustion_raises_retryable_53300(self):
+        server = make_server()
+        with ClientPool(server.address, size=1,
+                        acquire_timeout=0.05) as pool:
+            held = pool.acquire()
+            with pytest.raises(TooManyConnections) as exc:
+                pool.acquire()
+            assert exc.value.sqlstate == "53300"
+            assert isinstance(exc.value, ReproError)
+            assert pool.stats()["exhausted"] == 1
+            pool.release(held)
+        assert_clean_stop(server)
+
+    def test_waiter_wins_a_released_connection(self):
+        """The pool-exhaustion retry: a blocked acquire succeeds as
+        soon as a peer releases, well before its timeout."""
+        server = make_server()
+        with ClientPool(server.address, size=1, acquire_timeout=5.0) as pool:
+            held = pool.acquire()
+            got = []
+
+            def waiter():
+                client = pool.acquire()
+                got.append(client)
+                pool.release(client)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.05)
+            assert not got            # parked on the condition variable
+            pool.release(held)
+            t.join(timeout=5)
+            assert got == [held]
+            assert pool.stats()["waits"] == 1
+        assert_clean_stop(server)
+
+    def test_run_transaction_through_pool(self):
+        server = make_server()
+        with ClientPool(server.address, size=2) as pool:
+            with pool.connection() as c:
+                c.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            pool.run_transaction(
+                lambda c: c.sql("INSERT INTO t (k, v) VALUES (1, 10)"))
+            rows = pool.run_transaction(
+                lambda c: c.sql("SELECT v FROM t WHERE k = 1"))
+            assert rows == [{"v": 10}]
+        assert_clean_stop(server)
+
+    def test_release_rolls_back_open_transaction(self):
+        server = make_server()
+        with ClientPool(server.address, size=1) as pool:
+            c = pool.acquire()
+            c.sql("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            c.sql("BEGIN")
+            c.sql("INSERT INTO t (k, v) VALUES (1, 10)")
+            pool.release(c)           # implicit ROLLBACK
+            rows = pool.run_transaction(lambda c: c.sql("SELECT k FROM t"))
+            assert rows == []
+        assert_clean_stop(server)
+
+    def test_dead_connection_heals_on_next_acquire(self):
+        server = make_server()
+        pool = ClientPool(server.address, size=1)
+        c = pool.acquire()
+        c.close()                     # simulate a dropped connection
+        pool.release(c)               # slot freed, not pooled
+        assert pool.stats()["created"] == 0
+        c2 = pool.acquire()           # re-dials within the bound
+        assert c2.ping() == "pong"
+        pool.release(c2)
+        pool.close()
         assert_clean_stop(server)
